@@ -1,0 +1,117 @@
+"""E4 — Lemma 2.7: connector appearances ≈ visits/λ, and the randomization
+ablation.
+
+Two experiments:
+
+1. Under the paper's randomized short-walk lengths ([λ, 2λ−1]), a node
+   visited ``t`` times appears as a connector ``O(t·log²n/λ)`` times — the
+   measured worst ratio ``C(y)·λ/t(y)`` stays small across topologies.
+2. **Ablation**: with *fixed*-length short walks (the PODC'09 style), walks
+   on an even cycle synchronize with the topology's period, so connector
+   mass concentrates on few nodes.  The paper's Lemma 2.7 proof calls out
+   exactly this periodicity risk ("there might be some periodicity that
+   results in the same node being visited multiple times but exactly at
+   λ-intervals").  We measure the concentration (max connector share) both
+   ways and assert randomization reduces it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.graphs import cycle_graph, torus_graph
+from repro.util.tables import render_table
+from repro.walks import connector_stats, single_random_walk
+from repro.walks.podc09 import podc09_random_walk
+
+LENGTH = 3000
+
+
+def test_e4_connector_ratio_bounded(benchmark, reporter):
+    rows = []
+    for name, factory in [
+        ("cycle(32)", lambda: cycle_graph(32)),
+        ("torus(6x6)", lambda: torus_graph(6, 6)),
+    ]:
+        g = factory()
+        worst = 0.0
+        total_connectors = 0
+        for seed in range(6):
+            res = single_random_walk(g, 0, LENGTH, seed=seed)
+            stats = connector_stats(g, res.positions, res.connectors, res.lam)
+            worst = max(worst, stats.worst_ratio)
+            total_connectors += stats.total_connectors
+        bound = math.log(g.n) ** 2
+        rows.append((name, round(worst, 2), round(bound, 1), total_connectors // 6))
+    table = render_table(
+        ["graph", "worst C(y)·λ/t(y)", "lemma bound (ln²n)", "avg #connectors"],
+        rows,
+        title=f"E4 Lemma 2.7 connector bound, ℓ={LENGTH}, randomized lengths",
+    )
+    reporter.emit("E4_connector_bound", table)
+
+    for row in rows:
+        assert row[1] <= 6 * max(row[2], 4.0), row
+
+    g = torus_graph(6, 6)
+    benchmark.pedantic(
+        lambda: single_random_walk(g, 0, LENGTH, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def _max_connector_share(result) -> float:
+    counts = Counter(result.connectors)
+    total = sum(counts.values())
+    return max(counts.values()) / total if total else 0.0
+
+
+def test_e4_ablation_fixed_vs_randomized_lengths(benchmark, reporter):
+    """Periodicity ablation on an even cycle (period-2 structure)."""
+    g = cycle_graph(32)
+    lam = 8
+    trials = 12
+    fixed_shares = []
+    random_shares = []
+    fixed_conc = Counter()
+    random_conc = Counter()
+    for seed in range(trials):
+        randomized = single_random_walk(g, 0, LENGTH, seed=seed, lam=lam)
+        fixed = podc09_random_walk(g, 0, LENGTH, seed=seed, lam=lam, eta=4.0)
+        random_shares.append(_max_connector_share(randomized))
+        fixed_shares.append(_max_connector_share(fixed))
+        random_conc.update(randomized.connectors)
+        fixed_conc.update(fixed.connectors)
+
+    # Parity concentration: with fixed even λ on a bipartite cycle, every
+    # connector stays on the source's side.  Randomized lengths spread
+    # across both parities.
+    fixed_parity = sum(c for node, c in fixed_conc.items() if node % 2 == 0) / max(
+        sum(fixed_conc.values()), 1
+    )
+    random_parity = sum(c for node, c in random_conc.items() if node % 2 == 0) / max(
+        sum(random_conc.values()), 1
+    )
+    rows = [
+        ("fixed λ (PODC'09 style)", round(sum(fixed_shares) / trials, 3), round(fixed_parity, 3)),
+        ("randomized [λ,2λ)", round(sum(random_shares) / trials, 3), round(random_parity, 3)),
+    ]
+    table = render_table(
+        ["short-walk lengths", "avg max connector share", "even-parity connector mass"],
+        rows,
+        title=f"E4 ablation on cycle(32), λ={lam}: randomization kills periodicity",
+    )
+    reporter.emit("E4_connector_bound", table)
+
+    assert fixed_parity > 0.99  # fixed even λ is trapped on one parity class
+    assert random_parity < 0.9  # randomization escapes it
+
+    benchmark.pedantic(
+        lambda: podc09_random_walk(g, 0, LENGTH, seed=1, lam=lam, eta=4.0),
+        rounds=3,
+        iterations=1,
+    )

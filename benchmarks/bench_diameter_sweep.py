@@ -1,0 +1,98 @@
+"""E10 — the D-dependence of Õ(√(ℓD)) (concluding remarks).
+
+The paper's closing section notes "the dependence on the diameter D is
+still not tight".  This bench measures it: a fixed-length walk on
+elongating tori (torus(4, c) has D = 2 + c/2 with n growing only linearly)
+and a power-law fit of rounds vs D.  The algorithm's √D prediction shows
+as an exponent near 0.5; the naive baseline is D-independent (exponent 0).
+
+Also sweeps λ around its default at fixed (ℓ, D) to exhibit the
+``Phase1 ∝ λ`` vs ``stitching ∝ ℓD/λ`` tradeoff that produces the √(ℓD)
+optimum (the cost structure behind Theorem 2.5's parameter choice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import diameter, torus_graph
+from repro.util.fitting import fit_power_law
+from repro.util.tables import render_table
+from repro.walks import naive_random_walk, single_random_walk
+
+LENGTH = 8000
+
+
+def test_e10_diameter_dependence(benchmark, reporter):
+    rows = []
+    ds, rounds_list = [], []
+    for cols in [8, 16, 32, 64, 128]:
+        g = torus_graph(4, cols)
+        d = diameter(g)
+        res = single_random_walk(g, 0, LENGTH, seed=83, record_paths=False)
+        rows.append((g.name, g.n, d, res.rounds, res.lam))
+        ds.append(d)
+        rounds_list.append(res.rounds)
+    fit = fit_power_law(ds, rounds_list)
+    table = render_table(
+        ["graph", "n", "D", "rounds", "λ"],
+        rows,
+        title=(
+            f"E10 rounds vs diameter at fixed ℓ={LENGTH} — fitted D-exponent "
+            f"{fit.exponent:.2f} (√(ℓD) predicts ~0.5; naive predicts 0)"
+        ),
+    )
+    reporter.emit("E10_diameter", table)
+
+    # √D-like growth: clearly sublinear, clearly positive.
+    assert 0.25 <= fit.exponent <= 0.8, fit
+    # Naive is flat in D by construction.
+    naive_rounds = {naive_random_walk(torus_graph(4, c), 0, LENGTH, seed=1).rounds for c in (8, 64)}
+    assert naive_rounds == {LENGTH}
+
+    g = torus_graph(4, 32)
+    benchmark.pedantic(
+        lambda: single_random_walk(g, 0, LENGTH, seed=83, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e10_lambda_tradeoff(benchmark, reporter):
+    """The U-shaped cost in λ that the √(ℓD) choice sits at the bottom of."""
+    g = torus_graph(8, 8)
+    length = 8000
+    default = single_random_walk(g, 0, length, seed=89, record_paths=False)
+    rows = []
+    costs = {}
+    for factor, label in [(0.25, "λ/4"), (0.5, "λ/2"), (1.0, "λ (default)"), (2.0, "2λ"), (4.0, "4λ")]:
+        lam = max(1, int(default.lam * factor))
+        res = single_random_walk(g, 0, length, seed=89, lam=lam, record_paths=False)
+        phase1 = res.phase_rounds.get("phase1", 0)
+        stitching = res.phase_rounds.get("sample-destination", 0) + res.phase_rounds.get(
+            "stitch-route", 0
+        )
+        costs[label] = res.rounds
+        rows.append((label, lam, phase1, stitching, res.rounds))
+    table = render_table(
+        ["λ choice", "λ", "phase1 rounds", "stitching rounds", "total"],
+        rows,
+        title=f"E10 λ tradeoff on torus(8x8), ℓ={length}: phase1 ∝ λ vs stitching ∝ ℓD/λ",
+    )
+    reporter.emit("E10_diameter", table)
+
+    # The default must be within 35% of the best sampled point, and the
+    # extremes must both be worse than the default (U shape).
+    best = min(costs.values())
+    assert costs["λ (default)"] <= 1.35 * best, costs
+    assert costs["λ/4"] > costs["λ (default)"]
+    assert costs["4λ"] > costs["λ (default)"]
+    # Phase 1 grows with λ; stitching shrinks with λ.
+    assert rows[0][2] < rows[-1][2]
+    assert rows[0][3] > rows[-1][3]
+
+    benchmark.pedantic(
+        lambda: single_random_walk(g, 0, length, seed=89, lam=default.lam, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )

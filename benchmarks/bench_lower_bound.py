@@ -1,0 +1,113 @@
+"""E6/E7 + Figures 1, 3–5 — Section 3: the Ω(√(ℓ/log ℓ) + D) lower bound.
+
+E6 measures the interval-merging verification algorithm (a member of the
+paper's token-forwarding class) on the hard instance ``G_n``: measured
+rounds must sit *above* the Ω(√(ℓ/log ℓ)) curve (Theorem 3.2 says no class
+member can beat it) while staying well below the trivial O(ℓ), and the
+instance's diameter stays O(log n) — the whole point of the construction.
+
+E7 runs the Theorem 3.7 reduction: on the weighted ``G'_n`` the walk
+follows the planted path w.h.p. (measured follow fraction ≥ 1 − 1/n-ish),
+so the verification cost transfers to the random-walk problem.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import build_lower_bound_graph, pseudo_diameter, round_bound
+from repro.lowerbound import (
+    IntervalMergingVerifier,
+    PathVerificationInstance,
+    simulate_reduction,
+)
+from repro.util.fitting import fit_power_law
+from repro.util.tables import render_table
+
+SIZES = [64, 128, 256, 512, 1024, 2048]
+
+
+def test_e6_path_verification_scaling(benchmark, reporter):
+    rows = []
+    lengths = []
+    rounds_list = []
+    for n in SIZES:
+        inst = build_lower_bound_graph(n)
+        pv = PathVerificationInstance.from_lower_bound(inst)
+        result = IntervalMergingVerifier(pv).run()
+        assert result.verified
+        curve = round_bound(pv.length)
+        d = pseudo_diameter(inst.graph)
+        rows.append(
+            (
+                pv.length,
+                d,
+                result.rounds,
+                round(curve, 1),
+                round(result.rounds / curve, 2),
+                result.messages,
+            )
+        )
+        lengths.append(pv.length)
+        rounds_list.append(result.rounds)
+    fit = fit_power_law(lengths, rounds_list)
+    table = render_table(
+        ["ℓ (path length)", "diameter", "measured rounds", "Ω(√(ℓ/log ℓ))", "rounds/curve", "messages"],
+        rows,
+        title=(
+            f"E6 PATH-VERIFICATION on G_n — measured exponent {fit.exponent:.2f} "
+            "(lower bound says >= ~0.5; trivial algorithm is 1.0)"
+        ),
+    )
+    reporter.emit("E6_lower_bound", table)
+
+    # Every measurement sits above (a constant fraction of) the curve...
+    for row in rows:
+        assert row[2] >= 0.3 * row[3], row
+        # ...and the tree shortcuts beat the trivial O(ℓ) algorithm.
+        assert row[2] <= row[0] / 2, row
+        # Diameter stays logarithmic (Figure 3's whole point).
+        assert row[1] <= 4 * math.log2(row[0]) + 8
+    # Growth is root-like, far from linear.
+    assert 0.3 <= fit.exponent <= 0.85, fit
+
+    benchmark.pedantic(
+        lambda: IntervalMergingVerifier(
+            PathVerificationInstance.from_lower_bound(build_lower_bound_graph(256))
+        ).run(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e7_reduction_walk_follows_path(benchmark, reporter):
+    rows = []
+    for n in [64, 128, 256, 512]:
+        report = simulate_reduction(n, trials=25, seed=19, verify=(n <= 256))
+        rows.append(
+            (
+                n,
+                report.length,
+                round(report.follow_fraction, 3),
+                round(1 - 1 / n, 3),
+                report.verification_rounds,
+                round(report.lower_bound_curve, 1),
+            )
+        )
+    table = render_table(
+        ["n", "walk length", "follow fraction", "1 − 1/n", "verify rounds", "Ω curve"],
+        rows,
+        title="E7 Theorem 3.7 reduction: weighted G'_n forces the walk onto P",
+    )
+    reporter.emit("E7_reduction", table)
+
+    for row in rows:
+        assert row[2] >= row[3] - 0.08, row  # w.h.p. follow, sampling slack
+
+    benchmark.pedantic(
+        lambda: simulate_reduction(128, trials=5, seed=21, verify=False),
+        rounds=3,
+        iterations=1,
+    )

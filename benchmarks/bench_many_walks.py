@@ -1,0 +1,89 @@
+"""E2 — Theorem 2.8: k walks in Õ(min(√(kℓD) + k, k + ℓ)) rounds.
+
+Sweeps ``k`` at a fixed walk length and reports measured rounds against
+both branches of the theorem's min, confirming (a) sub-linear growth in
+``k`` (batching beats k independent runs), (b) the regime switch to the
+naive-parallel branch once ``√(kℓD) + k`` exceeds ``k + ℓ``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import diameter, hypercube_graph
+from repro.util.tables import render_table
+from repro.walks import many_random_walks, single_random_walk
+
+LENGTH = 24000
+KS = [1, 2, 4, 8]
+
+
+def test_e2_k_scaling(benchmark, reporter):
+    graph = hypercube_graph(7)
+    d = diameter(graph)
+    rows = []
+    for k in KS:
+        res = many_random_walks(graph, [0] * k, LENGTH, seed=23)
+        separate = sum(
+            single_random_walk(graph, 0, LENGTH, seed=100 + i, record_paths=False).rounds
+            for i in range(k)
+        )
+        bound_stitched = math.sqrt(k * LENGTH * d) + k
+        bound_naive = k + LENGTH
+        rows.append(
+            (
+                k,
+                res.rounds,
+                separate,
+                res.mode,
+                round(min(bound_stitched, bound_naive)),
+                round(res.rounds / min(bound_stitched, bound_naive), 2),
+            )
+        )
+    table = render_table(
+        ["k", "batched rounds", "k separate runs", "mode", "min-bound", "rounds/bound"],
+        rows,
+        title=f"E2 MANY-RANDOM-WALKS on hypercube(d=7), ℓ={LENGTH}, D={d}",
+    )
+    reporter.emit("E2_many_walks", table)
+
+    # Batching must beat running k walks separately for every k > 1.
+    for row in rows[1:]:
+        assert row[1] < row[2], row
+    # Growth in k must be sublinear (√k shape): k=8 costs well under 8x k=1.
+    assert rows[-1][1] < 5 * rows[0][1]
+    # rounds/bound ratio stays within a constant band (no hidden blowup).
+    ratios = [row[5] for row in rows]
+    assert max(ratios) / min(ratios) < 6
+
+    benchmark.pedantic(
+        lambda: many_random_walks(graph, [0] * 4, 4000, seed=29),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e2_regime_switch(benchmark, reporter):
+    """The theorem's min: large k with short walks flips to naive-parallel."""
+    graph = hypercube_graph(6)
+    rows = []
+    for k, length in [(2, 4000), (8, 2000), (32, 500), (64, 120), (128, 60)]:
+        res = many_random_walks(graph, [0] * k, length, seed=31)
+        rows.append((k, length, res.mode, res.rounds, res.lam))
+    table = render_table(
+        ["k", "length", "mode", "rounds", "λ"],
+        rows,
+        title="E2 regime switch (λ > ℓ → naive-parallel branch of the min)",
+    )
+    reporter.emit("E2_many_walks", table)
+
+    assert rows[0][2] == "stitched"
+    assert rows[-1][2] == "naive-parallel"
+
+    benchmark.pedantic(
+        lambda: many_random_walks(graph, [0] * 64, 60, seed=37),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,95 @@
+"""E11 — message complexity (the §5 trade-off, measured).
+
+The concluding remarks concede the trade: "While our algorithms have good
+amortized message complexity over several walks, it would be nice to come
+up with algorithms that are round efficient and yet have smaller message
+complexity."  This bench quantifies both halves:
+
+* a *single* stitched walk moves far more messages than the naive token
+  walk (Phase 1 makes every node work), even while using far fewer rounds;
+* amortized over ``k`` walks sharing one Phase 1, messages/walk falls
+  steadily, while naive messages/walk stays ℓ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import hypercube_graph
+from repro.util.tables import render_table
+from repro.walks import many_random_walks, naive_random_walk, single_random_walk
+
+LENGTH = 16000
+
+
+def test_e11_single_walk_tradeoff(benchmark, reporter):
+    g = hypercube_graph(7)
+    net_new = Network(g, seed=0)
+    new = single_random_walk(g, 0, LENGTH, seed=91, network=net_new, record_paths=False)
+    net_naive = Network(g, seed=0)
+    naive = naive_random_walk(g, 0, LENGTH, seed=91, network=net_naive, record_paths=False)
+    rows = [
+        ("SINGLE-RANDOM-WALK", new.rounds, net_new.messages_sent),
+        ("naive token walk", naive.rounds, net_naive.messages_sent),
+        (
+            "ratio (new/naive)",
+            round(new.rounds / naive.rounds, 3),
+            round(net_new.messages_sent / net_naive.messages_sent, 1),
+        ),
+    ]
+    table = render_table(
+        ["algorithm", "rounds", "messages"],
+        rows,
+        title=f"E11 the §5 trade-off on hypercube(7), ℓ={LENGTH}: rounds down, messages up",
+    )
+    reporter.emit("E11_messages", table)
+
+    assert new.rounds < naive.rounds / 2
+    assert net_new.messages_sent > 3 * net_naive.messages_sent
+
+    benchmark.pedantic(
+        lambda: naive_random_walk(g, 0, LENGTH, seed=91, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e11_amortization_over_k_walks(benchmark, reporter):
+    g = hypercube_graph(7)
+    length = 24000
+    rows = []
+    per_walk = []
+    for k in [1, 2, 4, 8]:
+        net = Network(g, seed=0)
+        res = many_random_walks(g, [0] * k, length, seed=93, network=net)
+        messages_per_walk = net.messages_sent / k
+        rounds_per_walk = res.rounds / k
+        per_walk.append(messages_per_walk)
+        rows.append(
+            (
+                k,
+                res.mode,
+                net.messages_sent,
+                round(messages_per_walk),
+                round(rounds_per_walk),
+                length,  # naive messages per walk = ℓ
+            )
+        )
+    table = render_table(
+        ["k", "mode", "total messages", "messages/walk", "rounds/walk", "naive msgs/walk"],
+        rows,
+        title=f"E11 amortized message complexity, hypercube(7), ℓ={length}",
+    )
+    reporter.emit("E11_messages", table)
+
+    # Sharing one Phase 1 amortizes: messages/walk strictly decreases in k.
+    assert all(a > b for a, b in zip(per_walk, per_walk[1:])), per_walk
+    # And rounds/walk also falls (the Theorem 2.8 batching gain).
+    assert rows[-1][4] < rows[0][4]
+
+    benchmark.pedantic(
+        lambda: many_random_walks(g, [0] * 4, 4000, seed=93),
+        rounds=3,
+        iterations=1,
+    )

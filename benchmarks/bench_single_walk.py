@@ -1,0 +1,107 @@
+"""E1 — Theorem 2.5: SINGLE-RANDOM-WALK in Õ(√(ℓD)) rounds.
+
+Reproduces the paper's headline comparison as a measured table: round
+counts of the naive ℓ-round walk, the PODC'09 Õ(ℓ^{2/3}D^{1/3}) algorithm,
+and this paper's Õ(√(ℓD)) algorithm across a walk-length sweep, plus
+fitted scaling exponents.  The paper's claim-shape we assert:
+
+* naive exponent ≈ 1, PODC'09 ≈ 2/3, this paper ≈ 1/2 (±0.12);
+* for long walks on low-diameter graphs the ordering is
+  new < PODC'09 < naive;
+* the crossover against naive sits near ℓ = Θ(D) (sublinear only helps
+  once the walk is long compared to the diameter — §1.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import diameter, hypercube_graph, torus_graph
+from repro.util.fitting import fit_power_law
+from repro.util.tables import render_table
+from repro.walks import naive_random_walk, podc09_random_walk, single_random_walk
+
+LENGTHS = [500, 1000, 2000, 4000, 8000, 16000]
+
+
+def _sweep(graph, lengths, seed=17):
+    rows = []
+    for length in lengths:
+        new = single_random_walk(graph, 0, length, seed=seed, record_paths=False)
+        old = podc09_random_walk(graph, 0, length, seed=seed, record_paths=False)
+        naive = naive_random_walk(graph, 0, length, seed=seed, record_paths=False)
+        rows.append((length, new.rounds, old.rounds, naive.rounds, new.lam))
+    return rows
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("hypercube(d=7)", lambda: hypercube_graph(7)),
+        ("torus(8x8)", lambda: torus_graph(8, 8)),
+    ],
+)
+def test_e1_round_scaling(benchmark, reporter, name, factory):
+    graph = factory()
+    d = diameter(graph)
+    rows = _sweep(graph, LENGTHS)
+
+    fit_new = fit_power_law([r[0] for r in rows], [r[1] for r in rows])
+    fit_old = fit_power_law([r[0] for r in rows], [r[2] for r in rows])
+    fit_naive = fit_power_law([r[0] for r in rows], [r[3] for r in rows])
+
+    table = render_table(
+        ["length", "new (√(ℓD))", "podc09 (ℓ^2/3)", "naive (ℓ)", "λ"],
+        rows,
+        title=(
+            f"E1 single walk on {name} (n={graph.n}, D={d}) — "
+            f"exponents: new {fit_new.exponent:.2f}, podc09 {fit_old.exponent:.2f}, "
+            f"naive {fit_naive.exponent:.2f}"
+        ),
+    )
+    reporter.emit("E1_single_walk", table)
+
+    # Shape assertions (paper: 0.5 vs 2/3 vs 1).
+    assert abs(fit_naive.exponent - 1.0) < 0.01
+    assert abs(fit_new.exponent - 0.5) < 0.12, fit_new
+    assert abs(fit_old.exponent - 2 / 3) < 0.12, fit_old
+    # Ordering at the longest length: new wins, naive loses.
+    final = rows[-1]
+    assert final[1] < final[2] < final[3]
+
+    benchmark.pedantic(
+        lambda: single_random_walk(graph, 0, 4000, seed=3, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e1_crossover_near_diameter(reporter, benchmark):
+    """Naive wins for short walks; the stitched algorithm takes over later."""
+    graph = torus_graph(8, 8)
+    d = diameter(graph)
+    rows = []
+    crossover = None
+    for length in [16, 64, 256, 1024, 4096]:
+        new = single_random_walk(graph, 0, length, seed=5, record_paths=False)
+        naive = naive_random_walk(graph, 0, length, seed=5, record_paths=False)
+        winner = "new" if new.rounds < naive.rounds else "naive"
+        if crossover is None and winner == "new":
+            crossover = length
+        rows.append((length, new.rounds, naive.rounds, winner))
+    table = render_table(
+        ["length", "new", "naive", "winner"],
+        rows,
+        title=f"E1 crossover on torus(8x8), D={d} (sublinear pays once ℓ >> D)",
+    )
+    reporter.emit("E1_single_walk", table)
+
+    assert rows[0][3] == "naive"  # ℓ = 2D: naive still wins
+    assert rows[-1][3] == "new"
+    assert crossover is not None and crossover > d
+
+    benchmark.pedantic(
+        lambda: naive_random_walk(graph, 0, 1024, seed=5, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )

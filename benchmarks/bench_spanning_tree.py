@@ -1,0 +1,138 @@
+"""E8 — Theorem 4.1: random spanning trees in Õ(√(mD)) rounds, uniformly.
+
+Three measurements:
+
+1. **Cost sweep**: RST rounds across growing tori, against the ``√(mD)``
+   curve and against the naive-schedule equivalent (running the same
+   doubling schedule with ℓ-round naive walks) — the distributed walk
+   speedup must show.
+2. **Uniformity**: empirical tree frequencies on K4 versus the exact
+   uniform law over its 16 spanning trees (chi-square), for the full
+   distributed pipeline, plus cross-checks of the centralized
+   Aldous–Broder and Wilson samplers.
+3. **Worst-case cover**: the lollipop (Θ(n³) cover time) still terminates
+   within the doubling schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.apps import aldous_broder_tree, random_spanning_tree, wilson_tree
+from repro.graphs import (
+    complete_graph,
+    diameter,
+    lollipop_graph,
+    torus_graph,
+    tree_probabilities,
+)
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_goodness_of_fit, total_variation
+from repro.util.tables import render_table
+
+
+def test_e8_cost_sweep(benchmark, reporter):
+    rows = []
+    for side in [4, 6, 8, 10]:
+        g = torus_graph(side, side)
+        d = diameter(g)
+        res = random_spanning_tree(g, seed=41)
+        naive_equivalent = sum(p.walks * p.length for p in res.phases)
+        curve = math.sqrt(g.m * d)
+        rows.append(
+            (
+                f"torus({side}x{side})",
+                g.m,
+                d,
+                res.rounds,
+                naive_equivalent,
+                round(curve, 0),
+                round(res.rounds / curve, 1),
+                res.cover_time,
+            )
+        )
+    table = render_table(
+        ["graph", "m", "D", "RST rounds", "naive schedule", "√(mD)", "rounds/√(mD)", "cover time"],
+        rows,
+        title="E8 distributed RST cost vs Õ(√(mD)) (Theorem 4.1)",
+    )
+    reporter.emit("E8_spanning_tree", table)
+
+    for row in rows:
+        assert row[3] < row[4], row  # beats its own naive schedule
+    # rounds/√(mD) stays in a bounded band (the Õ(·) claim's shape).
+    ratios = [row[6] for row in rows]
+    assert max(ratios) / min(ratios) < 8
+
+    g = torus_graph(6, 6)
+    benchmark.pedantic(lambda: random_spanning_tree(g, seed=43), rounds=3, iterations=1)
+
+
+def test_e8_uniformity(benchmark, reporter):
+    g = complete_graph(4)
+    expected = tree_probabilities(g)
+    n_samples = 1600
+
+    distributed = Counter(
+        random_spanning_tree(g, seed=10_000 + i, initial_length=64).tree
+        for i in range(n_samples)
+    )
+    rng = make_rng(5)
+    centralized = Counter(aldous_broder_tree(g, 0, rng)[0] for _ in range(n_samples))
+    wilson = Counter(wilson_tree(g, 0, rng) for _ in range(n_samples))
+
+    def tv(counts: Counter) -> float:
+        emp = {t: c / n_samples for t, c in counts.items()}
+        return total_variation(emp, expected)
+
+    rows = [
+        ("distributed Aldous–Broder", len(distributed), round(tv(distributed), 4)),
+        ("centralized Aldous–Broder", len(centralized), round(tv(centralized), 4)),
+        ("Wilson (independent sampler)", len(wilson), round(tv(wilson), 4)),
+        ("exact uniform", len(expected), 0.0),
+    ]
+    table = render_table(
+        ["sampler", "#distinct trees (of 16)", "TV to uniform"],
+        rows,
+        title=f"E8 RST uniformity on K4, {n_samples} samples per sampler",
+    )
+    reporter.emit("E8_spanning_tree", table)
+
+    for counts in (distributed, centralized, wilson):
+        assert len(counts) == 16
+        result = chi_square_goodness_of_fit(counts, expected)
+        assert not result.rejects_at(1e-5), result
+
+    benchmark.pedantic(
+        lambda: random_spanning_tree(g, seed=77, initial_length=64),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e8_worst_case_cover(benchmark, reporter):
+    g = lollipop_graph(12, 12)
+    res = random_spanning_tree(g, seed=47)
+    assert g.subgraph_is_spanning_tree(res.edges)
+    rows = [
+        (
+            "lollipop(12,12)",
+            g.n,
+            g.m,
+            res.rounds,
+            res.cover_time,
+            res.final_length,
+            len(res.phases),
+        )
+    ]
+    table = render_table(
+        ["graph", "n", "m", "RST rounds", "cover time", "final ℓ", "phases"],
+        rows,
+        title="E8 worst-case cover-time topology (Θ(n³) cover)",
+    )
+    reporter.emit("E8_spanning_tree", table)
+
+    benchmark.pedantic(lambda: random_spanning_tree(g, seed=49), rounds=3, iterations=1)

@@ -1,0 +1,89 @@
+"""F2 — the stitching picture (Figure 2) as measured statistics.
+
+Figure 2 illustrates Phase 2: the source's walk is assembled from
+``Θ(ℓ/λ)`` short walks joined at connectors.  This bench quantifies the
+picture on real executions:
+
+* number of stitches ≈ ℓ / E[segment length] = ℓ / (1.5λ − 0.5);
+* segment lengths uniform on [λ, 2λ−1] (mean ≈ 1.5λ);
+* GET-MORE-WALKS never fires at theorem parameters (the Lemma 2.6/2.7
+  regime), so Phase 1's pool suffices;
+* the phase-by-phase round breakdown (setup / phase1 / sampling / routing /
+  tail) that makes up the Õ(√(ℓD)) total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import torus_graph
+from repro.util.tables import render_table
+from repro.walks import single_random_walk
+
+LENGTH = 6000
+
+
+def test_f2_stitch_statistics(benchmark, reporter):
+    g = torus_graph(8, 8)
+    trials = 8
+    rows = []
+    for seed in range(trials):
+        res = single_random_walk(g, 0, LENGTH, seed=seed)
+        expected_stitches = LENGTH / (1.5 * res.lam - 0.5)
+        seg_mean = sum(s.length for s in res.segments) / max(len(res.segments), 1)
+        rows.append(
+            (
+                seed,
+                res.lam,
+                len(res.segments),
+                round(expected_stitches, 1),
+                round(seg_mean, 1),
+                round(1.5 * res.lam - 0.5, 1),
+                res.get_more_walks_calls,
+            )
+        )
+    table = render_table(
+        ["seed", "λ", "#stitches", "ℓ/E[seg]", "mean seg len", "1.5λ−0.5", "GMW calls"],
+        rows,
+        title=f"F2 stitch statistics on torus(8x8), ℓ={LENGTH}",
+    )
+    reporter.emit("F2_stitching", table)
+
+    for row in rows:
+        assert abs(row[2] - row[3]) <= 0.35 * row[3], row  # count tracks ℓ/E[seg]
+        assert abs(row[4] - row[5]) <= 0.2 * row[5], row  # mean ≈ 1.5λ
+        assert row[6] == 0  # Lemma 2.6/2.7 regime: pool never exhausted
+
+    benchmark.pedantic(
+        lambda: single_random_walk(g, 0, LENGTH, seed=0, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_f2_phase_breakdown(benchmark, reporter):
+    g = torus_graph(8, 8)
+    res = single_random_walk(g, 0, LENGTH, seed=99)
+    rows = [
+        (phase, rounds, f"{100 * rounds / res.rounds:.0f}%")
+        for phase, rounds in sorted(res.phase_rounds.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(("TOTAL", res.rounds, "100%"))
+    table = render_table(
+        ["phase", "rounds", "share"],
+        rows,
+        title=f"F2 round breakdown, torus(8x8), ℓ={LENGTH} (naive would be {LENGTH})",
+    )
+    reporter.emit("F2_stitching", table)
+
+    assert res.rounds < LENGTH
+    assert sum(res.phase_rounds.values()) == res.rounds
+    # Phase 1 and the stitching sweeps are the two dominant costs.
+    top_two = {rows[0][0], rows[1][0]}
+    assert "phase1" in top_two
+
+    benchmark.pedantic(
+        lambda: single_random_walk(g, 0, LENGTH, seed=99, record_paths=False),
+        rounds=3,
+        iterations=1,
+    )

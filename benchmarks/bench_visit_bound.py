@@ -1,0 +1,109 @@
+"""E3 — Lemma 2.6: no node is visited more than Õ(d(x)·√ℓ) times.
+
+Measures, across topologies, the normalized visit ratio
+``max_y N(y) / (d(y)·√(ℓ+1))`` over long walks.  The lemma bounds it by
+``24·log n`` w.h.p. for any graph; the paper also notes tightness on the
+line ("consider a line and a walk of length n") — so the path's ratio must
+stay Θ(1) while expanders sit far lower.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.util.rng import derive_rng
+from repro.util.tables import render_table
+from repro.walks import lemma_2_6_bound, max_visit_ratio
+
+FAMILIES = [
+    ("path(64)", lambda: path_graph(64)),
+    ("cycle(64)", lambda: cycle_graph(64)),
+    ("torus(8x8)", lambda: torus_graph(8, 8)),
+    ("hypercube(6)", lambda: hypercube_graph(6)),
+    ("random_regular(64,4)", lambda: random_regular_graph(64, 4, 2)),
+    ("lollipop(16,16)", lambda: lollipop_graph(16, 16)),
+]
+
+LENGTH = 4096
+TRIALS = 8
+
+
+def test_e3_visit_ratio_table(benchmark, reporter):
+    rows = []
+    ratios = {}
+    for name, factory in FAMILIES:
+        g = factory()
+        worst = 0.0
+        worst_node = -1
+        for t in range(TRIALS):
+            rng = derive_rng(97, name, t)
+            traj = np.asarray(g.walk(0, LENGTH, rng))
+            ratio, node = max_visit_ratio(g, [traj])
+            if ratio > worst:
+                worst, worst_node = ratio, node
+        bound_ratio = 24 * math.log(g.n)
+        ratios[name] = worst
+        rows.append((name, g.n, round(worst, 3), worst_node, round(bound_ratio, 1)))
+    table = render_table(
+        ["graph", "n", "max N(y)/(d(y)√(ℓ+1))", "argmax node", "lemma bound (24 ln n)"],
+        rows,
+        title=f"E3 Lemma 2.6 visit bound, ℓ={LENGTH}, {TRIALS} trials",
+    )
+    reporter.emit("E3_visit_bound", table)
+
+    # Bound holds everywhere, and with big margin on expanders.
+    for name, _ in FAMILIES:
+        g_n = dict((r[0], r[1]) for r in rows)[name]
+        assert ratios[name] <= 24 * math.log(g_n)
+    # Tightness on the path: ratio is a genuine constant, not vanishing.
+    assert ratios["path(64)"] > 0.35
+    # Expanders are far from the worst case.
+    assert ratios["random_regular(64,4)"] < ratios["path(64)"]
+
+    g = torus_graph(8, 8)
+    benchmark.pedantic(
+        lambda: max_visit_ratio(g, [np.asarray(g.walk(0, LENGTH, derive_rng(1, "b")))]),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e3_scaling_in_length(benchmark, reporter):
+    """N(y)·/(d√ℓ) stays bounded as ℓ grows — the √ℓ dependence is right."""
+    g = path_graph(48)
+    rows = []
+    for length in [512, 2048, 8192, 32768]:
+        worst = 0.0
+        for t in range(4):
+            rng = derive_rng(13, length, t)
+            traj = np.asarray(g.walk(0, length, rng))
+            ratio, _ = max_visit_ratio(g, [traj])
+            worst = max(worst, ratio)
+        rows.append((length, round(worst, 3)))
+    table = render_table(
+        ["length", "max normalized visit ratio"],
+        rows,
+        title="E3 ratio vs ℓ on path(48) — flat means visits track d(y)·√ℓ",
+    )
+    reporter.emit("E3_visit_bound", table)
+
+    values = [r[1] for r in rows]
+    # Bounded band: no systematic growth with ℓ (allow 4x noise).
+    assert max(values) / min(values) < 4.0
+
+    benchmark.pedantic(
+        lambda: g.walk(0, 8192, derive_rng(2, "walk")),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Random walks over lossy links (the paper's §5 'robust to failures' ask).
+
+The paper closes by asking for walk algorithms that survive failures.
+This demo runs the ACK/retransmit token walk of ``repro.congest.faults``
+over links that drop messages with increasing probability, showing the
+two facts that make the design right:
+
+1. the walk's *law* is untouched — each hop is sampled once and the same
+   choice is retransmitted until acknowledged, so reliability adds rounds,
+   never bias;
+2. the round cost inflates by roughly 1/(1−p)² per hop (token and ACK must
+   both survive), a constant factor, not a blowup.
+
+Run:  python examples/fault_tolerant_walk.py
+"""
+
+from __future__ import annotations
+
+from repro.congest import reliable_walk
+from repro.graphs import torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import total_variation_counts
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    graph = torus_graph(6, 6)
+    length = 100
+    trials = 200
+    spec = WalkSpectrum(graph)
+    exact = {v: float(p) for v, p in enumerate(spec.distribution(0, length)) if p > 1e-12}
+
+    rows = []
+    for p in (0.0, 0.1, 0.3, 0.5):
+        total_rounds = 0
+        total_retx = 0
+        counts: dict[int, int] = {}
+        for i in range(trials):
+            proto, net = reliable_walk(
+                graph, 0, length, drop_probability=p, seed=1000 + i, fault_seed=5000 + i
+            )
+            total_rounds += net.rounds
+            total_retx += proto.retransmissions
+            counts[proto.destination] = counts.get(proto.destination, 0) + 1
+        tv = total_variation_counts(counts, exact)
+        predicted = 1.0 / (1.0 - p) ** 2
+        rows.append(
+            (
+                f"{p:.0%}",
+                round(total_rounds / trials, 1),
+                round((total_rounds / trials) / rows[0][1] if rows else 1.0, 2),
+                f"{predicted:.2f}",
+                round(total_retx / trials, 1),
+                round(tv, 3),
+            )
+        )
+
+    print(f"Reliable {length}-step walk on {graph.name}, {trials} trials per loss rate\n")
+    print(
+        render_table(
+            ["loss rate", "avg rounds", "slowdown", "1/(1−p)²", "avg retransmissions", "TV to exact P^ℓ"],
+            rows,
+            title="Loss costs rounds, never correctness",
+        )
+    )
+    print(
+        "\nThe TV column is sampling noise (~0.14 at 200 samples over 36 nodes)"
+        "\nand does not grow with the loss rate — the endpoint law is exact at"
+        "\nevery p.  The measured slowdown stays *below* the naive 1/(1−p)²"
+        "\nbound because the synchronous quiet-network signal detects a lost"
+        "\nmessage in O(1) rounds instead of waiting out a fixed timeout."
+    )
+
+
+if __name__ == "__main__":
+    main()

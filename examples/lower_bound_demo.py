@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The Section-3 lower bound, end to end (Figures 1 and 3–5, Theorems 3.2/3.7).
+
+Walks through the construction: builds ``G_n`` (a long path woven under a
+logarithmic-diameter binary tree), shows its structural annotations
+(left/right leaf sets, breakpoints), runs the interval-merging verifier on
+the planted path, and finally runs the weighted-walk reduction showing a
+random walk on ``G'_n`` is forced along the path — so verifying the walk is
+as hard as PATH-VERIFICATION.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs import build_lower_bound_graph, diameter, round_bound
+from repro.lowerbound import (
+    IntervalMergingVerifier,
+    PathVerificationInstance,
+    simulate_reduction,
+)
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    inst = build_lower_bound_graph(512)
+    g = inst.graph
+    print(f"G_n: path of n'={inst.n_prime} vertices + binary tree with k'={inst.k_prime} leaves")
+    print(f"     total {g.n} nodes, {g.m} edges, diameter {diameter(g)} (O(log n) by design)")
+    print(f"     k (round parameter) = {inst.k}")
+    print(f"     left subtree serves {len(inst.left_path_nodes())} path nodes, "
+          f"right serves {len(inst.right_path_nodes())}")
+    print(f"     breakpoints: {len(inst.left_breakpoints())} left, "
+          f"{len(inst.right_breakpoints())} right "
+          "(path nodes unreachable within k hops from the opposite side)\n")
+
+    pv = PathVerificationInstance.from_lower_bound(inst)
+    result = IntervalMergingVerifier(pv).run()
+    curve = round_bound(pv.length)
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["path length ℓ", pv.length],
+                ["verified", result.verified],
+                ["verifying node", result.verifier_node],
+                ["measured rounds", result.rounds],
+                ["Ω(√(ℓ/log ℓ)) curve", f"{curve:.1f}"],
+                ["trivial O(ℓ) algorithm", pv.length],
+                ["messages exchanged", result.messages],
+            ],
+            title="PATH-VERIFICATION on G_n (interval-merging verifier)",
+        )
+    )
+    growth = result.coverage_history
+    milestones = [growth[i] for i in range(0, len(growth), max(1, len(growth) // 8))]
+    print(f"\nLargest verified segment per ~eighth of the run: {milestones}")
+
+    print("\nReduction (Theorem 3.7): weighted G'_n forces the walk onto P —")
+    report = simulate_reduction(256, trials=25, seed=3)
+    print(f"  walk followed the full path in {report.follow_fraction:.0%} of trials "
+          f"(theory: ≥ {1 - 1 / 256:.2%})")
+    print(f"  verifying the realized walk costs {report.verification_rounds} rounds "
+          f"(curve: {report.lower_bound_curve:.1f}, diameter: {report.diameter_bound})")
+    print("\nConclusion: any walk algorithm that certifies positions inherits the "
+          "Ω(√(ℓ/log ℓ) + D) bound — the paper's Õ(√(ℓD)) upper bound is near-tight in ℓ.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Decentralized mixing-time estimation (Section 4.2 / Theorem 4.6).
+
+A network that can estimate its own mixing time can monitor its
+connectivity and expansion without any central coordinator — the paper's
+"topologically (self-)aware networks" motivation.  This example runs the
+estimator on three topologies with very different mixing behaviour
+(expander / torus / barbell), compares against the exact spectral values,
+and derives the spectral-gap and conductance intervals of §4.2.
+
+Run:  python examples/mixing_time_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import estimate_mixing_time, power_iteration_mixing_time
+from repro.graphs import barbell_graph, random_regular_graph, torus_graph
+from repro.markov import conductance_exact, exact_mixing_time, spectral_gap
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    cases = [
+        ("expander: random 4-regular (n=32)", random_regular_graph(32, 4, 9)),
+        ("moderate: torus 5x5", torus_graph(5, 5)),
+        ("bottlenecked: barbell(8,1)", barbell_graph(8, 1)),
+    ]
+
+    rows = []
+    detail_rows = []
+    for name, graph in cases:
+        exact = exact_mixing_time(graph, 0)
+        est = estimate_mixing_time(graph, 0, seed=11)
+        base_tau, base_rounds = power_iteration_mixing_time(graph, 0)
+        rows.append((name, exact, est.estimate, est.rounds, base_rounds))
+        gap_iv = est.spectral_gap_bounds(graph.n)
+        gap = spectral_gap(graph)
+        phi = conductance_exact(graph, max_nodes=32) if graph.n <= 18 else None
+        detail_rows.append(
+            (
+                name,
+                f"{gap:.4f}",
+                str(gap_iv),
+                "-" if phi is None else f"{phi:.4f}",
+                str(est.conductance_bounds(graph.n)),
+            )
+        )
+
+    print(
+        render_table(
+            ["topology", "τ_mix exact", "τ̃ estimated", "est. rounds", "power-iter rounds"],
+            rows,
+            title="Mixing-time estimation: sampled walks vs exact vs power iteration",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["topology", "gap exact", "gap interval from τ̃", "Φ exact", "Φ interval from τ̃"],
+            detail_rows,
+            title="Derived network-health metrics (§4.2: 1/τ ≤ 1−λ₂ ≤ ln n/τ; Cheeger)",
+        )
+    )
+    print(
+        "\nReading: the barbell's tiny spectral gap / conductance interval flags"
+        "\nits bottleneck edge — exactly the 'critical link' detection that"
+        "\ntopology-aware networks use these estimates for."
+    )
+
+
+if __name__ == "__main__":
+    main()

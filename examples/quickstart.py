@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: sample a long random walk in far fewer rounds than its length.
+
+Builds a 16x16 torus (n=256, diameter 16), asks for an 8192-step random
+walk from node 0, and compares the paper's Õ(√(ℓD)) algorithm against the
+naive ℓ-round token walk and the PODC'09 baseline — printing the round
+bill for each, plus the stitched algorithm's phase breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs import diameter, torus_graph
+from repro.util.tables import render_table
+from repro.walks import naive_random_walk, podc09_random_walk, single_random_walk
+
+
+def main() -> None:
+    graph = torus_graph(16, 16)
+    length = 8192
+    print(f"Graph: {graph.name}  (n={graph.n}, m={graph.m}, D={diameter(graph)})")
+    print(f"Task:  sample the endpoint of an {length}-step random walk from node 0\n")
+
+    result = single_random_walk(graph, 0, length, seed=42)
+    naive = naive_random_walk(graph, 0, length, seed=42, record_paths=False)
+    podc09 = podc09_random_walk(graph, 0, length, seed=42, record_paths=False)
+
+    print(
+        render_table(
+            ["algorithm", "rounds", "speedup vs naive"],
+            [
+                ["SINGLE-RANDOM-WALK (this paper)", result.rounds, f"{naive.rounds / result.rounds:.1f}x"],
+                ["PODC'09 baseline", podc09.rounds, f"{naive.rounds / podc09.rounds:.1f}x"],
+                ["naive token walk", naive.rounds, "1.0x"],
+            ],
+            title="Round complexity",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["phase", "rounds"],
+            sorted(result.phase_rounds.items(), key=lambda kv: -kv[1]),
+            title="Where the stitched algorithm's rounds go",
+        )
+    )
+
+    # The walk is exact: the recorded trajectory is a genuine 8192-step walk.
+    result.verify_positions(graph)
+    print(
+        f"\nDestination: node {result.destination}; trajectory verified "
+        f"({len(result.segments)} stitched segments of length in "
+        f"[{result.lam}, {2 * result.lam - 1}], "
+        f"{result.get_more_walks_calls} GET-MORE-WALKS refills)."
+    )
+
+
+if __name__ == "__main__":
+    main()

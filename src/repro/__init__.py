@@ -1,0 +1,32 @@
+"""repro — reproduction of "Efficient Distributed Random Walks with Applications".
+
+Das Sarma, Nanongkai, Pandurangan, Tetali — PODC 2010 (arXiv:0911.3195).
+
+Public surface (see README for the tour):
+
+* :mod:`repro.graphs`   — graph substrate and generators
+* :mod:`repro.congest`  — the CONGEST-model simulator
+* :mod:`repro.markov`   — exact Markov-chain ground truth
+* :mod:`repro.walks`    — the paper's walk algorithms and baselines
+* :mod:`repro.lowerbound` — Section-3 path verification and reduction
+* :mod:`repro.apps`     — random spanning trees and mixing-time estimation
+"""
+
+from repro.errors import (
+    ConvergenceError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+    WalkError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ProtocolError",
+    "WalkError",
+    "ConvergenceError",
+    "__version__",
+]

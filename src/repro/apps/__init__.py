@@ -1,0 +1,32 @@
+"""Section-4 applications: random spanning trees and mixing-time estimation."""
+
+from repro.apps.distribution_test import (
+    BucketingIdentityTester,
+    TesterVerdict,
+    recommended_sample_count,
+)
+from repro.apps.mixing_time import (
+    MixingProbe,
+    MixingTimeEstimate,
+    estimate_mixing_time,
+    power_iteration_mixing_time,
+)
+from repro.apps.spanning_tree import PhaseRecord, RSTResult, random_spanning_tree
+from repro.apps.wilson import aldous_broder_tree, cover_time_of, first_entry_tree, wilson_tree
+
+__all__ = [
+    "BucketingIdentityTester",
+    "TesterVerdict",
+    "recommended_sample_count",
+    "MixingProbe",
+    "MixingTimeEstimate",
+    "estimate_mixing_time",
+    "power_iteration_mixing_time",
+    "PhaseRecord",
+    "RSTResult",
+    "random_spanning_tree",
+    "aldous_broder_tree",
+    "cover_time_of",
+    "first_entry_tree",
+    "wilson_tree",
+]

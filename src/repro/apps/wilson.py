@@ -1,0 +1,98 @@
+"""Centralized uniform spanning-tree samplers (cross-check baselines).
+
+Two classical exact-uniform samplers used as ground truth against the
+distributed algorithm of Theorem 4.1:
+
+* :func:`aldous_broder_tree` — the very algorithm the paper distributes
+  (first-entry edges of a walk run until cover), so matching its output law
+  validates the distributed simulation end-to-end;
+* :func:`wilson_tree` — loop-erased random walks (Wilson 1996), an
+  *algorithmically independent* uniform sampler, so agreement is evidence
+  of correctness rather than of shared bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.spanning import TreeKey, canonical_tree
+from repro.util.rng import make_rng
+
+__all__ = ["aldous_broder_tree", "wilson_tree", "first_entry_tree", "cover_time_of"]
+
+
+def first_entry_tree(positions: np.ndarray | list[int], n: int) -> list[tuple[int, int]]:
+    """First-entrance edges of a covering trajectory (Aldous–Broder rule).
+
+    For each non-start node ``v`` first visited at step ``t``, the tree
+    edge is ``(positions[t−1], v)``.  Raises when the trajectory does not
+    cover all ``n`` nodes.
+    """
+    seen = {int(positions[0])}
+    edges: list[tuple[int, int]] = []
+    for t in range(1, len(positions)):
+        v = int(positions[t])
+        if v not in seen:
+            seen.add(v)
+            edges.append((int(positions[t - 1]), v))
+    if len(seen) != n:
+        raise GraphError(f"trajectory covers {len(seen)}/{n} nodes; no spanning tree")
+    return edges
+
+
+def cover_time_of(positions: np.ndarray | list[int], n: int) -> int | None:
+    """First step index at which all ``n`` nodes have been seen (None if never)."""
+    seen: set[int] = set()
+    for t, node in enumerate(positions):
+        seen.add(int(node))
+        if len(seen) == n:
+            return t
+    return None
+
+
+def aldous_broder_tree(graph: Graph, root: int, rng=None) -> tuple[TreeKey, int]:
+    """Run a walk from ``root`` until cover; return (canonical tree, cover time)."""
+    rng = make_rng(rng)
+    current = root
+    seen = {root}
+    edges: list[tuple[int, int]] = []
+    steps = 0
+    # Walk until all nodes are covered; expected time O(mD) (Aleliunas et al.).
+    while len(seen) < graph.n:
+        nxt = graph.random_neighbor(current, rng)
+        steps += 1
+        if nxt not in seen:
+            seen.add(nxt)
+            edges.append((current, nxt))
+        current = nxt
+    return canonical_tree(edges), steps
+
+
+def wilson_tree(graph: Graph, root: int = 0, rng=None) -> TreeKey:
+    """Wilson's loop-erased-walk uniform spanning tree sampler."""
+    rng = make_rng(rng)
+    in_tree = np.zeros(graph.n, dtype=bool)
+    in_tree[root] = True
+    successor: dict[int, int] = {}
+    for start in range(graph.n):
+        if in_tree[start]:
+            continue
+        # Random walk from `start` with on-the-fly loop erasure: keep only
+        # the latest successor choice per node; the surviving chain is the
+        # loop-erased path once the walk hits the tree.
+        node = start
+        while not in_tree[node]:
+            successor[node] = graph.random_neighbor(node, rng)
+            node = successor[node]
+        node = start
+        while not in_tree[node]:
+            in_tree[node] = True
+            node = successor[node]
+    edges = [(v, successor[v]) for v in range(graph.n) if v != root and v in successor and in_tree[v]]
+    # Nodes added in earlier iterations keep their recorded successor; all
+    # non-root nodes must have one.
+    if len(edges) != graph.n - 1:
+        raise GraphError("Wilson sampler produced a non-tree (bug)")
+    return canonical_tree(edges)

@@ -1,0 +1,237 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Examples
+--------
+::
+
+    python -m repro walk --graph torus:8x8 --length 4096 --seed 7
+    python -m repro walk --graph hypercube:6 --length 8000 --algorithm all
+    python -m repro rst --graph grid:6x6 --seed 3
+    python -m repro mixing --graph barbell:8:1 --seed 11
+    python -m repro lowerbound --n 512
+
+Graph specs are ``family:arg1:arg2...``:
+
+========================  =========================================
+spec                      graph
+========================  =========================================
+``path:N``                path on N nodes
+``cycle:N``               cycle on N nodes
+``complete:N``            K_N
+``star:N``                star on N nodes
+``grid:RxC``              R×C grid
+``torus:RxC``             R×C torus
+``hypercube:D``           D-dimensional hypercube
+``tree:H``                complete binary tree of height H
+``barbell:K:B``           two K-cliques, bridge of B edges
+``lollipop:K:T``          K-clique with a T-edge tail
+``gnp:N:P[:SEED]``        connected Erdős–Rényi G(N, P)
+``regular:N:D[:SEED]``    random D-regular graph
+``rgg:N:R[:SEED]``        random geometric graph, radius R
+========================  =========================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    pseudo_diameter,
+    random_geometric_graph,
+    random_regular_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.util.tables import render_table
+
+__all__ = ["parse_graph_spec", "main"]
+
+
+def _dims(arg: str) -> tuple[int, int]:
+    parts = arg.lower().split("x")
+    if len(parts) != 2:
+        raise ValueError(f"expected RxC, got {arg!r}")
+    return int(parts[0]), int(parts[1])
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Build a graph from a ``family:args`` spec string (see module docs)."""
+    parts = spec.split(":")
+    family, args = parts[0].lower(), parts[1:]
+    try:
+        if family == "path":
+            return path_graph(int(args[0]))
+        if family == "cycle":
+            return cycle_graph(int(args[0]))
+        if family == "complete":
+            return complete_graph(int(args[0]))
+        if family == "star":
+            return star_graph(int(args[0]))
+        if family == "grid":
+            return grid_graph(*_dims(args[0]))
+        if family == "torus":
+            return torus_graph(*_dims(args[0]))
+        if family == "hypercube":
+            return hypercube_graph(int(args[0]))
+        if family == "tree":
+            return binary_tree_graph(int(args[0]))
+        if family == "barbell":
+            return barbell_graph(int(args[0]), int(args[1]))
+        if family == "lollipop":
+            return lollipop_graph(int(args[0]), int(args[1]))
+        if family == "gnp":
+            seed = int(args[2]) if len(args) > 2 else 0
+            return erdos_renyi_graph(int(args[0]), float(args[1]), seed)
+        if family == "regular":
+            seed = int(args[2]) if len(args) > 2 else 0
+            return random_regular_graph(int(args[0]), int(args[1]), seed)
+        if family == "rgg":
+            seed = int(args[2]) if len(args) > 2 else 0
+            return random_geometric_graph(int(args[0]), float(args[1]), seed)
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"bad graph spec {spec!r}: {exc}") from exc
+    raise ValueError(f"unknown graph family {parts[0]!r}")
+
+
+def _cmd_walk(args: argparse.Namespace) -> int:
+    from repro.walks import naive_random_walk, podc09_random_walk, single_random_walk
+
+    graph = parse_graph_spec(args.graph)
+    algorithms = {
+        "single": ("SINGLE-RANDOM-WALK", single_random_walk),
+        "podc09": ("PODC'09 baseline", podc09_random_walk),
+        "naive": ("naive token walk", naive_random_walk),
+    }
+    chosen = list(algorithms) if args.algorithm == "all" else [args.algorithm]
+    rows = []
+    for key in chosen:
+        label, fn = algorithms[key]
+        res = fn(graph, args.source, args.length, seed=args.seed, record_paths=False)
+        rows.append((label, res.mode, res.destination, res.rounds))
+    print(
+        render_table(
+            ["algorithm", "mode", "destination", "rounds"],
+            rows,
+            title=f"{args.length}-step walk from node {args.source} on {graph.name} "
+            f"(n={graph.n}, m={graph.m}, D≈{pseudo_diameter(graph)})",
+        )
+    )
+    return 0
+
+
+def _cmd_rst(args: argparse.Namespace) -> int:
+    from repro.apps import random_spanning_tree
+
+    graph = parse_graph_spec(args.graph)
+    res = random_spanning_tree(graph, root=args.source, seed=args.seed)
+    print(
+        render_table(
+            ["phase ℓ", "walks", "covered", "rounds"],
+            [(p.length, p.walks, p.covered, p.rounds) for p in res.phases],
+            title=f"Random spanning tree of {graph.name}: {res.rounds} rounds, "
+            f"cover time {res.cover_time}",
+        )
+    )
+    print("\nTree edges:", " ".join(f"{u}-{v}" for u, v in res.edges))
+    return 0
+
+
+def _cmd_mixing(args: argparse.Namespace) -> int:
+    from repro.apps import estimate_mixing_time
+    from repro.markov import exact_mixing_time
+
+    graph = parse_graph_spec(args.graph)
+    est = estimate_mixing_time(graph, args.source, seed=args.seed, samples=args.samples)
+    exact = exact_mixing_time(graph, args.source) if graph.n <= 512 else None
+    rows = [
+        ("estimated τ̃", est.estimate),
+        ("exact τ_mix", exact if exact is not None else "(graph too large)"),
+        ("rounds", est.rounds),
+        ("samples per test", est.samples_per_test),
+        ("spectral gap interval", str(est.spectral_gap_bounds(graph.n))),
+        ("conductance interval", str(est.conductance_bounds(graph.n))),
+    ]
+    print(render_table(["quantity", "value"], rows, title=f"Mixing time of {graph.name} from node {args.source}"))
+    return 0
+
+
+def _cmd_lowerbound(args: argparse.Namespace) -> int:
+    from repro.graphs import build_lower_bound_graph, round_bound
+    from repro.lowerbound import IntervalMergingVerifier, PathVerificationInstance
+
+    inst = build_lower_bound_graph(args.n)
+    pv = PathVerificationInstance.from_lower_bound(inst)
+    result = IntervalMergingVerifier(pv).run()
+    rows = [
+        ("path length ℓ", pv.length),
+        ("graph size", inst.graph.n),
+        ("diameter bound", pseudo_diameter(inst.graph)),
+        ("measured rounds", result.rounds),
+        ("Ω(√(ℓ/log ℓ))", f"{round_bound(pv.length):.1f}"),
+        ("verified", result.verified),
+    ]
+    print(render_table(["quantity", "value"], rows, title=f"PATH-VERIFICATION on G_n (n={args.n})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed random walks (PODC 2010) — run the algorithms from the shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    walk = sub.add_parser("walk", help="sample an ℓ-step walk")
+    walk.add_argument("--graph", required=True, help="graph spec, e.g. torus:8x8")
+    walk.add_argument("--length", type=int, required=True)
+    walk.add_argument("--source", type=int, default=0)
+    walk.add_argument("--seed", type=int, default=0)
+    walk.add_argument(
+        "--algorithm", choices=["single", "podc09", "naive", "all"], default="single"
+    )
+    walk.set_defaults(fn=_cmd_walk)
+
+    rst = sub.add_parser("rst", help="sample a uniform random spanning tree")
+    rst.add_argument("--graph", required=True)
+    rst.add_argument("--source", type=int, default=0)
+    rst.add_argument("--seed", type=int, default=0)
+    rst.set_defaults(fn=_cmd_rst)
+
+    mixing = sub.add_parser("mixing", help="estimate the mixing time decentrally")
+    mixing.add_argument("--graph", required=True)
+    mixing.add_argument("--source", type=int, default=0)
+    mixing.add_argument("--seed", type=int, default=0)
+    mixing.add_argument("--samples", type=int, default=None)
+    mixing.set_defaults(fn=_cmd_mixing)
+
+    lb = sub.add_parser("lowerbound", help="run PATH-VERIFICATION on G_n")
+    lb.add_argument("--n", type=int, default=256)
+    lb.set_defaults(fn=_cmd_lowerbound)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""CONGEST-model substrate: engine, messages, ledger, and tree primitives."""
+
+from repro.congest.faults import LossyNetwork, ReliableTokenWalkProtocol, reliable_walk
+from repro.congest.ledger import PhaseStats, RoundLedger
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.pipelines import PipelinedUpcastProtocol, pipelined_upcast
+from repro.congest.primitives import (
+    BfsFloodProtocol,
+    BfsTree,
+    BroadcastProtocol,
+    ConvergecastProtocol,
+    build_bfs_tree,
+    charged_broadcast,
+    charged_convergecast,
+)
+from repro.congest.protocol import Protocol, ProtocolAPI
+
+__all__ = [
+    "LossyNetwork",
+    "ReliableTokenWalkProtocol",
+    "reliable_walk",
+    "PipelinedUpcastProtocol",
+    "pipelined_upcast",
+    "PhaseStats",
+    "RoundLedger",
+    "Message",
+    "Network",
+    "Protocol",
+    "ProtocolAPI",
+    "BfsTree",
+    "BfsFloodProtocol",
+    "ConvergecastProtocol",
+    "BroadcastProtocol",
+    "build_bfs_tree",
+    "charged_broadcast",
+    "charged_convergecast",
+]

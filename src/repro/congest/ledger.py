@@ -1,0 +1,88 @@
+"""Round/message accounting for CONGEST executions.
+
+The quantity every theorem in the paper bounds is the number of
+*rounds*; the ledger is the single source of truth for it.  It also tracks
+message counts and the worst per-edge congestion observed, broken down by
+named phase (e.g. ``"phase1"``, ``"stitch"``, ``"sample-destination"``), so
+benches can report exactly where the rounds went — mirroring the paper's
+analysis, which bounds each phase separately and sums.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PhaseStats", "RoundLedger"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated costs of one named phase."""
+
+    rounds: int = 0
+    messages: int = 0
+    max_congestion: int = 0
+    invocations: int = 0
+
+    def merge_step(self, rounds: int, messages: int, congestion: int) -> None:
+        self.rounds += rounds
+        self.messages += messages
+        self.max_congestion = max(self.max_congestion, congestion)
+
+
+@dataclass
+class RoundLedger:
+    """Cumulative cost accounting across an algorithm execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    max_congestion: int = 0
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    _phase_stack: list[str] = field(default_factory=list)
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else "unattributed"
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Attribute all costs charged inside the block to ``name``.
+
+        Phases nest: costs inside an inner phase are attributed to the inner
+        name only (the totals on the ledger always include everything).
+        """
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.invocations += 1
+        self._phase_stack.append(name)
+        try:
+            yield stats
+        finally:
+            popped = self._phase_stack.pop()
+            assert popped == name, "phase stack corrupted"
+
+    def charge(self, rounds: int, messages: int = 0, congestion: int = 0) -> None:
+        """Record ``rounds`` rounds / ``messages`` messages in the current phase."""
+        if rounds < 0 or messages < 0:
+            raise ValueError("cannot charge negative cost")
+        self.rounds += rounds
+        self.messages += messages
+        self.max_congestion = max(self.max_congestion, congestion)
+        name = self.current_phase
+        self.phases.setdefault(name, PhaseStats()).merge_step(rounds, messages, congestion)
+
+    def phase_rounds(self, name: str) -> int:
+        stats = self.phases.get(name)
+        return stats.rounds if stats else 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat summary used by benches and reports."""
+        out = {"rounds": self.rounds, "messages": self.messages, "max_congestion": self.max_congestion}
+        for name, stats in sorted(self.phases.items()):
+            out[f"rounds[{name}]"] = stats.rounds
+        return out
+
+    def __repr__(self) -> str:
+        per_phase = ", ".join(f"{k}={v.rounds}" for k, v in sorted(self.phases.items()))
+        return f"RoundLedger(rounds={self.rounds}, messages={self.messages}, phases=[{per_phase}])"

@@ -1,0 +1,45 @@
+"""Message type for the CONGEST engine.
+
+A CONGEST round lets a node push one ``O(log n)``-bit message through each
+incident edge.  We measure message size in *words*, where one word is one
+``O(log n)``-bit quantity (a node ID, a counter, a length).  A message of
+``w ≤ max_words`` words still counts as a single ``O(log n)``-bit message
+(constant number of words); anything wider is rejected by the engine — a
+protocol that needs to move more data must split it across rounds itself,
+exactly as a real CONGEST algorithm would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint node IDs; ``dst`` must be a neighbor of ``src``.
+    payload:
+        Arbitrary (hashable or not) protocol data.  The engine never
+        inspects it; ``words`` is the declared size.
+    words:
+        Number of ``O(log n)``-bit words the payload occupies on the wire.
+    round_sent:
+        Round in which the sender enqueued the message (set by the engine).
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    words: int = 1
+    round_sent: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError(f"message must occupy at least one word, got {self.words}")

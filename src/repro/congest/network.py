@@ -1,0 +1,261 @@
+"""The synchronous CONGEST engine.
+
+This is the substrate every distributed algorithm in the library runs on.
+It models the system of Section 1.1 of the paper:
+
+* communication happens in synchronous *rounds*;
+* in each round, each directed edge carries at most ``capacity`` messages of
+  at most ``max_words`` words each (one ``O(log n)``-bit message per edge per
+  round in the standard model, i.e. ``capacity=1``);
+* local computation is free.
+
+Two execution styles share one round/ledger namespace:
+
+1. **Event-driven protocols** (:meth:`Network.run`) — per-node callbacks
+   with FIFO queueing on congested edges.  Used for BFS construction,
+   convergecast, broadcast, and the naive walk.
+2. **Batch steps** (:meth:`Network.deliver_step`) — an algorithm hands the
+   engine the full set of directed-edge traversals one logical iteration
+   needs; the engine charges ``ceil(max-per-edge-load / capacity)`` rounds,
+   which is exactly the congestion quantity bounded in the paper's
+   Lemma 2.1 ("any iteration could require more than 1 round").  Used for
+   the massively parallel short-walk phases where per-message callbacks
+   would be needless overhead.
+
+Both styles draw rounds from the same counter, so a composite algorithm
+(e.g. SINGLE-RANDOM-WALK = batch Phase 1 + protocol-driven BFS sweeps +
+batch stitching) reports one faithful total.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.congest.ledger import RoundLedger
+from repro.congest.message import Message
+from repro.congest.protocol import Protocol, ProtocolAPI
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.util.rng import make_rng
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A synchronous message-passing network over a :class:`Graph`.
+
+    Parameters
+    ----------
+    graph:
+        Topology.  Directed-edge identity uses the graph's CSR slots.
+    capacity:
+        Messages per directed edge per round (standard CONGEST: 1).
+    max_words:
+        Maximum words per message; a word is one ``O(log n)``-bit quantity.
+        Default 8 admits constant-size payloads while rejecting accidental
+        bulk transfer in one message.
+    seed:
+        Seed for the engine RNG handed to protocols (also accepts a
+        :class:`numpy.random.Generator`).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        capacity: int = 1,
+        max_words: int = 8,
+        seed=None,
+    ) -> None:
+        if capacity < 1:
+            raise ProtocolError(f"capacity must be >= 1, got {capacity}")
+        if max_words < 1:
+            raise ProtocolError(f"max_words must be >= 1, got {max_words}")
+        self.graph = graph
+        self.capacity = capacity
+        self.max_words = max_words
+        self.rng = make_rng(seed)
+        self.ledger = RoundLedger()
+        # FIFO queue per directed edge, keyed by (src, dst).  Multi-edges
+        # between the same pair pool their bandwidth, which matches the
+        # multigraph-bandwidth equivalence used in Section 3.2.
+        self._queues: dict[tuple[int, int], deque[Message]] = defaultdict(deque)
+        self._edge_multiplicity: dict[tuple[int, int], int] = defaultdict(int)
+        for u, v in graph.edges():
+            self._edge_multiplicity[(u, v)] += 1
+            if u != v:
+                self._edge_multiplicity[(v, u)] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Total rounds consumed so far (the paper's complexity measure)."""
+        return self.ledger.rounds
+
+    @property
+    def messages_sent(self) -> int:
+        return self.ledger.messages
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        return self._edge_multiplicity.get((u, v), 0) > 0
+
+    def phase(self, name: str):
+        """Attribute subsequent costs to phase ``name`` (context manager)."""
+        return self.ledger.phase(name)
+
+    # ------------------------------------------------------------------
+    # Batch-step execution
+    # ------------------------------------------------------------------
+    def deliver_step(
+        self,
+        slots: np.ndarray | Iterable[int],
+        *,
+        aggregate: bool = False,
+        words: int = 1,
+    ) -> int:
+        """Charge one logical iteration that pushes a message along each slot.
+
+        ``slots`` are directed-edge CSR slot indices, one per message.  The
+        iteration costs ``max(1, ceil(L / capacity))`` rounds where ``L`` is
+        the heaviest per-edge load — the congestion measure from the
+        paper's analysis.  With ``aggregate=True`` all messages sharing a
+        directed edge collapse into a single *(payload, count)* message, the
+        trick GET-MORE-WALKS uses ("only the count of the number of walks
+        along an edge are passed"), making every iteration cost one round.
+
+        Returns the number of rounds charged.
+        """
+        slot_arr = np.asarray(list(slots) if not isinstance(slots, np.ndarray) else slots, dtype=np.int64)
+        if slot_arr.size == 0:
+            return 0
+        if np.any(slot_arr < 0) or np.any(slot_arr >= self.graph.n_slots):
+            raise ProtocolError("slot index out of range")
+        if words > self.max_words:
+            raise ProtocolError(f"message of {words} words exceeds the {self.max_words}-word cap")
+        counts = np.bincount(slot_arr, minlength=0)
+        if aggregate:
+            n_messages = int(np.count_nonzero(counts))
+            congestion = 1
+        else:
+            n_messages = int(slot_arr.size)
+            congestion = int(counts.max())
+        rounds = max(1, -(-congestion // self.capacity))  # ceil division
+        self.ledger.charge(rounds, messages=n_messages, congestion=congestion)
+        return rounds
+
+    def deliver_pairs(
+        self,
+        sources: np.ndarray | Iterable[int],
+        targets: np.ndarray | Iterable[int],
+        *,
+        aggregate: bool = False,
+        words: int = 1,
+    ) -> int:
+        """Like :meth:`deliver_step` but keyed by (src, dst) node pairs.
+
+        Used when the caller has hop endpoints rather than CSR slots (walk
+        regeneration re-sends along recorded trajectories).  Parallel edges
+        between one node pair pool bandwidth here — identical to the
+        event-driven engine's per-pair FIFO queues.
+        """
+        src = np.asarray(list(sources) if not isinstance(sources, np.ndarray) else sources, dtype=np.int64)
+        dst = np.asarray(list(targets) if not isinstance(targets, np.ndarray) else targets, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ProtocolError("sources and targets must have equal length")
+        if src.size == 0:
+            return 0
+        if words > self.max_words:
+            raise ProtocolError(f"message of {words} words exceeds the {self.max_words}-word cap")
+        keys = src * self.graph.n + dst
+        _, counts = np.unique(keys, return_counts=True)
+        if aggregate:
+            n_messages = int(len(counts))
+            congestion = 1
+        else:
+            n_messages = int(src.size)
+            congestion = int(counts.max())
+        rounds = max(1, -(-congestion // self.capacity))
+        self.ledger.charge(rounds, messages=n_messages, congestion=congestion)
+        return rounds
+
+    def deliver_sequential(self, hop_count: int, *, messages_per_hop: int = 1) -> int:
+        """Charge a token travelling ``hop_count`` hops, one hop per round.
+
+        Convenience for walk tokens and path routing, where congestion is
+        structurally impossible (a single message moves per round).
+        """
+        if hop_count < 0:
+            raise ProtocolError("hop_count must be non-negative")
+        if hop_count:
+            self.ledger.charge(hop_count, messages=hop_count * messages_per_hop, congestion=1)
+        return hop_count
+
+    # ------------------------------------------------------------------
+    # Event-driven execution
+    # ------------------------------------------------------------------
+    def run(self, protocol: Protocol, *, max_rounds: int = 1_000_000, rng=None) -> int:
+        """Execute ``protocol`` until quiescence; return rounds consumed.
+
+        Messages queue FIFO per directed edge; at most ``capacity`` of them
+        are delivered per round per edge.  The run ends when no messages are
+        queued and ``protocol.is_done()`` holds.  Raises
+        :class:`ProtocolError` if ``max_rounds`` elapse first (protocol
+        bug or genuinely divergent algorithm).
+        """
+        api = ProtocolAPI(self, make_rng(rng) if rng is not None else self.rng)
+        start_round = self.rounds
+        protocol.on_start(api)
+        self._enqueue(api.drain_outbox())
+
+        rounds_used = 0
+        while True:
+            if not any(self._queues.values()):
+                done = protocol.is_done(api)
+                # is_done may queue recovery traffic (e.g. retransmissions
+                # after message loss); pick it up before judging deadlock.
+                self._enqueue(api.drain_outbox())
+                if done:
+                    break
+                if not any(self._queues.values()):
+                    raise ProtocolError(
+                        f"protocol {protocol.name!r} is idle but not done (deadlock) "
+                        f"after {rounds_used} rounds"
+                    )
+            if rounds_used >= max_rounds:
+                raise ProtocolError(
+                    f"protocol {protocol.name!r} exceeded the {max_rounds}-round budget"
+                )
+            protocol.on_round_begin(api)
+            self._enqueue(api.drain_outbox())
+            delivered = self._deliver_one_round()
+            rounds_used += 1
+            inbox: dict[int, list[Message]] = defaultdict(list)
+            for msg in delivered:
+                inbox[msg.dst].append(msg)
+            for node in sorted(inbox):
+                protocol.on_receive(api, node, inbox[node])
+            self._enqueue(api.drain_outbox())
+        return self.rounds - start_round
+
+    def _enqueue(self, messages: list[Message]) -> None:
+        for msg in messages:
+            self._queues[(msg.src, msg.dst)].append(msg)
+
+    def _deliver_one_round(self) -> list[Message]:
+        """Pop up to ``capacity`` messages from each directed edge; charge 1 round."""
+        delivered: list[Message] = []
+        congestion = 0
+        for key in list(self._queues):
+            queue = self._queues[key]
+            congestion = max(congestion, len(queue))
+            for _ in range(min(self.capacity, len(queue))):
+                delivered.append(queue.popleft())
+            if not queue:
+                del self._queues[key]
+        self.ledger.charge(1, messages=len(delivered), congestion=congestion)
+        return delivered

@@ -1,0 +1,271 @@
+"""Distributed primitives: BFS-tree construction, convergecast, broadcast.
+
+These are the O(D)-round building blocks the paper's subroutines lean on —
+SAMPLE-DESTINATION is literally "three sweeps over a BFS tree" (Algorithm 3)
+and the RST/mixing applications use tree aggregation for cover checks and
+bucket counts.
+
+Each primitive exists in two forms that are *proved equivalent by tests*:
+
+* an **event-driven protocol** executed message-by-message on the
+  :class:`~repro.congest.network.Network` engine (the ground truth), and
+* a **charged fast path** that computes the same result centrally and
+  charges the identical round/message cost to the ledger.
+
+The fast paths exist because algorithms such as SINGLE-RANDOM-WALK invoke
+`O(ℓ/λ)` tree sweeps whose message patterns are deterministic given the
+tree; re-simulating identical floods adds nothing but wall-clock time.
+``Network`` totals are the same either way (see
+``tests/test_congest_primitives.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.protocol import Protocol, ProtocolAPI
+from repro.errors import ProtocolError
+
+__all__ = [
+    "BfsTree",
+    "BfsFloodProtocol",
+    "ConvergecastProtocol",
+    "BroadcastProtocol",
+    "build_bfs_tree",
+    "charged_convergecast",
+    "charged_broadcast",
+]
+
+
+@dataclass
+class BfsTree:
+    """A rooted BFS tree produced by the flood protocol.
+
+    ``parent[root] == root``; ``depth`` is hop distance from the root;
+    ``height`` is the eccentricity of the root (max depth).
+    """
+
+    root: int
+    parent: list[int]
+    depth: list[int]
+    children: list[list[int]] = field(repr=False)
+    build_rounds: int = 0
+    build_messages: int = 0
+
+    @property
+    def height(self) -> int:
+        return max(self.depth)
+
+    @property
+    def n(self) -> int:
+        return len(self.parent)
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Tree path ``node -> ... -> root`` (inclusive both ends)."""
+        path = [node]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+            if len(path) > self.n:
+                raise ProtocolError("parent pointers contain a cycle")
+        return path
+
+    def nodes_by_depth_desc(self) -> list[int]:
+        """All nodes ordered deepest-first (convergecast schedule order)."""
+        return sorted(range(self.n), key=lambda v: -self.depth[v])
+
+
+class BfsFloodProtocol(Protocol):
+    """Distributed BFS-tree construction by flooding.
+
+    Round 1: the root sends ``explore`` to every neighbor.  A node adopts as
+    parent the lowest-ID sender among the explores it receives in the first
+    round any arrive, then floods its remaining neighbors.  Completes in
+    ``ecc(root)`` rounds — the ``O(D)`` the paper charges for Sweep 1 of
+    SAMPLE-DESTINATION.
+    """
+
+    name = "bfs-flood"
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self.parent: dict[int, int] = {root: root}
+        self.depth: dict[int, int] = {root: 0}
+
+    def on_start(self, api: ProtocolAPI) -> None:
+        for u in sorted(set(int(x) for x in api.graph.neighbors(self.root)) - {self.root}):
+            api.send(self.root, u, ("explore", 0))
+
+    def on_receive(self, api: ProtocolAPI, node: int, messages: Sequence[Message]) -> None:
+        if node in self.parent:
+            return
+        explores = [m for m in messages if m.payload[0] == "explore"]
+        if not explores:
+            return
+        best = min(explores, key=lambda m: (m.payload[1], m.src))
+        self.parent[node] = best.src
+        self.depth[node] = best.payload[1] + 1
+        for u in sorted(set(int(x) for x in api.graph.neighbors(node)) - {node, best.src}):
+            api.send(node, u, ("explore", self.depth[node]))
+
+    def tree(self, n: int) -> BfsTree:
+        if len(self.parent) != n:
+            raise ProtocolError(
+                f"BFS reached {len(self.parent)}/{n} nodes; graph must be connected"
+            )
+        parent = [self.parent[v] for v in range(n)]
+        depth = [self.depth[v] for v in range(n)]
+        children: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            if v != self.root:
+                children[parent[v]].append(v)
+        return BfsTree(root=self.root, parent=parent, depth=depth, children=children)
+
+
+def build_bfs_tree(network: Network, root: int, *, cache: dict[int, BfsTree] | None = None) -> BfsTree:
+    """Build (or recall) the BFS tree rooted at ``root``, charging rounds.
+
+    With a ``cache`` dict, the first call per root runs the flood protocol
+    on the engine and records its exact cost; later calls charge the same
+    recorded cost without re-simulating (the flood is deterministic, so the
+    re-run would be identical message-for-message).
+    """
+    if cache is not None and root in cache:
+        tree = cache[root]
+        network.ledger.charge(tree.build_rounds, messages=tree.build_messages, congestion=1)
+        return tree
+    proto = BfsFloodProtocol(root)
+    messages_before = network.messages_sent
+    rounds = network.run(proto)
+    tree = proto.tree(network.graph.n)
+    tree.build_rounds = rounds
+    tree.build_messages = network.messages_sent - messages_before
+    if cache is not None:
+        cache[root] = tree
+    return tree
+
+
+class ConvergecastProtocol(Protocol):
+    """Generic bottom-up aggregation over a BFS tree.
+
+    Every node owns a value; interior nodes combine their own value with all
+    children's results (via ``combine``) before reporting to their parent.
+    Terminates in ``height`` rounds with ``n − 1`` messages.  ``combine``
+    must be associative-ish in the usual convergecast sense: it receives the
+    node's running value and one child value and returns the new value.
+    """
+
+    name = "convergecast"
+
+    def __init__(
+        self,
+        tree: BfsTree,
+        values: list[Any],
+        combine: Callable[[Any, Any], Any],
+        *,
+        words: int = 1,
+    ) -> None:
+        self.tree = tree
+        self.acc = list(values)
+        self.combine = combine
+        self.words = words
+        self.pending = [len(tree.children[v]) for v in range(tree.n)]
+        self.result: Any = None
+
+    def _report(self, api: ProtocolAPI, node: int) -> None:
+        if node == self.tree.root:
+            self.result = self.acc[node]
+        else:
+            api.send(node, self.tree.parent[node], ("agg", self.acc[node]), words=self.words)
+
+    def on_start(self, api: ProtocolAPI) -> None:
+        ready = [v for v in range(self.tree.n) if self.pending[v] == 0]
+        for v in ready:
+            self._report(api, v)
+        if self.tree.n == 1:
+            self.result = self.acc[self.tree.root]
+
+    def on_receive(self, api: ProtocolAPI, node: int, messages: Sequence[Message]) -> None:
+        for msg in messages:
+            self.acc[node] = self.combine(self.acc[node], msg.payload[1])
+            self.pending[node] -= 1
+        if self.pending[node] == 0:
+            self._report(api, node)
+
+    def is_done(self, api: ProtocolAPI) -> bool:
+        return self.pending[self.tree.root] == 0
+
+
+class BroadcastProtocol(Protocol):
+    """Top-down dissemination of one payload over a BFS tree.
+
+    ``height`` rounds, ``n − 1`` messages (each tree edge carries the
+    payload once).
+    """
+
+    name = "broadcast"
+
+    def __init__(self, tree: BfsTree, payload: Any, *, words: int = 1) -> None:
+        self.tree = tree
+        self.payload = payload
+        self.words = words
+        self.received: set[int] = set()
+
+    def on_start(self, api: ProtocolAPI) -> None:
+        self.received.add(self.tree.root)
+        for child in self.tree.children[self.tree.root]:
+            api.send(self.tree.root, child, self.payload, words=self.words)
+
+    def on_receive(self, api: ProtocolAPI, node: int, messages: Sequence[Message]) -> None:
+        self.received.add(node)
+        for child in self.tree.children[node]:
+            api.send(node, child, self.payload, words=self.words)
+
+
+def charged_convergecast(
+    network: Network,
+    tree: BfsTree,
+    values: list[Any],
+    combine: Callable[[Any, Any], Any],
+    *,
+    words: int = 1,
+    participants: set[int] | None = None,
+) -> Any:
+    """Fast-path convergecast: same result and cost as the protocol.
+
+    ``participants`` optionally marks the nodes that actually carry
+    information (e.g. holders of at least one walk token); nodes outside the
+    ancestor closure of the participants stay silent, reducing the message
+    charge — the sweep still takes ``height`` rounds because levels proceed
+    in lockstep (Algorithm 3's "for i = D down to 0").
+    """
+    if words > network.max_words:
+        raise ProtocolError(f"convergecast payload of {words} words exceeds cap")
+    acc = list(values)
+    for node in tree.nodes_by_depth_desc():
+        if node == tree.root:
+            continue
+        acc[tree.parent[node]] = combine(acc[tree.parent[node]], acc[node])
+
+    if participants is None:
+        n_messages = tree.n - 1
+    else:
+        closure: set[int] = set()
+        for node in participants:
+            for hop in tree.path_to_root(node):
+                if hop in closure:
+                    break
+                closure.add(hop)
+        closure.discard(tree.root)
+        n_messages = len(closure)
+    network.ledger.charge(tree.height, messages=n_messages, congestion=1)
+    return acc[tree.root]
+
+
+def charged_broadcast(network: Network, tree: BfsTree, *, words: int = 1) -> None:
+    """Fast-path broadcast cost: ``height`` rounds, ``n − 1`` messages."""
+    if words > network.max_words:
+        raise ProtocolError(f"broadcast payload of {words} words exceeds cap")
+    network.ledger.charge(tree.height, messages=tree.n - 1, congestion=1)

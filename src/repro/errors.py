@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, disconnectedness, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a CONGEST protocol violates the model or its own contract.
+
+    Examples: sending a message wider than the per-round bandwidth allows,
+    addressing a non-neighbor, or a protocol failing to terminate within the
+    engine's round budget.
+    """
+
+
+class WalkError(ReproError):
+    """Raised for invalid random-walk requests (non-positive length, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative estimator fails to converge within budget."""

@@ -1,0 +1,305 @@
+"""Core graph data structure.
+
+The whole library runs on :class:`Graph` — an undirected (optionally
+weighted, optionally multi-) graph stored in compressed-sparse-row form so
+that random-walk stepping, BFS, and congestion accounting are all O(1)/O(deg)
+array operations.
+
+Design notes
+------------
+* Nodes are integers ``0 .. n-1``.  The paper assumes distinct IDs from
+  ``{1..n}``; zero-based IDs are an isomorphic relabeling.
+* Each undirected edge ``{u, v}`` is stored twice, once per direction.  The
+  position of a directed edge in the CSR arrays is its **slot**, used as the
+  canonical directed-edge identifier by the CONGEST engine's congestion
+  ledger (`slot j` = directed edge ``csr_source[j] -> csr_target[j]``).
+* Parallel edges and self-loops are allowed (the lower-bound reduction of
+  Section 3.2 uses multigraph semantics; lazy walks use self-loops).  A
+  self-loop occupies a single slot and contributes 1 to the degree, and is
+  traversed like any other incident edge.
+* ``weight`` biases the *random walk* (an edge is taken with probability
+  proportional to its weight) but never the communication model: messages
+  cross an edge in one round regardless of weight, exactly as in the paper
+  where "weighted graphs are equivalent to unweighted multigraphs in our
+  model" and extra weight only means extra bandwidth (which we expose via
+  the engine's ``capacity`` knob instead).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected graph in CSR form with vectorized walk stepping.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Order inside a pair is irrelevant.
+    weights:
+        Optional per-edge positive weights (parallel to ``edges``); defaults
+        to 1.0 for every edge.  Weights bias walk transition probabilities.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        weights: Sequence[float] | None = None,
+        name: str = "graph",
+    ) -> None:
+        if n <= 0:
+            raise GraphError(f"graph must have at least one node, got n={n}")
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        for u, v in edge_list:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+        if weights is None:
+            weight_arr = np.ones(len(edge_list), dtype=np.float64)
+        else:
+            weight_arr = np.asarray(list(weights), dtype=np.float64)
+            if weight_arr.shape != (len(edge_list),):
+                raise GraphError("weights must parallel the edge list")
+            if np.any(weight_arr <= 0):
+                raise GraphError("edge weights must be strictly positive")
+
+        self.n = n
+        self.name = name
+        self.m = len(edge_list)
+        self._edges = edge_list
+        self._edge_weights = weight_arr
+
+        # Build CSR.  Each non-loop edge contributes a slot at both ends;
+        # each self-loop contributes one slot.
+        degree = np.zeros(n, dtype=np.int64)
+        for u, v in edge_list:
+            degree[u] += 1
+            if u != v:
+                degree[v] += 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degree, out=indptr[1:])
+        n_slots = int(indptr[-1])
+        targets = np.empty(n_slots, dtype=np.int64)
+        sources = np.empty(n_slots, dtype=np.int64)
+        slot_weight = np.empty(n_slots, dtype=np.float64)
+        slot_edge = np.empty(n_slots, dtype=np.int64)  # undirected edge index
+        fill = indptr[:-1].copy()
+        for eid, (u, v) in enumerate(edge_list):
+            w = weight_arr[eid]
+            j = fill[u]
+            sources[j], targets[j], slot_weight[j], slot_edge[j] = u, v, w, eid
+            fill[u] += 1
+            if u != v:
+                j = fill[v]
+                sources[j], targets[j], slot_weight[j], slot_edge[j] = v, u, w, eid
+                fill[v] += 1
+
+        self.indptr = indptr
+        self.csr_target = targets
+        self.csr_source = sources
+        self.csr_weight = slot_weight
+        self.csr_edge = slot_edge
+        self.n_slots = n_slots
+        self._degree = degree
+        self._weighted_degree = np.zeros(n, dtype=np.float64)
+        np.add.at(self._weighted_degree, sources, slot_weight)
+        self._uniform_weights = bool(np.allclose(weight_arr, weight_arr[0])) if self.m else True
+        # Per-node cumulative weights for weighted sampling, lazily built.
+        self._cumweights: np.ndarray | None = None
+        self._reverse_slot: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def degree(self, v: int) -> int:
+        """Number of incident edge endpoints at ``v`` (self-loop counts once)."""
+        return int(self._degree[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an int64 array (do not mutate)."""
+        return self._degree
+
+    def weighted_degree(self, v: int) -> float:
+        """Sum of incident edge weights at ``v``."""
+        return float(self._weighted_degree[v])
+
+    @property
+    def weighted_degrees(self) -> np.ndarray:
+        return self._weighted_degree
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Targets of all slots leaving ``v`` (with multiplicity)."""
+        return self.csr_target[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_set(self, v: int) -> set[int]:
+        """Distinct neighbors of ``v`` as a set of ints."""
+        return {int(u) for u in self.neighbors(v)}
+
+    def slots_of(self, v: int) -> range:
+        """Directed-edge slot indices leaving ``v``."""
+        return range(int(self.indptr[v]), int(self.indptr[v + 1]))
+
+    def edges(self) -> list[tuple[int, int]]:
+        """The undirected edge list as given at construction."""
+        return list(self._edges)
+
+    def edge_weights(self) -> np.ndarray:
+        return self._edge_weights.copy()
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when edge weights are not all identical."""
+        return not self._uniform_weights
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.neighbor_set(u)
+
+    def total_weight(self) -> float:
+        return float(self._edge_weights.sum())
+
+    def reverse_slot(self, slot: int) -> int:
+        """Slot of the same undirected edge in the opposite direction.
+
+        For a self-loop the slot is its own reverse.
+        """
+        if self._reverse_slot is None:
+            rev = np.empty(self.n_slots, dtype=np.int64)
+            by_edge: dict[int, list[int]] = {}
+            for j in range(self.n_slots):
+                by_edge.setdefault(int(self.csr_edge[j]), []).append(j)
+            for slots in by_edge.values():
+                if len(slots) == 1:  # self-loop
+                    rev[slots[0]] = slots[0]
+                else:
+                    a, b = slots
+                    rev[a], rev[b] = b, a
+            self._reverse_slot = rev
+        return int(self._reverse_slot[slot])
+
+    # ------------------------------------------------------------------
+    # Random-walk stepping
+    # ------------------------------------------------------------------
+    def _cumulative_weights(self) -> np.ndarray:
+        if self._cumweights is None:
+            self._cumweights = np.cumsum(self.csr_weight)
+        return self._cumweights
+
+    def random_slot(self, v: int, rng: np.random.Generator) -> int:
+        """Sample an outgoing slot at ``v`` with probability ∝ its weight."""
+        lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+        if lo == hi:
+            raise GraphError(f"node {v} is isolated; random walk undefined")
+        if self._uniform_weights:
+            return int(rng.integers(lo, hi))
+        weights = self.csr_weight[lo:hi]
+        total = weights.sum()
+        return lo + int(np.searchsorted(np.cumsum(weights), rng.random() * total, side="right"))
+
+    def random_neighbor(self, v: int, rng: np.random.Generator) -> int:
+        """One step of the (weighted) simple random walk from ``v``."""
+        return int(self.csr_target[self.random_slot(v, rng)])
+
+    def step_walk_slots(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized single step: sample one outgoing slot per position.
+
+        Returns an array of slot indices parallel to ``positions``.  The
+        corresponding next positions are ``self.csr_target[slots]``.  For
+        unweighted graphs this is a single vectorized draw; weighted graphs
+        fall back to an inverse-CDF draw per position (still vectorized via
+        searchsorted over per-node cumulative weights).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        lo = self.indptr[positions]
+        deg = self.indptr[positions + 1] - lo
+        if np.any(deg == 0):
+            bad = positions[deg == 0][0]
+            raise GraphError(f"node {int(bad)} is isolated; random walk undefined")
+        if self._uniform_weights:
+            offsets = rng.integers(0, deg)
+            return lo + offsets
+        cum = self._cumulative_weights()
+        # cum[lo - 1] wraps to cum[-1] when lo == 0; np.where masks it out.
+        base = np.where(lo > 0, cum[lo - 1], 0.0)
+        node_total = self._weighted_degree[positions]
+        u = rng.random(len(positions)) * node_total + base
+        slots = np.searchsorted(cum, u, side="right")
+        # Numerical safety: clamp into the node's own slot range.
+        hi = lo + deg - 1
+        return np.clip(slots, lo, hi)
+
+    def step_walks(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized single walk step; returns the next positions."""
+        return self.csr_target[self.step_walk_slots(positions, rng)]
+
+    def walk(self, start: int, length: int, rng: np.random.Generator) -> list[int]:
+        """Perform a ``length``-step walk from ``start``; returns all ℓ+1 positions.
+
+        This is the *centralized* reference walk used by analysis code and
+        tests; the distributed algorithms live in :mod:`repro.walks`.
+        """
+        if length < 0:
+            raise GraphError(f"walk length must be non-negative, got {length}")
+        path = [int(start)]
+        current = int(start)
+        for _ in range(length):
+            current = self.random_neighbor(current, rng)
+            path.append(current)
+        return path
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def subgraph_is_spanning_tree(self, tree_edges: Iterable[tuple[int, int]]) -> bool:
+        """Check that ``tree_edges`` forms a spanning tree of this graph."""
+        edges = [(min(u, v), max(u, v)) for u, v in tree_edges]
+        if len(edges) != self.n - 1:
+            return False
+        available = {(min(u, v), max(u, v)) for u, v in self._edges}
+        if any(e not in available for e in edges):
+            return False
+        parent = list(range(self.n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in edges:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return False
+            parent[ru] = rv
+        return True
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __repr__(self) -> str:
+        kind = "weighted " if self.is_weighted else ""
+        return f"Graph({self.name!r}, n={self.n}, m={self.m}, {kind}CSR)"
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiGraph` (for cross-checks in tests)."""
+        import networkx as nx
+
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(self.n))
+        for (u, v), w in zip(self._edges, self._edge_weights):
+            g.add_edge(u, v, weight=float(w))
+        return g

@@ -1,0 +1,233 @@
+"""The lower-bound graph ``G_n`` of Section 3 (Definition 3.3).
+
+``G_n`` interleaves a long path ``P = v_1 v_2 ... v_{n'}`` under a complete
+binary tree ``T`` with ``k'`` leaves ``u_1 .. u_{k'}``; leaf ``u_i`` is wired
+to every path node ``v_{j·k' + i}``.  The tree gives the graph ``O(log n)``
+diameter while the path carries the ℓ-length walk, so verifying the walk
+forces Ω(√(ℓ/log ℓ)) rounds of tree traffic (Theorem 3.2).
+
+This module builds the graph plus all the bookkeeping the proofs refer to:
+which nodes are path/tree/leaves, the left/right subtree leaf sets ``L``/``R``,
+and the *breakpoints* (Definition in §3.1) used by the counting argument.
+
+The weighted variant ``G'_n`` (§3.2) puts weight ``(2n)^{2i}`` on path edge
+``(v_i, v_{i+1})`` so a random walk follows ``P`` w.h.p.  Those weights
+overflow any fixed-precision representation for interesting ``n``, but only
+*local weight ratios* matter to a walk, so :meth:`LowerBoundInstance.forward_probability`
+exposes the closed-form per-node transition law instead; the reduction in
+:mod:`repro.lowerbound.reduction` samples from it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["LowerBoundInstance", "build_lower_bound_graph", "round_bound"]
+
+
+def round_bound(length: int) -> float:
+    """The paper's lower-bound curve ``√(ℓ / log ℓ)`` for a walk of ``length``."""
+    if length < 2:
+        raise GraphError("lower bound curve needs length >= 2")
+    return math.sqrt(length / math.log(length))
+
+
+@dataclass
+class LowerBoundInstance:
+    """``G_n`` plus the structural annotations the Section-3 proofs use.
+
+    Attributes
+    ----------
+    graph:
+        The assembled :class:`Graph`; path nodes come first
+        (``0 .. n_prime-1`` is ``v_1 .. v_{n'}``), then the ``2k'-1`` tree
+        nodes in heap order (``tree_offset`` is the root ``x``).
+    k:
+        The round-count parameter the construction is sized for
+        (``k = √(ℓ/log ℓ)`` in Theorem 3.2).
+    k_prime:
+        Power of two with ``k'/2 ≤ 4k < k'``; number of tree leaves.
+    n_prime:
+        Path length (multiple of ``k'``, at least the requested ``n``).
+    """
+
+    graph: Graph
+    k: int
+    k_prime: int
+    n_prime: int
+    tree_offset: int
+    leaves: list[int] = field(repr=False)
+
+    # ------------------------------------------------------------------
+    # Node-role helpers (all in graph-node IDs)
+    # ------------------------------------------------------------------
+    def path_node(self, i: int) -> int:
+        """Graph ID of path vertex ``v_i`` (1-indexed as in the paper)."""
+        if not 1 <= i <= self.n_prime:
+            raise GraphError(f"path index {i} out of range [1, {self.n_prime}]")
+        return i - 1
+
+    def path_index(self, node: int) -> int:
+        """Inverse of :meth:`path_node`; raises for tree nodes."""
+        if not 0 <= node < self.n_prime:
+            raise GraphError(f"node {node} is not a path node")
+        return node + 1
+
+    @property
+    def root(self) -> int:
+        """The tree root ``x``."""
+        return self.tree_offset
+
+    @property
+    def left_child(self) -> int:
+        """``l``, root of the left subtree."""
+        return self.tree_offset + 1
+
+    @property
+    def right_child(self) -> int:
+        """``r``, root of the right subtree."""
+        return self.tree_offset + 2
+
+    def is_path_node(self, node: int) -> bool:
+        return 0 <= node < self.n_prime
+
+    def is_tree_node(self, node: int) -> bool:
+        return self.tree_offset <= node < self.graph.n
+
+    def leaf_of_path_node(self, node: int) -> int:
+        """The unique tree leaf adjacent to a path node."""
+        i = self.path_index(node)
+        leaf_index = (i - 1) % self.k_prime  # u_{leaf_index+1}
+        return self.leaves[leaf_index]
+
+    # ------------------------------------------------------------------
+    # Left/right leaf sets and breakpoints (§3.1)
+    # ------------------------------------------------------------------
+    def left_path_nodes(self) -> list[int]:
+        """``L``: path nodes attached to leaves of the *left* subtree.
+
+        Leaves ``u_1 .. u_{k'/2}`` hang under ``l``, so these are the path
+        vertices ``v_{jk'+i}`` with ``1 ≤ i ≤ k'/2``.
+        """
+        half = self.k_prime // 2
+        return [v for v in range(self.n_prime) if (v % self.k_prime) < half]
+
+    def right_path_nodes(self) -> list[int]:
+        """``R``: path nodes attached to leaves of the *right* subtree."""
+        half = self.k_prime // 2
+        return [v for v in range(self.n_prime) if (v % self.k_prime) >= half]
+
+    def left_breakpoints(self) -> list[int]:
+        """Breakpoints for ``sub(l)``: path vertices ``v_{jk' + k'/2 + k + 1}``.
+
+        These are unreachable from ``L`` within ``k`` path hops, which is
+        what forces left/right tree communication in the proof.
+        """
+        return self._breakpoints(offset=self.k_prime // 2 + self.k + 1)
+
+    def right_breakpoints(self) -> list[int]:
+        """Breakpoints for ``sub(r)``: path vertices ``v_{jk' + k + 1}``."""
+        return self._breakpoints(offset=self.k + 1)
+
+    def _breakpoints(self, offset: int) -> list[int]:
+        out = []
+        j = 0
+        while True:
+            i = j * self.k_prime + offset  # 1-indexed path position
+            if i > self.n_prime:
+                return out
+            out.append(self.path_node(i))
+            j += 1
+
+    # ------------------------------------------------------------------
+    # Weighted variant G'_n (§3.2)
+    # ------------------------------------------------------------------
+    def forward_probability(self, i: int) -> float:
+        """P[walk at ``v_i`` steps to ``v_{i+1}``] under the ``(2n)^{2i}`` weights.
+
+        At ``v_i`` the incident weights are ``(2n)^{2i}`` (forward path edge),
+        ``(2n)^{2(i-1)}`` (backward path edge, absent at ``i = 1``) and ``1``
+        (the tree edge).  Normalizing by the forward weight:
+
+        ``p = 1 / (1 + W^{-2}·[i>1] + W^{-2i})`` with ``W = 2n``,
+
+        which is computable in floating point for any ``i`` even though the
+        raw weights are astronomically large.  This is ≥ 1 − 1/(2n)² − ...,
+        matching the paper's "at least 1 − 1/n²" bound.
+        """
+        if not 1 <= i < self.n_prime:
+            raise GraphError(f"forward edge exists only for 1 <= i < n'={self.n_prime}")
+        w = 2.0 * self.n_prime
+        backward = w**-2.0 if i > 1 else 0.0
+        tree = w ** (-2.0 * i)
+        return 1.0 / (1.0 + backward + tree)
+
+
+def _choose_k_prime(k: int) -> int:
+    """Smallest power of two ``k'`` with ``4k < k'`` (then ``k'/2 ≤ 4k``)."""
+    k_prime = 1
+    while k_prime <= 4 * k:
+        k_prime *= 2
+    return k_prime
+
+
+def build_lower_bound_graph(n: int, k: int | None = None) -> LowerBoundInstance:
+    """Construct ``G_n`` per Definition 3.3.
+
+    Parameters
+    ----------
+    n:
+        Requested path length; the actual path has ``n' ≥ n`` vertices
+        (rounded up to a multiple of ``k'``).
+    k:
+        The round parameter to size the construction for.  Defaults to the
+        theorem's ``⌈√(n / log n)⌉``.
+    """
+    if n < 4:
+        raise GraphError("lower-bound construction needs n >= 4")
+    if k is None:
+        k = max(1, math.ceil(math.sqrt(n / math.log(n))))
+    if k < 1:
+        raise GraphError(f"k must be >= 1, got {k}")
+    k_prime = _choose_k_prime(k)
+    n_prime = ((n + k_prime - 1) // k_prime) * k_prime
+
+    # Path nodes 0 .. n'-1 represent v_1 .. v_{n'}.
+    edges: list[tuple[int, int]] = [(i, i + 1) for i in range(n_prime - 1)]
+
+    # Complete binary tree with k' leaves, heap-ordered: 2k'-1 nodes, node t
+    # (0-based within the tree) has children 2t+1, 2t+2; leaves are the last
+    # k' heap slots, left to right.
+    tree_offset = n_prime
+    tree_size = 2 * k_prime - 1
+    for t in range(tree_size):
+        for child in (2 * t + 1, 2 * t + 2):
+            if child < tree_size:
+                edges.append((tree_offset + t, tree_offset + child))
+    leaves = [tree_offset + t for t in range(k_prime - 1, tree_size)]
+
+    # Leaf u_i (1-indexed) attaches to v_{j k' + i} for every j >= 0.
+    for idx, leaf in enumerate(leaves):
+        i = idx + 1
+        j = 0
+        while j * k_prime + i <= n_prime:
+            edges.append((leaf, j * k_prime + i - 1))
+            j += 1
+
+    graph = Graph(
+        n_prime + tree_size,
+        edges,
+        name=f"lower_bound(n'={n_prime},k={k},k'={k_prime})",
+    )
+    return LowerBoundInstance(
+        graph=graph,
+        k=k,
+        k_prime=k_prime,
+        n_prime=n_prime,
+        tree_offset=tree_offset,
+        leaves=leaves,
+    )

@@ -1,0 +1,159 @@
+"""Centralized (analysis-side) graph properties: BFS, diameter, connectivity.
+
+These functions are *not* charged rounds — they are the offline analysis
+used by tests and benches (and by algorithm setup where the paper assumes a
+quantity such as the diameter is known).  The distributed, round-counted BFS
+used inside protocols lives in :mod:`repro.congest.primitives`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "eccentricity",
+    "diameter",
+    "pseudo_diameter",
+    "is_connected",
+    "is_bipartite",
+    "connected_components",
+    "shortest_path",
+]
+
+UNREACHED = -1
+
+
+def bfs_distances(graph: Graph, root: int) -> np.ndarray:
+    """Hop distance from ``root`` to every node (−1 where unreachable)."""
+    dist = np.full(graph.n, UNREACHED, dtype=np.int64)
+    dist[root] = 0
+    frontier = [root]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier: list[int] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                u = int(u)
+                if dist[u] == UNREACHED:
+                    dist[u] = level
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return dist
+
+
+def bfs_tree(graph: Graph, root: int) -> tuple[np.ndarray, np.ndarray]:
+    """BFS parents and distances from ``root``.
+
+    Returns ``(parent, dist)`` where ``parent[root] = root`` and
+    ``parent[v] = -1`` for unreachable ``v``.  Parent choice is the
+    lowest-ID neighbor at the previous level, making trees deterministic.
+    """
+    parent = np.full(graph.n, UNREACHED, dtype=np.int64)
+    dist = np.full(graph.n, UNREACHED, dtype=np.int64)
+    parent[root] = root
+    dist[root] = 0
+    queue: deque[int] = deque([root])
+    while queue:
+        v = queue.popleft()
+        for u in sorted(int(x) for x in graph.neighbors(v)):
+            if dist[u] == UNREACHED:
+                dist[u] = dist[v] + 1
+                parent[u] = v
+                queue.append(u)
+    return parent, dist
+
+
+def eccentricity(graph: Graph, v: int) -> int:
+    """Largest hop distance from ``v``; raises on disconnected graphs."""
+    dist = bfs_distances(graph, v)
+    if np.any(dist == UNREACHED):
+        raise GraphError("eccentricity undefined: graph is disconnected")
+    return int(dist.max())
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter via all-pairs BFS (fine for experiment-scale graphs)."""
+    best = 0
+    for v in range(graph.n):
+        best = max(best, eccentricity(graph, v))
+    return best
+
+
+def pseudo_diameter(graph: Graph) -> int:
+    """Double-sweep lower bound on the diameter (exact on trees).
+
+    Two BFS passes: from node 0 to its farthest node ``a``, then from ``a``.
+    Used where an exact diameter would cost ``O(n·m)`` needlessly — the
+    algorithms only need a Θ(D) estimate to pick ``λ``.
+    """
+    dist0 = bfs_distances(graph, 0)
+    if np.any(dist0 == UNREACHED):
+        raise GraphError("pseudo_diameter undefined: graph is disconnected")
+    a = int(np.argmax(dist0))
+    dist_a = bfs_distances(graph, a)
+    return int(dist_a.max())
+
+
+def is_connected(graph: Graph) -> bool:
+    return not np.any(bfs_distances(graph, 0) == UNREACHED)
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """List of components, each a sorted list of node IDs."""
+    seen = np.zeros(graph.n, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(graph.n):
+        if seen[start]:
+            continue
+        dist = bfs_distances(graph, start)
+        members = sorted(int(v) for v in np.nonzero(dist != UNREACHED)[0] if not seen[v])
+        seen[dist != UNREACHED] = True
+        components.append(members)
+    return components
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Two-colorability check.
+
+    Mixing time is well defined only on non-bipartite graphs (Section 4.2
+    assumes this); the mixing-time estimator validates its input with this.
+    A self-loop makes a graph non-bipartite.
+    """
+    color = np.full(graph.n, UNREACHED, dtype=np.int64)
+    for start in range(graph.n):
+        if color[start] != UNREACHED:
+            continue
+        color[start] = 0
+        queue: deque[int] = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                u = int(u)
+                if u == v:
+                    return False  # self-loop: odd cycle of length 1
+                if color[u] == UNREACHED:
+                    color[u] = color[v] ^ 1
+                    queue.append(u)
+                elif color[u] == color[v]:
+                    return False
+    return True
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> list[int]:
+    """One shortest path (node list, inclusive) from ``source`` to ``target``."""
+    parent, dist = bfs_tree(graph, source)
+    if dist[target] == UNREACHED:
+        raise GraphError(f"no path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path

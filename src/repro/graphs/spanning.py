@@ -1,0 +1,155 @@
+"""Spanning-tree counting and enumeration (used to verify RST uniformity).
+
+Theorem 4.1 claims the distributed Aldous–Broder algorithm outputs a
+*uniform* random spanning tree.  To test that statistically we need ground
+truth:
+
+* :func:`spanning_tree_count` — Kirchhoff's matrix–tree theorem, computed
+  exactly over the integers with the fraction-free Bareiss algorithm (no
+  floating-point determinant drift for the small graphs we test on), with a
+  float fallback for large graphs.
+* :func:`enumerate_spanning_trees` — explicit enumeration for small graphs,
+  so chi-square tests can compare observed tree frequencies against the
+  uniform law over the *actual* tree set.
+* :func:`canonical_tree` — a hashable canonical form for a tree's edge set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "canonical_tree",
+    "enumerate_spanning_trees",
+    "spanning_tree_count",
+    "spanning_tree_count_float",
+]
+
+TreeKey = tuple[tuple[int, int], ...]
+
+
+def canonical_tree(edges: Iterable[tuple[int, int]]) -> TreeKey:
+    """Canonical hashable form of an edge set: sorted tuple of sorted pairs."""
+    return tuple(sorted((min(u, v), max(u, v)) for u, v in edges))
+
+
+def _bareiss_determinant(matrix: list[list[int]]) -> int:
+    """Exact integer determinant via the fraction-free Bareiss algorithm."""
+    m = [row[:] for row in matrix]
+    n = len(m)
+    if n == 0:
+        return 1
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            pivot_row = next((r for r in range(k + 1, n) if m[r][k] != 0), None)
+            if pivot_row is None:
+                return 0
+            m[k], m[pivot_row] = m[pivot_row], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+            m[i][k] = 0
+        prev = m[k][k]
+    return sign * m[n - 1][n - 1]
+
+
+def _reduced_laplacian(graph: Graph) -> list[list[int]]:
+    """Integer Laplacian with row/column 0 deleted (multigraph-aware)."""
+    n = graph.n
+    lap = [[0] * n for _ in range(n)]
+    for u, v in graph.edges():
+        if u == v:
+            continue  # self-loops do not affect spanning trees
+        lap[u][u] += 1
+        lap[v][v] += 1
+        lap[u][v] -= 1
+        lap[v][u] -= 1
+    return [row[1:] for row in lap[1:]]
+
+
+def spanning_tree_count(graph: Graph) -> int:
+    """Exact number of spanning trees (matrix–tree theorem, integer math).
+
+    Parallel edges are counted as distinct (multigraph semantics, matching
+    the walk's view of the graph); self-loops are ignored.
+    """
+    if graph.n == 1:
+        return 1
+    return _bareiss_determinant(_reduced_laplacian(graph))
+
+
+def spanning_tree_count_float(graph: Graph) -> float:
+    """Floating-point matrix–tree count for graphs too large for exact math."""
+    if graph.n == 1:
+        return 1.0
+    reduced = np.array(_reduced_laplacian(graph), dtype=np.float64)
+    sign, logdet = np.linalg.slogdet(reduced)
+    if sign <= 0:
+        return 0.0
+    return float(np.exp(logdet))
+
+
+def enumerate_spanning_trees(graph: Graph, *, max_edges: int = 20) -> list[TreeKey]:
+    """All spanning trees of a small graph, as canonical edge tuples.
+
+    Enumerates ``C(m, n-1)`` candidate subsets, so it is gated on ``m`` to
+    avoid accidental combinatorial explosions in tests.  Parallel edges
+    between the same pair collapse to one canonical tree (the walk cannot
+    distinguish which parallel edge it used when edges are unlabeled), so
+    for multigraphs the result is the set of distinct tree *shapes*.
+    """
+    if graph.m > max_edges:
+        raise GraphError(
+            f"refusing to enumerate spanning trees of a graph with m={graph.m} > {max_edges}"
+        )
+    edges = [(min(u, v), max(u, v)) for u, v in graph.edges() if u != v]
+    trees: set[TreeKey] = set()
+    for subset in itertools.combinations(edges, graph.n - 1):
+        if graph.subgraph_is_spanning_tree(subset):
+            trees.add(canonical_tree(subset))
+    return sorted(trees)
+
+
+def tree_probabilities(graph: Graph) -> dict[TreeKey, float]:
+    """Exact uniform-RST law over canonical trees of a (simple) small graph.
+
+    For simple graphs every canonical tree has probability
+    ``1 / spanning_tree_count``.  For multigraphs a tree shape's probability
+    is proportional to the product of edge multiplicities, which we compute
+    by counting labeled trees per shape.
+    """
+    multiplicity: dict[tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        multiplicity[key] = multiplicity.get(key, 0) + 1
+    shapes = enumerate_spanning_trees(graph)
+    weights: dict[TreeKey, float] = {}
+    for shape in shapes:
+        w = 1
+        for e in shape:
+            w *= multiplicity[e]
+        weights[shape] = float(w)
+    total = sum(weights.values())
+    if total <= 0:
+        raise GraphError("graph has no spanning trees")
+    return {shape: w / total for shape, w in weights.items()}
+
+
+def degree_sequence_of_tree(edges: Sequence[tuple[int, int]], n: int) -> tuple[int, ...]:
+    """Degree sequence of a tree edge set — a coarse shape invariant for tests."""
+    deg = [0] * n
+    for u, v in edges:
+        deg[u] += 1
+        deg[v] += 1
+    return tuple(sorted(deg))

@@ -1,0 +1,25 @@
+"""Section 3: the PATH-VERIFICATION lower bound and its walk reduction."""
+
+from repro.lowerbound.path_verification import (
+    IntervalMergingVerifier,
+    PathVerificationInstance,
+    VerificationResult,
+    verify_path_centralized,
+)
+from repro.lowerbound.reduction import (
+    ReductionReport,
+    ReductionTrial,
+    simulate_reduction,
+    weighted_walk,
+)
+
+__all__ = [
+    "IntervalMergingVerifier",
+    "PathVerificationInstance",
+    "VerificationResult",
+    "verify_path_centralized",
+    "ReductionReport",
+    "ReductionTrial",
+    "simulate_reduction",
+    "weighted_walk",
+]

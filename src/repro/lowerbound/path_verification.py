@@ -1,0 +1,238 @@
+"""The PATH-VERIFICATION problem and its natural interval-merging algorithm.
+
+Definition 3.1: nodes ``v_1 … v_ℓ`` each know their order number; some node
+must end up verifying that consecutive pairs are graph edges — i.e. hold a
+verified segment ``[1, ℓ]``.
+
+The verification *class* of Section 3.1: nodes hold verified segments and
+can only grow them by combining with segments received from neighbors
+(tokens are ``O(log n)``-bit interval endpoints; selective forwarding only,
+no compression).  Figure 1 shows the two combination moves, which we
+implement exactly:
+
+* **junction witness** (Fig. 1b): the holder of position ``i+1`` receives a
+  segment ending at ``i`` *directly from the neighbor that holds position
+  i* — the physical receipt proves the edge ``(v_i, v_{i+1})`` exists, so
+  ``[a, i] ⊕ [i+1, b] → [a, b]`` is sound there.  Messages carry
+  "sender-holds-endpoint" bits to make this checkable.
+* **overlap merge** (Fig. 1c): two verified segments sharing at least one
+  position merge anywhere, junctions included by induction.
+
+:class:`IntervalMergingVerifier` is the natural greedy algorithm in this
+class: every round, every node sends each neighbor the most useful verified
+segment it has not yet sent there (one segment per edge per round — the
+CONGEST budget).  Theorem 3.2 says *no* algorithm in the class beats
+``Ω(√(ℓ/log ℓ))`` rounds on ``G_n``; the E6 bench measures this algorithm
+against that curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.graphs.lower_bound import LowerBoundInstance
+from repro.util.intervals import Interval, IntervalSet
+
+__all__ = [
+    "PathVerificationInstance",
+    "VerificationResult",
+    "IntervalMergingVerifier",
+    "verify_path_centralized",
+]
+
+
+@dataclass(frozen=True)
+class PathVerificationInstance:
+    """A claimed path: ``sequence[i]`` is the node holding position ``i+1``."""
+
+    graph: Graph
+    sequence: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+    @classmethod
+    def from_lower_bound(
+        cls, instance: LowerBoundInstance, length: int | None = None
+    ) -> "PathVerificationInstance":
+        """The canonical hard instance: the first ``length`` vertices of ``P``."""
+        n = instance.n_prime if length is None else length
+        if not 1 <= n <= instance.n_prime:
+            raise GraphError(f"length must be in [1, {instance.n_prime}]")
+        return cls(graph=instance.graph, sequence=tuple(range(n)))
+
+    def positions_of(self, node: int) -> list[int]:
+        """1-indexed positions held by ``node`` (usually zero or one)."""
+        return [i + 1 for i, holder in enumerate(self.sequence) if holder == node]
+
+
+def verify_path_centralized(graph: Graph, sequence: tuple[int, ...] | list[int]) -> bool:
+    """Ground truth: do consecutive sequence entries form graph edges?"""
+    return all(graph.has_edge(int(a), int(b)) for a, b in zip(sequence, sequence[1:]))
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a distributed verification run."""
+
+    verified: bool
+    rounds: int
+    verifier_node: int | None
+    messages: int
+    coverage_history: list[int] = field(repr=False, default_factory=list)
+
+
+class _NodeState:
+    """Per-node verifier state: verified segments + witnessed junctions.
+
+    A junction ``j`` is witnessed at this node when it can soundly glue
+    ``[·, j]`` to ``[j+1, ·]`` (it holds one side of the junction and heard
+    the abutting segment from the very neighbor holding the other side).
+    """
+
+    __slots__ = ("positions", "verified", "junctions", "sent")
+
+    def __init__(self, positions: list[int]) -> None:
+        self.positions = set(positions)
+        self.verified = IntervalSet((p, p) for p in positions)
+        self.junctions: set[int] = set()
+        # Intervals already sent per neighbor, to avoid re-sending.
+        self.sent: dict[int, set[Interval]] = {}
+
+    def absorb(self, interval: Interval) -> bool:
+        """Add a verified interval, then re-close under witnessed junctions."""
+        changed = self.verified.add(interval)
+        if not changed:
+            return False
+        self._close_junctions()
+        return True
+
+    def _close_junctions(self) -> None:
+        # Glue touching segments whose junction this node has witnessed.
+        merged = True
+        while merged:
+            merged = False
+            items = self.verified.as_list()
+            for (alo, ahi), (blo, bhi) in zip(items, items[1:]):
+                if ahi + 1 == blo and ahi in self.junctions:
+                    self.verified.add((alo, bhi))
+                    merged = True
+                    break
+
+    def witness(self, junction: int) -> None:
+        self.junctions.add(junction)
+        self._close_junctions()
+
+    def best_unsent(self, neighbor: int) -> Interval | None:
+        sent = self.sent.setdefault(neighbor, set())
+        best: Interval | None = None
+        best_len = 0
+        for iv in self.verified:
+            if iv in sent:
+                continue
+            width = iv[1] - iv[0] + 1
+            if width > best_len:
+                best, best_len = iv, width
+        return best
+
+
+class IntervalMergingVerifier:
+    """Greedy interval-merging verification on a claimed path.
+
+    Each round, each node sends to each neighbor its widest not-yet-sent
+    verified segment (2 endpoint words + 2 holder bits = one
+    ``O(log n)``-bit message per edge per round).  Runs until some node
+    verifies ``[1, ℓ]`` or ``max_rounds`` elapse.
+
+    The simulation is synchronous-lockstep rather than engine-driven purely
+    for speed — semantics are identical to a
+    :class:`~repro.congest.protocol.Protocol` with per-edge capacity 1
+    since the algorithm never wants to send two messages on one edge in a
+    round (tests cross-check rounds against an engine run on small
+    instances).
+    """
+
+    def __init__(self, instance: PathVerificationInstance) -> None:
+        self.instance = instance
+        if not verify_path_centralized(instance.graph, instance.sequence):
+            raise GraphError("instance sequence is not a path; the verifier would never finish")
+        graph = instance.graph
+        holder_of: dict[int, int] = {}
+        positions: list[list[int]] = [[] for _ in range(graph.n)]
+        for idx, node in enumerate(instance.sequence):
+            positions[node].append(idx + 1)
+            holder_of[idx + 1] = node
+        self._holder_of = holder_of
+        self.states = [_NodeState(positions[v]) for v in range(graph.n)]
+        self._neighbors = [sorted(graph.neighbor_set(v) - {v}) for v in range(graph.n)]
+
+    def run(self, *, max_rounds: int = 1_000_000) -> VerificationResult:
+        target: Interval = (1, self.instance.length)
+        states = self.states
+        messages = 0
+        coverage_history: list[int] = []
+
+        winner = self._find_verifier(target)
+        rounds = 0
+        while winner is None:
+            if rounds >= max_rounds:
+                raise ProtocolError(f"verification exceeded {max_rounds} rounds")
+            rounds += 1
+            # Collect this round's sends (lockstep: all based on pre-round state).
+            deliveries: list[tuple[int, int, Interval, bool, bool]] = []
+            for v, state in enumerate(states):
+                for u in self._neighbors[v]:
+                    interval = state.best_unsent(u)
+                    if interval is None:
+                        continue
+                    state.sent[u].add(interval)
+                    holds_lo = interval[0] in state.positions
+                    holds_hi = interval[1] in state.positions
+                    deliveries.append((v, u, interval, holds_lo, holds_hi))
+            if not deliveries:
+                # Nothing left to say anywhere: verification is stuck.
+                return VerificationResult(
+                    verified=False,
+                    rounds=rounds,
+                    verifier_node=None,
+                    messages=messages,
+                    coverage_history=coverage_history,
+                )
+            messages += len(deliveries)
+            for sender, receiver, interval, holds_lo, holds_hi in deliveries:
+                state = states[receiver]
+                lo, hi = interval
+                # Junction witnessing (Fig. 1b): receipt directly from the
+                # boundary holder proves the corresponding path edge.
+                if holds_hi and (hi + 1) in state.positions:
+                    state.witness(hi)
+                if holds_lo and (lo - 1) in state.positions:
+                    state.witness(lo - 1)
+                state.absorb(interval)
+            coverage_history.append(self._max_coverage())
+            winner = self._find_verifier(target)
+
+        return VerificationResult(
+            verified=True,
+            rounds=rounds,
+            verifier_node=winner,
+            messages=messages,
+            coverage_history=coverage_history,
+        )
+
+    def _find_verifier(self, target: Interval) -> int | None:
+        for v, state in enumerate(self.states):
+            if state.verified.covers(target):
+                return v
+        return None
+
+    def _max_coverage(self) -> int:
+        best = 0
+        for state in self.states:
+            largest = state.verified.largest()
+            if largest is not None:
+                best = max(best, largest[1] - largest[0] + 1)
+        return best

@@ -1,0 +1,37 @@
+"""Markov-chain ground truth: exact distributions, mixing times, spectra."""
+
+from repro.markov.chain import (
+    MIXING_EPSILON,
+    WalkSpectrum,
+    distribution_at,
+    exact_mixing_time,
+    stationary_distribution,
+    transition_matrix,
+    tv_from_stationary,
+)
+from repro.markov.spectral import (
+    SpectralEstimate,
+    cheeger_bounds,
+    conductance_bounds_from_mixing,
+    conductance_exact,
+    gap_bounds_from_mixing,
+    relaxation_time,
+    spectral_gap,
+)
+
+__all__ = [
+    "MIXING_EPSILON",
+    "WalkSpectrum",
+    "distribution_at",
+    "exact_mixing_time",
+    "stationary_distribution",
+    "transition_matrix",
+    "tv_from_stationary",
+    "SpectralEstimate",
+    "cheeger_bounds",
+    "conductance_bounds_from_mixing",
+    "conductance_exact",
+    "gap_bounds_from_mixing",
+    "relaxation_time",
+    "spectral_gap",
+]

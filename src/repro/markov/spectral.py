@@ -1,0 +1,122 @@
+"""Spectral gap, conductance, and the inequalities tying them to mixing.
+
+Section 4.2 closes with: given ``τ_mix``, the spectral gap ``1 − λ₂`` and
+conductance ``Φ`` are approximated through
+
+* ``1/(1−λ₂) ≤ τ_mix ≤ log n / (1−λ₂)``  (relaxation-time sandwich), and
+* ``Θ(1−λ₂) ≤ Φ ≤ Θ(√(1−λ₂))``           (Cheeger / Jerrum–Sinclair [18]).
+
+This module computes the exact quantities (for ground truth) and the
+interval estimates derived from a mixing-time value (what the decentralized
+estimator reports).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.markov.chain import WalkSpectrum
+
+__all__ = [
+    "spectral_gap",
+    "relaxation_time",
+    "conductance_exact",
+    "cheeger_bounds",
+    "SpectralEstimate",
+    "gap_bounds_from_mixing",
+    "conductance_bounds_from_mixing",
+]
+
+
+def spectral_gap(graph: Graph, *, spectrum: WalkSpectrum | None = None) -> float:
+    """``1 − λ₂`` where ``λ₂`` is the second-largest walk eigenvalue."""
+    spec = spectrum if spectrum is not None else WalkSpectrum(graph)
+    eigvals = np.sort(spec.eigvals)
+    if len(eigvals) < 2:
+        raise GraphError("spectral gap needs at least two nodes")
+    return float(1.0 - eigvals[-2])
+
+
+def relaxation_time(graph: Graph, *, spectrum: WalkSpectrum | None = None) -> float:
+    """``1 / (1 − λ₂)`` — the lower member of the mixing sandwich."""
+    gap = spectral_gap(graph, spectrum=spectrum)
+    if gap <= 0:
+        raise GraphError("non-positive spectral gap (disconnected or degenerate graph)")
+    return 1.0 / gap
+
+
+def conductance_exact(graph: Graph, *, max_nodes: int = 18) -> float:
+    """Exact conductance ``Φ = min_S w(∂S) / min(w(S), w(V∖S))`` by subset scan.
+
+    Exponential in ``n`` — gated to small graphs; larger graphs should use
+    :func:`cheeger_bounds` for certified intervals instead.
+    Volumes are weighted degrees, cuts are summed edge weights, matching
+    the walk's notion of conductance.
+    """
+    if graph.n > max_nodes:
+        raise GraphError(f"exact conductance is exponential; n={graph.n} > {max_nodes}")
+    w = graph.weighted_degrees
+    total = float(w.sum())
+    nodes = list(range(graph.n))
+    best = math.inf
+    for size in range(1, graph.n // 2 + 1):
+        for subset in itertools.combinations(nodes, size):
+            in_s = np.zeros(graph.n, dtype=bool)
+            in_s[list(subset)] = True
+            vol_s = float(w[in_s].sum())
+            vol_rest = total - vol_s
+            if vol_s == 0 or vol_rest == 0:
+                continue
+            cut = sum(
+                wt for (u, v), wt in zip(graph.edges(), graph.edge_weights()) if in_s[u] != in_s[v]
+            )
+            best = min(best, cut / min(vol_s, vol_rest))
+    if not math.isfinite(best):
+        raise GraphError("conductance undefined (graph has no balanced cuts)")
+    return float(best)
+
+
+def cheeger_bounds(graph: Graph, *, spectrum: WalkSpectrum | None = None) -> tuple[float, float]:
+    """Cheeger sandwich on conductance: ``gap/2 ≤ Φ ≤ √(2·gap)``."""
+    gap = spectral_gap(graph, spectrum=spectrum)
+    return gap / 2.0, math.sqrt(2.0 * max(gap, 0.0))
+
+
+@dataclass(frozen=True)
+class SpectralEstimate:
+    """An interval estimate ``[lower, upper]`` for a spectral quantity."""
+
+    lower: float
+    upper: float
+
+    def contains(self, value: float, *, slack: float = 1.0) -> bool:
+        """Membership with a multiplicative slack (Θ(·) bounds hide constants)."""
+        return self.lower / slack <= value <= self.upper * slack
+
+    def __str__(self) -> str:
+        return f"[{self.lower:.4g}, {self.upper:.4g}]"
+
+
+def gap_bounds_from_mixing(mixing_time: float, n: int) -> SpectralEstimate:
+    """Invert ``1/(1−λ₂) ≤ τ_mix ≤ log n/(1−λ₂)`` into gap bounds.
+
+    From ``τ ≥ 1/gap`` we get ``gap ≥ 1/τ``; from ``τ ≤ log n / gap`` we
+    get ``gap ≤ log n / τ``.  Hence ``gap ∈ [1/τ, min(1, log n / τ)]``.
+    """
+    if mixing_time <= 0:
+        raise GraphError("mixing time must be positive")
+    if n < 2:
+        raise GraphError("need n >= 2")
+    return SpectralEstimate(lower=1.0 / mixing_time, upper=min(1.0, math.log(n) / mixing_time))
+
+
+def conductance_bounds_from_mixing(mixing_time: float, n: int) -> SpectralEstimate:
+    """Compose the gap interval with ``Θ(gap) ≤ Φ ≤ Θ(√gap)`` ([18])."""
+    gap = gap_bounds_from_mixing(mixing_time, n)
+    return SpectralEstimate(lower=gap.lower / 2.0, upper=min(1.0, math.sqrt(2.0 * gap.upper)))

@@ -1,0 +1,31 @@
+"""Shared utilities: RNG derivation, interval algebra, fits, stats, tables."""
+
+from repro.util.fitting import PowerLawFit, fit_power_law, ratio_stability
+from repro.util.intervals import IntervalSet, merge_intervals, normalize
+from repro.util.rng import derive_rng, make_rng, spawn_rngs
+from repro.util.stats import (
+    ChiSquareResult,
+    chi_square_goodness_of_fit,
+    empirical_distribution,
+    total_variation,
+    total_variation_counts,
+)
+from repro.util.tables import render_table
+
+__all__ = [
+    "PowerLawFit",
+    "fit_power_law",
+    "ratio_stability",
+    "IntervalSet",
+    "merge_intervals",
+    "normalize",
+    "derive_rng",
+    "make_rng",
+    "spawn_rngs",
+    "ChiSquareResult",
+    "chi_square_goodness_of_fit",
+    "empirical_distribution",
+    "total_variation",
+    "total_variation_counts",
+    "render_table",
+]

@@ -1,0 +1,94 @@
+"""Scaling-law fits for round-complexity experiments.
+
+The paper's claims are asymptotic (``Õ(√(ℓD))``, ``Ω(√(ℓ/log ℓ))``, ...).
+Our benches validate them by sweeping a parameter (walk length, node count,
+edge count) and fitting the measured round counts to a power law
+``rounds ≈ c · x^α``; the recovered exponent ``α`` is then compared against
+the claim (0.5 for the new algorithm, 1.0 for the naive baseline, 2/3 for
+PODC'09, ...).
+
+The fit is ordinary least squares in log–log space, which is the standard
+way to read off a polynomial growth rate from an empirical sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "ratio_stability"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y ≈ coefficient * x**exponent``.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted power ``α``.
+    coefficient:
+        The fitted prefactor ``c``.
+    r_squared:
+        Goodness of fit in log–log space (1.0 means an exact power law).
+    """
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.coefficient:.3g} * x^{self.exponent:.3f} "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``ys ≈ c * xs**α`` by least squares on ``log y`` vs ``log x``.
+
+    Requires at least two distinct positive ``x`` values and positive ``y``
+    values; raises :class:`ValueError` otherwise.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1-D sequences of equal length")
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    if np.allclose(lx, lx[0]):
+        raise ValueError("xs must contain at least two distinct values")
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - np.mean(ly)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=float(slope), coefficient=float(math.exp(intercept)), r_squared=r_squared)
+
+
+def ratio_stability(xs: Sequence[float], ys: Sequence[float], reference: Sequence[float]) -> float:
+    """Return max/min of ``ys[i] / reference[i]`` — a bounded-ratio check.
+
+    Useful for claims of the form "measured rounds stay within a constant
+    factor of ``f(x)``": a small returned ratio means the measurement tracks
+    the reference curve ``f`` up to constants across the sweep.
+    """
+    y = np.asarray(ys, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if y.shape != ref.shape:
+        raise ValueError("ys and reference must have equal length")
+    if np.any(ref <= 0):
+        raise ValueError("reference values must be positive")
+    ratios = y / ref
+    if np.any(ratios <= 0):
+        raise ValueError("ys must be positive")
+    return float(ratios.max() / ratios.min())

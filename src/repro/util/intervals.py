@@ -1,0 +1,116 @@
+"""Closed-integer-interval algebra.
+
+The PATH-VERIFICATION lower-bound machinery (Section 3 of the paper)
+describes verification algorithms in terms of nodes that hold *verified
+segments* ``[i, j]`` of the path and merge overlapping/adjacent segments.
+This module provides the small amount of interval arithmetic those
+algorithms need, as plain functions over ``(lo, hi)`` tuples and an
+:class:`IntervalSet` container that maintains a normalized disjoint set.
+
+Intervals are closed: ``(2, 5)`` covers positions 2, 3, 4, 5.  Two intervals
+merge when they overlap **or touch** (``[1,3]`` and ``[4,6]`` merge to
+``[1,6]``), matching the paper's notion of combining a verified ``[i1,j1]``
+with ``[i2,j2]`` when they share or abut an endpoint of the path sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+Interval = tuple[int, int]
+
+__all__ = ["Interval", "IntervalSet", "intervals_mergeable", "merge_intervals", "normalize"]
+
+
+def intervals_mergeable(a: Interval, b: Interval) -> bool:
+    """Return True when ``a`` and ``b`` overlap or are adjacent integers."""
+    (alo, ahi), (blo, bhi) = a, b
+    return not (ahi + 1 < blo or bhi + 1 < alo)
+
+
+def merge_intervals(a: Interval, b: Interval) -> Interval:
+    """Merge two mergeable intervals into their union."""
+    if not intervals_mergeable(a, b):
+        raise ValueError(f"intervals {a} and {b} neither overlap nor touch")
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def normalize(intervals: Iterable[Interval]) -> list[Interval]:
+    """Collapse an arbitrary collection of intervals into a sorted disjoint list."""
+    items = sorted(intervals)
+    out: list[Interval] = []
+    for lo, hi in items:
+        if lo > hi:
+            raise ValueError(f"malformed interval ({lo}, {hi})")
+        if out and intervals_mergeable(out[-1], (lo, hi)):
+            out[-1] = merge_intervals(out[-1], (lo, hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+class IntervalSet:
+    """A normalized set of disjoint closed integer intervals.
+
+    Supports the operations the interval-merging verification protocol
+    performs every round: add a segment (merging as needed), query coverage,
+    and report the largest verified segment to forward to neighbors.
+    """
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: list[Interval] = normalize(intervals)
+
+    def add(self, interval: Interval) -> bool:
+        """Insert ``interval``; return True when the set actually changed."""
+        lo, hi = interval
+        if lo > hi:
+            raise ValueError(f"malformed interval ({lo}, {hi})")
+        if self.covers(interval):
+            return False
+        self._intervals = normalize(self._intervals + [interval])
+        return True
+
+    def update(self, intervals: Iterable[Interval]) -> bool:
+        """Insert many intervals; return True when anything changed."""
+        changed = False
+        for interval in intervals:
+            changed |= self.add(interval)
+        return changed
+
+    def covers(self, interval: Interval) -> bool:
+        """Return True when a single stored interval contains ``interval``."""
+        lo, hi = interval
+        return any(slo <= lo and hi <= shi for slo, shi in self._intervals)
+
+    def covers_point(self, point: int) -> bool:
+        return self.covers((point, point))
+
+    def largest(self) -> Interval | None:
+        """Return the widest stored interval (ties broken by position)."""
+        if not self._intervals:
+            return None
+        return max(self._intervals, key=lambda iv: (iv[1] - iv[0], -iv[0]))
+
+    def total_length(self) -> int:
+        """Total number of integer points covered."""
+        return sum(hi - lo + 1 for lo, hi in self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, point: object) -> bool:
+        return isinstance(point, int) and self.covers_point(point)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntervalSet):
+            return self._intervals == other._intervals
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._intervals!r})"
+
+    def as_list(self) -> list[Interval]:
+        return list(self._intervals)

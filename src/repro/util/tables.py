@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every bench in ``benchmarks/`` prints the rows it reproduces in the same
+layout, via :func:`render_table`.  Keeping formatting here means the bench
+modules contain only experiment logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: floats get 4 significant digits, rest via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if 0.001 <= magnitude < 100000:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Returns the table as a single string (callers decide whether to print
+    or write it to a report file).
+    """
+    str_rows = [[format_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

@@ -1,0 +1,57 @@
+"""The paper's core contribution: distributed random-walk algorithms."""
+
+from repro.walks.get_more_walks import get_more_walks
+from repro.walks.many_walks import ManyWalksResult, many_random_walks
+from repro.walks.metropolis import (
+    metropolis_transition_matrix,
+    metropolis_walk,
+    naive_metropolis_walk,
+)
+from repro.walks.naive import TokenWalkProtocol, naive_random_walk
+from repro.walks.params import WalkParams, many_walks_params, podc09_params, single_walk_params
+from repro.walks.podc09 import podc09_random_walk
+from repro.walks.regenerate import RegenerationResult, positions_by_node, regenerate_walk
+from repro.walks.sample_destination import sample_destination
+from repro.walks.short_walks import perform_short_walks, token_counts
+from repro.walks.single_walk import WalkResult, estimate_diameter, single_random_walk, stitch_walk
+from repro.walks.store import TokenRecord, WalkStore
+from repro.walks.visits import (
+    ConnectorStats,
+    connector_stats,
+    lemma_2_6_bound,
+    max_visit_ratio,
+    visit_counts,
+)
+
+__all__ = [
+    "get_more_walks",
+    "ManyWalksResult",
+    "many_random_walks",
+    "metropolis_transition_matrix",
+    "metropolis_walk",
+    "naive_metropolis_walk",
+    "TokenWalkProtocol",
+    "naive_random_walk",
+    "WalkParams",
+    "many_walks_params",
+    "podc09_params",
+    "single_walk_params",
+    "podc09_random_walk",
+    "RegenerationResult",
+    "positions_by_node",
+    "regenerate_walk",
+    "sample_destination",
+    "perform_short_walks",
+    "token_counts",
+    "WalkResult",
+    "estimate_diameter",
+    "single_random_walk",
+    "stitch_walk",
+    "TokenRecord",
+    "WalkStore",
+    "ConnectorStats",
+    "connector_stats",
+    "lemma_2_6_bound",
+    "max_visit_ratio",
+    "visit_counts",
+]

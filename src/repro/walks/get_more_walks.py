@@ -1,0 +1,100 @@
+"""GET-MORE-WALKS (Algorithm 2): replenish a node's short-walk pool.
+
+When the stitching phase lands on a node ``v`` whose walks are exhausted,
+``v`` launches ``count`` fresh tokens.  All tokens share the single source
+``v``, so a directed edge never needs more than one message per iteration:
+nodes forward *(source ID, count)* pairs, not individual tokens — hence no
+congestion and ``O(λ)`` rounds total (Lemma 2.2).
+
+Length randomization cannot be done by sampling ``r_i`` up front (each token
+would need its own remaining-length counter on the wire, breaking count
+aggregation); instead the paper uses **reservoir sampling** (Vitter):
+after the common ``λ`` steps, at extension step ``i`` every surviving token
+stops with probability ``1/(λ−i)``, which makes the realized length uniform
+on ``[λ, 2λ−1]`` (Lemma 2.4) while the wire still carries only counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.network import Network
+from repro.errors import WalkError
+from repro.walks.store import TokenRecord, WalkStore
+
+__all__ = ["get_more_walks"]
+
+
+def get_more_walks(
+    network: Network,
+    store: WalkStore,
+    source: int,
+    count: int,
+    lam: int,
+    rng: np.random.Generator,
+    *,
+    randomized_lengths: bool = True,
+    record_paths: bool = True,
+    phase: str = "get-more-walks",
+) -> int:
+    """Launch ``count`` new short walks from ``source``; returns rounds charged.
+
+    With ``randomized_lengths=False`` this reproduces the PODC'09 variant:
+    fixed-length ``λ`` walks, still count-aggregated, ``λ`` rounds.
+    """
+    if count < 1:
+        raise WalkError(f"count must be >= 1, got {count}")
+    if lam < 1:
+        raise WalkError(f"lambda must be >= 1, got {lam}")
+    graph = network.graph
+
+    positions = np.full(count, source, dtype=np.int64)
+    max_len = 2 * lam - 1 if randomized_lengths else lam
+    paths = None
+    if record_paths:
+        paths = np.empty((count, max_len + 1), dtype=np.int64)
+        paths[:, 0] = source
+    final_length = np.full(count, lam, dtype=np.int64)
+
+    rounds_before = network.rounds
+    with network.phase(phase):
+        # Common prefix: λ hops, counts aggregated per edge (1 round each).
+        for step in range(1, lam + 1):
+            slots = graph.step_walk_slots(positions, rng)
+            network.deliver_step(slots, aggregate=True, words=2)  # (source ID, count)
+            positions = graph.csr_target[slots]
+            if paths is not None:
+                paths[:, step] = positions
+
+        if randomized_lengths:
+            # Reservoir extension: at step i each live token stops w.p. 1/(λ−i).
+            alive = np.ones(count, dtype=bool)
+            for i in range(lam):
+                stop_prob = 1.0 / (lam - i)
+                stops = alive & (rng.random(count) < stop_prob)
+                final_length[stops] = lam + i
+                alive &= ~stops
+                if not np.any(alive):
+                    break
+                idx = np.nonzero(alive)[0]
+                slots = graph.step_walk_slots(positions[idx], rng)
+                network.deliver_step(slots, aggregate=True, words=2)
+                positions[idx] = graph.csr_target[slots]
+                if paths is not None:
+                    paths[idx, lam + 1 + i] = positions[idx]
+            # Step i = λ−1 has stop probability 1, so nothing survives.
+            assert not np.any(alive), "reservoir extension must retire every token"
+
+    for i in range(count):
+        length = int(final_length[i])
+        path = paths[i, : length + 1].copy() if paths is not None else None
+        store.add(
+            TokenRecord(
+                token_id=store.new_token_id(),
+                source=source,
+                length=length,
+                destination=int(positions[i]),
+                path=path,
+            )
+        )
+    return network.rounds - rounds_before

@@ -1,0 +1,97 @@
+"""Walk regeneration: make every node learn its position(s) in the walk.
+
+Section 2.2, "Regenerating the entire random walk": applications like the
+random spanning tree need more than the endpoint — each node must know at
+which steps the walk visited it.  The paper's procedure, implemented here:
+
+1. **Inform the connectors** of their positions: there are only ``O(√ℓ)``
+   of them, so routing one (connector, offset) message each from the source
+   over its BFS tree pipelines in ``height + #segments`` rounds.
+2. **Re-send a message through each used short walk**: each segment's
+   hop-owners forward a position counter along the recorded hops.  All
+   segments replay simultaneously, charged per-iteration by congestion —
+   at most the cost of Phase 1 itself ("takes time at most the time taken
+   in Phase 1"), and usually much less because only the used segments
+   replay.
+
+Walks computed naively need no regeneration: the token already passed
+through every node with its counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.congest.network import Network
+from repro.congest.primitives import BfsTree, build_bfs_tree
+from repro.errors import WalkError
+from repro.walks.single_walk import WalkResult
+
+__all__ = ["RegenerationResult", "regenerate_walk", "positions_by_node"]
+
+
+@dataclass
+class RegenerationResult:
+    """Node-local position knowledge after regeneration."""
+
+    node_positions: dict[int, list[int]]
+    rounds: int
+    informed_connectors: int = 0
+    replayed_segments: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+def positions_by_node(positions: np.ndarray) -> dict[int, list[int]]:
+    """Invert a trajectory into per-node sorted position lists."""
+    out: dict[int, list[int]] = {}
+    for step, node in enumerate(positions):
+        out.setdefault(int(node), []).append(step)
+    return out
+
+
+def regenerate_walk(
+    network: Network,
+    result: WalkResult,
+    *,
+    tree_cache: dict[int, BfsTree] | None = None,
+    phase: str = "regenerate",
+) -> RegenerationResult:
+    """Charge the regeneration protocol and return per-node positions.
+
+    Requires the walk to have been computed with ``record_paths=True``
+    (the trajectory *is* the distributed hop-knowledge being re-announced).
+    """
+    if result.positions is None:
+        raise WalkError("walk was computed without record_paths; cannot regenerate")
+    node_positions = positions_by_node(result.positions)
+    rounds_before = network.rounds
+
+    if result.mode != "stitched" or not result.segments:
+        # Naive modes: every visited node already saw the token counter.
+        return RegenerationResult(node_positions=node_positions, rounds=0)
+
+    with network.phase(phase):
+        # Step 1: source tells each connector its segment's start offset.
+        tree = build_bfs_tree(network, result.source, cache=tree_cache)
+        k = len(result.segments)
+        network.ledger.charge(tree.height + k, messages=2 * k, congestion=k)
+
+        # Step 2: replay all used segments simultaneously; iteration j
+        # forwards one message along hop j of every segment longer than j.
+        seg_paths = [seg.path for seg in result.segments]
+        if any(p is None for p in seg_paths):
+            raise WalkError("segment paths missing; Phase 1 must record paths")
+        max_len = max(len(p) - 1 for p in seg_paths)
+        for j in range(max_len):
+            hop_src = [p[j] for p in seg_paths if len(p) - 1 > j]
+            hop_dst = [p[j + 1] for p in seg_paths if len(p) - 1 > j]
+            network.deliver_pairs(hop_src, hop_dst, words=2)
+
+    return RegenerationResult(
+        node_positions=node_positions,
+        rounds=network.rounds - rounds_before,
+        informed_connectors=len(result.connectors),
+        replayed_segments=len(result.segments),
+    )

@@ -1,0 +1,120 @@
+"""Phase 1: every node prepares its pool of short walks.
+
+Implements the first phase of SINGLE-RANDOM-WALK (Algorithm 1): node ``v``
+launches ``counts[v]`` walk tokens, token ``i`` carrying its source ID and a
+desired length.  In the randomized scheme (this paper) the desired length is
+``λ + r_i`` with ``r_i`` uniform on ``[0, λ−1]`` — the device behind
+Lemma 2.7 — while the PODC'09 baseline uses exactly ``λ``.
+
+All tokens advance simultaneously, one hop per iteration; iteration ``j``
+costs ``max_e X_j(e)`` rounds where ``X_j(e)`` is the number of tokens
+crossing edge ``e`` (tokens of *different* sources cannot share a message,
+so congestion is real here — this is precisely the quantity Lemma 2.1
+bounds by ``O(η log n)`` w.h.p.).
+
+The loop is vectorized: one NumPy step per iteration over all live tokens,
+with the congestion charge computed from the per-slot histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.network import Network
+from repro.errors import WalkError
+from repro.walks.store import TokenRecord, WalkStore
+
+__all__ = ["perform_short_walks", "token_counts"]
+
+
+def token_counts(degrees: np.ndarray, eta: float, *, degree_proportional: bool) -> np.ndarray:
+    """Per-node Phase-1 token counts.
+
+    Degree-proportional mode (this paper): ``⌈η·deg(v)⌉`` — each node's pool
+    is sized to how often Lemma 2.6 says it can be hit.  Uniform mode
+    (PODC'09): ``⌈η⌉`` per node.
+    """
+    if eta <= 0:
+        raise WalkError(f"eta must be positive, got {eta}")
+    if degree_proportional:
+        counts = np.ceil(eta * degrees.astype(np.float64))
+    else:
+        counts = np.full(len(degrees), np.ceil(eta))
+    return counts.astype(np.int64)
+
+
+def perform_short_walks(
+    network: Network,
+    store: WalkStore,
+    lam: int,
+    rng: np.random.Generator,
+    *,
+    counts: np.ndarray,
+    randomized_lengths: bool = True,
+    record_paths: bool = True,
+    phase: str = "phase1",
+) -> int:
+    """Run Phase 1; returns rounds charged.
+
+    Parameters
+    ----------
+    counts:
+        Tokens to launch per node (see :func:`token_counts`).
+    randomized_lengths:
+        Draw lengths from ``[λ, 2λ−1]`` (True, this paper) or use ``λ``
+        exactly (False, PODC'09 baseline).
+    record_paths:
+        Keep each token's full hop sequence on its record (needed for walk
+        regeneration and the RST application; costs memory only — the hop
+        knowledge is node-local in the real system).
+    """
+    graph = network.graph
+    if lam < 1:
+        raise WalkError(f"lambda must be >= 1, got {lam}")
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.shape != (graph.n,):
+        raise WalkError(f"counts must have one entry per node, got shape {counts.shape}")
+    if np.any(counts < 0):
+        raise WalkError("token counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return 0
+
+    origins = np.repeat(np.arange(graph.n, dtype=np.int64), counts)
+    if randomized_lengths:
+        target_len = lam + rng.integers(0, lam, size=total)
+    else:
+        target_len = np.full(total, lam, dtype=np.int64)
+    max_len = int(target_len.max())
+
+    positions = origins.copy()
+    paths = None
+    if record_paths:
+        paths = np.empty((total, max_len + 1), dtype=np.int64)
+        paths[:, 0] = origins
+
+    rounds_before = network.rounds
+    with network.phase(phase):
+        for step in range(1, max_len + 1):
+            active = target_len >= step
+            if not np.any(active):
+                break
+            slots = graph.step_walk_slots(positions[active], rng)
+            network.deliver_step(slots, words=2)  # (source ID, remaining length)
+            positions[active] = graph.csr_target[slots]
+            if paths is not None:
+                paths[active, step] = positions[active]
+
+    for i in range(total):
+        length = int(target_len[i])
+        path = paths[i, : length + 1].copy() if paths is not None else None
+        store.add(
+            TokenRecord(
+                token_id=store.new_token_id(),
+                source=int(origins[i]),
+                length=length,
+                destination=int(positions[i]),
+                path=path,
+            )
+        )
+    return network.rounds - rounds_before

@@ -1,0 +1,129 @@
+"""Distributed short-walk storage.
+
+After Phase 1 (and after any GET-MORE-WALKS call), the network holds a pool
+of *short walk tokens*: walk ``i`` started at ``source``, took ``length``
+steps, and its token now sits at ``destination``, which knows the source ID
+and the length (Algorithm 2: "each destination knows the source ID as well
+as the length of the corresponding walk").  Crucially the *source does not
+know the destinations* — that is what SAMPLE-DESTINATION exists to discover.
+
+:class:`WalkStore` is the global bookkeeping view of that distributed state.
+Everything in it corresponds to node-local knowledge:
+
+* ``tokens_at(holder, source)`` — tokens physically stored at ``holder``;
+* ``path`` on a record — the hop sequence; node ``path[j]`` locally knows
+  its successor ``path[j+1]`` (this is what walk *regeneration* re-announces
+  through the network, cf. "Regenerating the entire random walk", §2.2).
+
+The store never touches the round ledger; moving its information around is
+the algorithms' job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WalkError
+
+__all__ = ["TokenRecord", "WalkStore"]
+
+
+@dataclass(frozen=True)
+class TokenRecord:
+    """One prepared short walk.
+
+    ``path`` (when recorded) holds the ``length + 1`` node IDs from source
+    to destination inclusive; it may be ``None`` when the caller disabled
+    path recording to save memory on large sweeps.
+    """
+
+    token_id: int
+    source: int
+    length: int
+    destination: int
+    path: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise WalkError(f"token length must be >= 0, got {self.length}")
+        if self.path is not None and len(self.path) != self.length + 1:
+            raise WalkError(
+                f"path has {len(self.path)} nodes but length={self.length} requires {self.length + 1}"
+            )
+
+
+class WalkStore:
+    """All unused short-walk tokens, indexed by (holder, source)."""
+
+    def __init__(self) -> None:
+        self._by_holder_source: dict[tuple[int, int], list[TokenRecord]] = {}
+        self._count_by_source: dict[int, int] = {}
+        self._next_token_id = 0
+        self.tokens_created = 0
+        self.tokens_consumed = 0
+
+    # ------------------------------------------------------------------
+    # Creation / removal
+    # ------------------------------------------------------------------
+    def new_token_id(self) -> int:
+        tid = self._next_token_id
+        self._next_token_id += 1
+        return tid
+
+    def add(self, record: TokenRecord) -> None:
+        key = (record.destination, record.source)
+        self._by_holder_source.setdefault(key, []).append(record)
+        self._count_by_source[record.source] = self._count_by_source.get(record.source, 0) + 1
+        self.tokens_created += 1
+
+    def remove(self, record: TokenRecord) -> None:
+        """Delete a consumed token (Sweep 3 of SAMPLE-DESTINATION)."""
+        key = (record.destination, record.source)
+        bucket = self._by_holder_source.get(key, [])
+        for i, existing in enumerate(bucket):
+            if existing.token_id == record.token_id:
+                bucket.pop(i)
+                if not bucket:
+                    del self._by_holder_source[key]
+                self._count_by_source[record.source] -= 1
+                self.tokens_consumed += 1
+                return
+        raise WalkError(f"token {record.token_id} not stored at node {record.destination}")
+
+    # ------------------------------------------------------------------
+    # Queries (all reflect node-local or aggregate knowledge)
+    # ------------------------------------------------------------------
+    def tokens_at(self, holder: int, source: int) -> list[TokenRecord]:
+        """Unused tokens of ``source`` currently stored at ``holder``."""
+        return list(self._by_holder_source.get((holder, source), []))
+
+    def count_for_source(self, source: int) -> int:
+        """Total unused tokens of ``source`` anywhere in the network."""
+        return self._count_by_source.get(source, 0)
+
+    def holders_for_source(self, source: int) -> dict[int, int]:
+        """Map holder-node -> number of unused tokens of ``source`` there."""
+        return {
+            holder: len(bucket)
+            for (holder, src), bucket in self._by_holder_source.items()
+            if src == source and bucket
+        }
+
+    def iter_all(self) -> Iterator[TokenRecord]:
+        for bucket in self._by_holder_source.values():
+            yield from bucket
+
+    def total_unused(self) -> int:
+        return sum(len(b) for b in self._by_holder_source.values())
+
+    def __len__(self) -> int:
+        return self.total_unused()
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkStore(unused={self.total_unused()}, created={self.tokens_created}, "
+            f"consumed={self.tokens_consumed})"
+        )

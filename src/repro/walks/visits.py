@@ -1,0 +1,112 @@
+"""Visit and connector instrumentation for the Lemma 2.6 / 2.7 experiments.
+
+Lemma 2.6: for walks totalling ``kℓ`` steps, no node ``y`` is visited more
+than ``24·d(y)·√(kℓ+1)·log n + k`` times w.h.p.  The empirical object is the
+**visit ratio** ``N(y) / (d(y)·√(kℓ+1))``, whose max over nodes should stay
+bounded by ``O(log n)`` across topologies — and is Θ(1)-tight on the path.
+
+Lemma 2.7: a node appearing ``t`` times in the walk appears as a
+*connector* at most ``t·(log n)²/λ`` times w.h.p. — provided short-walk
+lengths are randomized over ``[λ, 2λ−1]``.  The empirical object is the
+**connector ratio** ``C(y)·λ / max(t(y), 1)``, which randomization keeps
+bounded while fixed lengths let periodic topologies (even cycles) blow it
+up — the E4 ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "visit_counts",
+    "max_visit_ratio",
+    "lemma_2_6_bound",
+    "ConnectorStats",
+    "connector_stats",
+]
+
+
+def visit_counts(positions: np.ndarray, n: int) -> np.ndarray:
+    """Number of times each node appears in a trajectory (start included)."""
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        raise WalkError("empty trajectory")
+    return np.bincount(positions, minlength=n)
+
+
+def max_visit_ratio(graph: Graph, trajectories: list[np.ndarray]) -> tuple[float, int]:
+    """Max over nodes of ``Σ visits(y) / (d(y)·√(kℓ+1))`` and its argmax node.
+
+    ``k`` is the number of trajectories, ``ℓ`` their (common) step count;
+    this is the normalized quantity Lemma 2.6 bounds by ``24·log n + k/(…)``.
+    """
+    if not trajectories:
+        raise WalkError("need at least one trajectory")
+    k = len(trajectories)
+    length = len(trajectories[0]) - 1
+    totals = np.zeros(graph.n, dtype=np.int64)
+    for traj in trajectories:
+        if len(traj) != length + 1:
+            raise WalkError("trajectories must share a common length")
+        totals += visit_counts(traj, graph.n)
+    scale = graph.degrees * math.sqrt(k * length + 1)
+    ratios = totals / scale
+    node = int(np.argmax(ratios))
+    return float(ratios[node]), node
+
+
+def lemma_2_6_bound(degree: int, length: int, n: int, k: int = 1) -> float:
+    """The paper's literal bound ``24·d(y)·√(kℓ+1)·log n + k``."""
+    if degree < 1 or length < 1 or n < 2 or k < 1:
+        raise WalkError("degenerate parameters for the Lemma 2.6 bound")
+    return 24.0 * degree * math.sqrt(k * length + 1) * math.log(n) + k
+
+
+@dataclass(frozen=True)
+class ConnectorStats:
+    """Per-walk connector accounting (Lemma 2.7's empirical side)."""
+
+    connector_counts: dict[int, int]
+    visit_totals: dict[int, int]
+    worst_ratio: float
+    worst_node: int
+    lam: int
+
+    @property
+    def total_connectors(self) -> int:
+        return sum(self.connector_counts.values())
+
+
+def connector_stats(graph: Graph, positions: np.ndarray, connectors: list[int], lam: int) -> ConnectorStats:
+    """Compare connector appearances against total visits, per node.
+
+    The reported ratio is ``C(y)·λ / t(y)`` where ``t(y)`` is the node's
+    total visit count; Lemma 2.7 says this stays ``O((log n)²)`` w.h.p.
+    under randomized short-walk lengths.
+    """
+    if lam < 1:
+        raise WalkError("lambda must be >= 1")
+    conn = Counter(connectors)
+    visits = visit_counts(positions, graph.n)
+    worst_ratio = 0.0
+    worst_node = -1
+    for node, c in conn.items():
+        t = max(int(visits[node]), 1)
+        ratio = c * lam / t
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst_node = node
+    return ConnectorStats(
+        connector_counts=dict(conn),
+        visit_totals={node: int(visits[node]) for node in conn},
+        worst_ratio=worst_ratio,
+        worst_node=worst_node,
+        lam=lam,
+    )

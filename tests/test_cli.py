@@ -1,0 +1,102 @@
+"""Tests for the command-line interface and the graph-spec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+from repro.graphs import diameter
+
+
+class TestGraphSpecParser:
+    @pytest.mark.parametrize(
+        "spec,n,m",
+        [
+            ("path:5", 5, 4),
+            ("cycle:6", 6, 6),
+            ("complete:4", 4, 6),
+            ("star:7", 7, 6),
+            ("grid:2x3", 6, 7),
+            ("torus:3x4", 12, 24),
+            ("hypercube:3", 8, 12),
+            ("tree:2", 7, 6),
+            ("barbell:4:2", 9, 14),
+            ("lollipop:4:3", 7, 9),
+        ],
+    )
+    def test_deterministic_families(self, spec, n, m):
+        g = parse_graph_spec(spec)
+        assert g.n == n and g.m == m
+
+    def test_random_families_with_seed(self):
+        g1 = parse_graph_spec("gnp:20:0.3:5")
+        g2 = parse_graph_spec("gnp:20:0.3:5")
+        assert g1.edges() == g2.edges()
+        reg = parse_graph_spec("regular:12:3:1")
+        assert all(reg.degree(v) == 3 for v in range(12))
+        rgg = parse_graph_spec("rgg:20:0.5:2")
+        assert rgg.n == 20
+
+    def test_uppercase_family(self):
+        assert parse_graph_spec("CYCLE:5").n == 5
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            parse_graph_spec("mobius:5")
+
+    def test_malformed_args(self):
+        with pytest.raises(ValueError, match="bad graph spec"):
+            parse_graph_spec("grid:5")
+        with pytest.raises(ValueError, match="bad graph spec"):
+            parse_graph_spec("path:abc")
+        with pytest.raises(ValueError, match="bad graph spec"):
+            parse_graph_spec("barbell:4")
+
+
+class TestCommands:
+    def test_walk_single(self, capsys):
+        code = main(["walk", "--graph", "torus:4x4", "--length", "100", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SINGLE-RANDOM-WALK" in out
+        assert "torus(4x4)" in out
+
+    def test_walk_all_algorithms(self, capsys):
+        code = main(["walk", "--graph", "hypercube:4", "--length", "200", "--algorithm", "all"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PODC'09 baseline" in out
+        assert "naive token walk" in out
+
+    def test_rst(self, capsys):
+        code = main(["rst", "--graph", "complete:5", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Random spanning tree" in out
+        assert "Tree edges:" in out
+        # 4 tree edges for n=5.
+        assert len(out.split("Tree edges:")[1].split()) == 4
+
+    def test_mixing(self, capsys):
+        code = main(["mixing", "--graph", "complete:8", "--seed", "2", "--samples", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated τ̃" in out
+        assert "spectral gap interval" in out
+
+    def test_lowerbound(self, capsys):
+        code = main(["lowerbound", "--n", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PATH-VERIFICATION" in out
+        assert "verified" in out
+
+    def test_error_path(self, capsys):
+        code = main(["walk", "--graph", "nosuch:5", "--length", "10"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_walk_error_from_library(self, capsys):
+        code = main(["walk", "--graph", "path:4", "--length", "10", "--source", "99"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

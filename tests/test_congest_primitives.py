@@ -1,0 +1,208 @@
+"""Tests for BFS/convergecast/broadcast primitives.
+
+The key guarantees: (a) the distributed BFS tree matches centralized BFS
+distances and completes in ecc(root) rounds; (b) the charged fast paths
+agree with the event-driven protocol versions in both result and cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    BroadcastProtocol,
+    ConvergecastProtocol,
+    Network,
+    build_bfs_tree,
+    charged_broadcast,
+    charged_convergecast,
+)
+from repro.errors import ProtocolError
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    cycle_graph,
+    eccentricity,
+    grid_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestBfsFlood:
+    @pytest.mark.parametrize("factory,root", [
+        (lambda: path_graph(9), 0),
+        (lambda: path_graph(9), 4),
+        (lambda: cycle_graph(10), 3),
+        (lambda: grid_graph(4, 5), 7),
+        (lambda: star_graph(8), 0),
+        (lambda: star_graph(8), 3),
+    ])
+    def test_depths_match_centralized_bfs(self, factory, root):
+        g = factory()
+        net = Network(g)
+        tree = build_bfs_tree(net, root)
+        expected = bfs_distances(g, root)
+        assert np.array_equal(np.array(tree.depth), expected)
+
+    def test_rounds_equal_eccentricity(self):
+        g = grid_graph(5, 5)
+        net = Network(g)
+        before = net.rounds
+        tree = build_bfs_tree(net, 0)
+        ecc = eccentricity(g, 0)
+        # The deepest nodes cannot know they are last and still forward one
+        # wave of redundant explores, so the flood may take one extra round.
+        assert ecc <= net.rounds - before <= ecc + 1
+        assert tree.height == ecc
+
+    def test_parent_edges_exist(self):
+        g = torus_graph(4, 4)
+        net = Network(g)
+        tree = build_bfs_tree(net, 5)
+        for v in range(g.n):
+            if v != 5:
+                assert g.has_edge(v, tree.parent[v])
+                assert tree.depth[v] == tree.depth[tree.parent[v]] + 1
+
+    def test_children_are_inverse_of_parent(self):
+        g = grid_graph(3, 4)
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        for v in range(g.n):
+            for c in tree.children[v]:
+                assert tree.parent[c] == v
+
+    def test_path_to_root(self):
+        g = path_graph(6)
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        assert tree.path_to_root(5) == [5, 4, 3, 2, 1, 0]
+
+    def test_disconnected_raises(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        net = Network(g)
+        with pytest.raises(ProtocolError):
+            build_bfs_tree(net, 0)
+
+    def test_cache_charges_identical_cost(self):
+        g = grid_graph(4, 4)
+        cache: dict = {}
+        net = Network(g)
+        build_bfs_tree(net, 0, cache=cache)
+        first_rounds = net.rounds
+        first_messages = net.messages_sent
+        build_bfs_tree(net, 0, cache=cache)
+        assert net.rounds == 2 * first_rounds
+        assert net.messages_sent == 2 * first_messages
+
+    def test_cache_returns_same_tree(self):
+        g = grid_graph(4, 4)
+        cache: dict = {}
+        net = Network(g)
+        t1 = build_bfs_tree(net, 0, cache=cache)
+        t2 = build_bfs_tree(net, 0, cache=cache)
+        assert t1 is t2
+
+
+class TestConvergecast:
+    def _sum_convergecast(self, g, root, values):
+        net = Network(g)
+        tree = build_bfs_tree(net, root)
+        proto = ConvergecastProtocol(tree, list(values), lambda a, b: a + b)
+        rounds = net.run(proto)
+        return proto.result, rounds, tree
+
+    def test_sum_over_grid(self):
+        g = grid_graph(4, 4)
+        values = list(range(g.n))
+        result, rounds, tree = self._sum_convergecast(g, 0, values)
+        assert result == sum(values)
+        assert rounds == tree.height
+
+    def test_max_over_star(self):
+        g = star_graph(9)
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        proto = ConvergecastProtocol(tree, list(range(9)), max)
+        net.run(proto)
+        assert proto.result == 8
+
+    def test_charged_matches_protocol_result_and_rounds(self):
+        g = grid_graph(4, 5)
+        values = [v * v for v in range(g.n)]
+
+        net_proto = Network(g)
+        tree_p = build_bfs_tree(net_proto, 3)
+        proto = ConvergecastProtocol(tree_p, list(values), lambda a, b: a + b)
+        proto_rounds = net_proto.run(proto)
+
+        net_fast = Network(g)
+        tree_f = build_bfs_tree(net_fast, 3)
+        before = net_fast.rounds
+        fast_result = charged_convergecast(net_fast, tree_f, list(values), lambda a, b: a + b)
+        fast_rounds = net_fast.rounds - before
+
+        assert fast_result == proto.result
+        assert fast_rounds == proto_rounds
+
+    def test_participants_reduce_messages(self):
+        g = path_graph(8)
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        before = net.messages_sent
+        charged_convergecast(
+            net, tree, [0] * 8, lambda a, b: a + b, participants={1}
+        )
+        # Only node 1 and no others carry information: 1 message up.
+        assert net.messages_sent - before == 1
+
+    def test_single_node_graph(self):
+        g = Graph(1, [])
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        proto = ConvergecastProtocol(tree, [42], lambda a, b: a + b)
+        net.run(proto)
+        assert proto.result == 42
+
+    def test_word_cap_enforced(self):
+        g = path_graph(4)
+        net = Network(g, max_words=2)
+        tree = build_bfs_tree(net, 0)
+        with pytest.raises(ProtocolError):
+            charged_convergecast(net, tree, [0] * 4, lambda a, b: a + b, words=3)
+
+
+class TestBroadcast:
+    def test_reaches_everyone_in_height_rounds(self):
+        g = grid_graph(4, 4)
+        net = Network(g)
+        tree = build_bfs_tree(net, 0)
+        proto = BroadcastProtocol(tree, "payload")
+        rounds = net.run(proto)
+        assert proto.received == set(range(g.n))
+        assert rounds == tree.height
+
+    def test_charged_matches_protocol_cost(self):
+        g = torus_graph(4, 4)
+
+        net_p = Network(g)
+        tree_p = build_bfs_tree(net_p, 0)
+        rounds_p = net_p.run(BroadcastProtocol(tree_p, "x"))
+        messages_p = net_p.messages_sent - tree_p.build_messages
+
+        net_f = Network(g)
+        tree_f = build_bfs_tree(net_f, 0)
+        before_r, before_m = net_f.rounds, net_f.messages_sent
+        charged_broadcast(net_f, tree_f)
+        assert net_f.rounds - before_r == rounds_p
+        assert net_f.messages_sent - before_m == messages_p
+
+    def test_word_cap(self):
+        g = path_graph(3)
+        net = Network(g, max_words=1)
+        tree = build_bfs_tree(net, 0)
+        with pytest.raises(ProtocolError):
+            charged_broadcast(net, tree, words=4)

@@ -1,0 +1,123 @@
+"""Tests for the Batu-style identity tester (Theorem 4.5 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import BucketingIdentityTester, recommended_sample_count
+from repro.errors import GraphError
+from repro.graphs import star_graph, torus_graph
+from repro.markov import stationary_distribution
+from repro.util.rng import make_rng
+
+THRESHOLD = 1.0 / (4.0 * math.e)  # the mixing estimator's default
+
+
+class TestConstruction:
+    def test_bucket_masses_sum_to_one(self):
+        pi = stationary_distribution(star_graph(16))
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        assert sum(tester.bucket_mass.values()) == pytest.approx(1.0)
+
+    def test_skewed_distribution_gets_multiple_buckets(self):
+        pi = stationary_distribution(star_graph(32))
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        assert len(tester.bucket_mass) >= 2
+
+    def test_regular_graph_single_bucket(self):
+        pi = stationary_distribution(torus_graph(4, 4))
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        assert len(tester.bucket_mass) == 1
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            BucketingIdentityTester([0.5, 0.6], threshold=0.1)
+        with pytest.raises(GraphError):
+            BucketingIdentityTester([0.5, 0.5], threshold=0.0)
+        with pytest.raises(GraphError):
+            BucketingIdentityTester([0.5, 0.5], threshold=0.1, bucket_ratio=1.0)
+        with pytest.raises(GraphError):
+            BucketingIdentityTester([1.0], threshold=0.1)
+
+
+class TestVerdicts:
+    def test_true_distribution_passes(self):
+        rng = make_rng(0)
+        g = torus_graph(5, 5)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        samples = rng.choice(g.n, size=1200, p=pi)
+        verdict = tester.test(samples)
+        assert verdict.passed, verdict
+
+    def test_point_mass_fails(self):
+        g = torus_graph(5, 5)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        verdict = tester.test(np.zeros(1200, dtype=np.int64))
+        assert not verdict.passed
+
+    def test_uniform_on_regular_graph_passes_despite_single_bucket(self):
+        # All-nodes-same-pi: the bucket statistic is blind (one bucket), so
+        # the collision statistic must carry the test.
+        rng = make_rng(1)
+        g = torus_graph(5, 5)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        half = np.arange(g.n)[: g.n // 2]
+        concentrated = rng.choice(half, size=1200)  # uniform on half the nodes
+        assert not tester.test(concentrated).passed
+        fair = rng.choice(g.n, size=1200, p=pi)
+        assert tester.test(fair).passed
+
+    def test_skew_caught_by_buckets(self):
+        # On the star, sampling leaves-only misses the hub's 1/2 mass.
+        rng = make_rng(2)
+        g = star_graph(32)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        leaves_only = rng.integers(1, g.n, size=1200)
+        verdict = tester.test(leaves_only)
+        assert not verdict.passed
+        assert verdict.bucket_tv > 0.3
+
+    def test_l2_statistic_near_zero_for_true_samples(self):
+        rng = make_rng(3)
+        g = torus_graph(5, 5)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        samples = rng.choice(g.n, size=3000, p=pi)
+        assert abs(tester.l2_statistic(samples)) < 5e-3
+
+    def test_l2_statistic_positive_for_wrong_samples(self):
+        g = torus_graph(5, 5)
+        pi = stationary_distribution(g)
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        samples = np.zeros(3000, dtype=np.int64)
+        # ||delta_0 - pi||_2^2 = 1 - 2/n + 1/n.
+        assert tester.l2_statistic(samples) == pytest.approx(1 - 1 / g.n, rel=0.05)
+
+    def test_sample_validation(self):
+        pi = stationary_distribution(torus_graph(4, 4))
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        with pytest.raises(GraphError):
+            tester.test([0])
+        with pytest.raises(GraphError):
+            tester.test([999, 1])
+
+
+class TestCosting:
+    def test_aggregation_rounds_formula(self):
+        pi = stationary_distribution(star_graph(16))
+        tester = BucketingIdentityTester(pi, threshold=THRESHOLD)
+        rounds = tester.aggregation_rounds(tree_height=3, samples=100)
+        assert rounds == 2 * 3 + min(100, len(tester.bucket_mass))
+
+    def test_recommended_sample_count_scales(self):
+        assert recommended_sample_count(10_000) > recommended_sample_count(100)
+        assert recommended_sample_count(100) >= 64
+        with pytest.raises(GraphError):
+            recommended_sample_count(1)

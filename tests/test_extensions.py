@@ -1,0 +1,186 @@
+"""Cross-cutting coverage: weighted graphs, capacity, round-tick semantics,
+verification of genuine walk trajectories, and example smoke tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import Network, Protocol
+from repro.graphs import Graph, cycle_graph, torus_graph
+from repro.lowerbound import IntervalMergingVerifier, PathVerificationInstance
+from repro.markov import WalkSpectrum
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import naive_random_walk, single_random_walk
+
+
+def weighted_triangle_chain() -> Graph:
+    """A small weighted graph with strongly non-uniform transitions."""
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    weights = [5.0, 1.0, 3.0, 1.0, 2.0]
+    return Graph(4, edges, weights=weights, name="weighted-quad")
+
+
+class TestWeightedGraphWalks:
+    """The walk algorithms must respect edge weights end to end."""
+
+    def test_stitched_walk_valid_on_weighted_graph(self):
+        g = weighted_triangle_chain()
+        res = single_random_walk(g, 0, 120, seed=1)
+        res.verify_positions(g)
+
+    def test_stitched_endpoint_law_weighted(self):
+        g = weighted_triangle_chain()
+        length = 15
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints = [
+            single_random_walk(g, 0, length, seed=500 + i, record_paths=False).destination
+            for i in range(800)
+        ]
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_naive_endpoint_law_weighted(self):
+        g = weighted_triangle_chain()
+        length = 9
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints = [
+            naive_random_walk(g, 0, length, seed=i).destination for i in range(800)
+        ]
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_multigraph_parallel_edges_bias_walk(self):
+        # Two parallel (0,1) edges vs one (0,2): 2/3 of first steps go to 1.
+        g = Graph(3, [(0, 1), (0, 1), (0, 2), (1, 2)])
+        rng = make_rng(3)
+        first_steps = [g.random_neighbor(0, rng) for _ in range(6000)]
+        frac = first_steps.count(1) / len(first_steps)
+        assert abs(frac - 2 / 3) < 0.02
+
+
+class TestCapacitySemantics:
+    """Larger per-edge bandwidth must shrink congestion-bound phases."""
+
+    def test_phase1_rounds_shrink_with_capacity(self):
+        g = torus_graph(6, 6)
+        rounds = {}
+        for capacity in (1, 4):
+            net = Network(g, seed=0, capacity=capacity)
+            res = single_random_walk(g, 0, 1500, seed=7, network=net, record_paths=False)
+            rounds[capacity] = res.phase_rounds["phase1"]
+        assert rounds[4] < rounds[1]
+
+    def test_dilation_unaffected_by_capacity(self):
+        # The naive walk is latency-bound: capacity cannot help it.
+        g = cycle_graph(16)
+        for capacity in (1, 8):
+            net = Network(g, seed=0, capacity=capacity)
+            res = naive_random_walk(g, 0, 200, seed=9, network=net, record_paths=False)
+            assert res.rounds == 200
+
+
+class _EveryRoundCounter(Protocol):
+    """Counts per-round ticks; sends a chain of pings to keep rounds going."""
+
+    name = "round-counter"
+
+    def __init__(self, hops: int) -> None:
+        self.hops = hops
+        self.ticks = 0
+        self.done = False
+
+    def on_start(self, api) -> None:
+        api.send(0, 1, self.hops - 1)
+
+    def on_round_begin(self, api) -> None:
+        self.ticks += 1
+
+    def on_receive(self, api, node, messages) -> None:
+        for msg in messages:
+            remaining = msg.payload
+            if remaining == 0:
+                self.done = True
+            else:
+                api.send(node, node + 1, remaining - 1)
+
+    def is_done(self, api) -> bool:
+        return self.done
+
+
+class TestRoundTick:
+    def test_on_round_begin_fires_every_round(self):
+        from repro.graphs import path_graph
+
+        g = path_graph(8)
+        net = Network(g)
+        proto = _EveryRoundCounter(hops=6)
+        rounds = net.run(proto)
+        assert rounds == 6
+        assert proto.ticks == 6
+
+
+class TestVerifyingRealWalks:
+    """§3.2's requirement: verify a *realized walk*, where nodes hold many
+    positions — not just the simple planted path."""
+
+    def test_walk_trajectory_verifiable(self):
+        g = torus_graph(4, 4)
+        rng = make_rng(11)
+        walk = g.walk(0, 60, rng)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(walk))
+        result = IntervalMergingVerifier(pv).run()
+        assert result.verified
+        assert result.rounds >= 1
+
+    def test_backtracking_walk_verifiable(self):
+        # a-b-a-b... : two nodes alternately holding many positions each.
+        g = cycle_graph(4)
+        seq = tuple([0, 1] * 10 + [0])
+        pv = PathVerificationInstance(graph=g, sequence=seq)
+        result = IntervalMergingVerifier(pv).run()
+        assert result.verified
+
+    def test_longer_walks_cost_more(self):
+        g = torus_graph(4, 4)
+        rng = make_rng(13)
+        short = IntervalMergingVerifier(
+            PathVerificationInstance(graph=g, sequence=tuple(g.walk(0, 30, rng)))
+        ).run()
+        long = IntervalMergingVerifier(
+            PathVerificationInstance(graph=g, sequence=tuple(g.walk(0, 480, rng)))
+        ).run()
+        assert long.rounds > short.rounds
+
+
+class TestExampleSmoke:
+    """The two fastest examples run end to end (full runs are manual)."""
+
+    def test_quickstart_runs(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "examples" / "quickstart.py"
+        spec = importlib.util.spec_from_file_location("quickstart_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "SINGLE-RANDOM-WALK" in out
+        assert "trajectory verified" in out
+
+    def test_lower_bound_demo_runs(self, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "examples" / "lower_bound_demo.py"
+        spec = importlib.util.spec_from_file_location("lower_bound_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "PATH-VERIFICATION" in out
+        assert "followed the full path" in out

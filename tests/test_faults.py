@@ -1,0 +1,99 @@
+"""Tests for fault injection and the loss-tolerant walk (§5 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import LossyNetwork, Network, ReliableTokenWalkProtocol, reliable_walk
+from repro.congest.faults import reliable_walk as reliable_walk_fn
+from repro.errors import ProtocolError
+from repro.graphs import cycle_graph, path_graph, torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import chi_square_goodness_of_fit
+
+
+class TestLossyNetwork:
+    def test_zero_loss_is_plain_network(self):
+        g = path_graph(6)
+        lossy = LossyNetwork(g, drop_probability=0.0, seed=1)
+        proto = ReliableTokenWalkProtocol(0, 5)
+        rounds = lossy.run(proto)
+        assert lossy.messages_dropped == 0
+        # 5 hops + 5 acks interleaved: token arrives hop r, ack hop r+1.
+        assert proto.destination is not None
+        assert proto.retransmissions == 0
+        assert rounds >= 5
+
+    def test_drop_rate_roughly_respected(self):
+        g = torus_graph(5, 5)
+        lossy = LossyNetwork(g, drop_probability=0.4, seed=2, fault_seed=3)
+        proto = ReliableTokenWalkProtocol(0, 120)
+        lossy.run(proto, max_rounds=100_000)
+        total = lossy.messages_sent
+        observed_rate = lossy.messages_dropped / total
+        assert 0.25 < observed_rate < 0.55
+
+    def test_invalid_probability(self):
+        with pytest.raises(ProtocolError):
+            LossyNetwork(path_graph(3), drop_probability=1.0)
+        with pytest.raises(ProtocolError):
+            LossyNetwork(path_graph(3), drop_probability=-0.1)
+
+
+class TestReliableWalk:
+    @pytest.mark.parametrize("p", [0.0, 0.15, 0.4])
+    def test_completes_under_loss(self, p):
+        g = torus_graph(5, 5)
+        proto, net = reliable_walk(g, 0, 80, drop_probability=p, seed=4, fault_seed=5)
+        assert proto.destination is not None
+        assert len(proto.trajectory) == 81
+        for a, b in zip(proto.trajectory, proto.trajectory[1:]):
+            assert g.has_edge(a, b)
+
+    def test_loss_costs_rounds_not_correctness(self):
+        g = cycle_graph(12)
+        clean_proto, clean_net = reliable_walk(g, 0, 60, drop_probability=0.0, seed=6, fault_seed=7)
+        lossy_proto, lossy_net = reliable_walk(g, 0, 60, drop_probability=0.4, seed=6, fault_seed=7)
+        assert lossy_net.rounds > clean_net.rounds
+        assert lossy_proto.retransmissions > 0
+        assert clean_proto.retransmissions == 0
+
+    def test_endpoint_law_unbiased_by_loss(self):
+        # Retransmitting the SAME sampled hop keeps the walk law exact even
+        # at heavy loss; this is the key design invariant.
+        g = cycle_graph(6)
+        length = 9
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints = []
+        for i in range(500):
+            proto, _net = reliable_walk(
+                g, 0, length, drop_probability=0.3, seed=100 + i, fault_seed=900 + i
+            )
+            endpoints.append(proto.destination)
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_round_inflation_scales_with_loss(self):
+        g = torus_graph(5, 5)
+        rounds_at = {}
+        for p in (0.0, 0.3):
+            total = 0
+            for i in range(5):
+                _proto, net = reliable_walk(
+                    g, 0, 100, drop_probability=p, seed=10 + i, fault_seed=20 + i
+                )
+                total += net.rounds
+            rounds_at[p] = total / 5
+        # Heavier loss costs materially more rounds, but by a constant
+        # factor (≈ 1/(1-p)^2 per hop), not a blowup.
+        assert 1.2 < rounds_at[0.3] / rounds_at[0.0] < 6.0
+
+    def test_bad_timeout(self):
+        with pytest.raises(ProtocolError):
+            ReliableTokenWalkProtocol(0, 5, timeout=0)
+
+    def test_wrapper_validates_completion(self):
+        g = path_graph(4)
+        proto, _ = reliable_walk_fn(g, 0, 6, drop_probability=0.2, seed=1, fault_seed=2)
+        assert proto.destination is not None

@@ -1,0 +1,78 @@
+"""Tests for repro.util.fitting — scaling-exponent recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.fitting import fit_power_law, ratio_stability
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [3.0 * x**0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+
+    def test_linear(self):
+        xs = [1, 10, 100]
+        fit = fit_power_law(xs, [7 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_data_close(self):
+        rng = np.random.default_rng(0)
+        xs = np.array([2.0**i for i in range(3, 12)])
+        ys = 5 * xs**0.66 * np.exp(rng.normal(0, 0.05, len(xs)))
+        fit = fit_power_law(xs, ys)
+        assert 0.55 < fit.exponent < 0.77
+        assert fit.r_squared > 0.97
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert fit.predict(8) == pytest.approx(16.0, rel=1e-9)
+
+    def test_str_contains_exponent(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        assert "x^1.000" in str(fit)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3], [4])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 4])
+        with pytest.raises(ValueError):
+            fit_power_law([-1, 2], [1, 4])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5, 5], [1, 2, 3])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestRatioStability:
+    def test_proportional_series_is_stable(self):
+        xs = [1, 2, 3, 4]
+        ys = [10, 20, 30, 40]
+        ref = [1, 2, 3, 4]
+        assert ratio_stability(xs, ys, ref) == pytest.approx(1.0)
+
+    def test_detects_divergence(self):
+        ys = [10, 40]
+        ref = [1, 2]
+        assert ratio_stability([1, 2], ys, ref) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_reference(self):
+        with pytest.raises(ValueError):
+            ratio_stability([1], [1], [0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ratio_stability([1, 2], [1, 2], [1])

@@ -1,0 +1,179 @@
+"""Tests for the graph-family generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barbell_graph,
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    lollipop_graph,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    standard_families,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(10)
+        assert g.n == 10 and g.m == 9
+        assert diameter(g) == 9
+        assert g.degree(0) == 1 and g.degree(5) == 2
+
+    def test_path_single_node(self):
+        assert path_graph(1).m == 0
+
+    def test_cycle(self):
+        g = cycle_graph(12)
+        assert g.n == 12 and g.m == 12
+        assert all(g.degree(v) == 2 for v in range(12))
+        assert diameter(g) == 6
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15 and diameter(g) == 1
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.degree(0) == 8 and diameter(g) == 2
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12 and g.m == 3 * 3 + 2 * 4
+        assert diameter(g) == 2 + 3
+
+    def test_torus(self):
+        g = torus_graph(4, 6)
+        assert g.n == 24 and g.m == 48
+        assert all(g.degree(v) == 4 for v in range(24))
+        assert diameter(g) == 2 + 3
+
+    def test_torus_too_small(self):
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16 and all(g.degree(v) == 4 for v in range(16))
+        assert diameter(g) == 4
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15 and g.m == 14
+        assert diameter(g) == 6
+
+    def test_barbell(self):
+        g = barbell_graph(5, 3)
+        assert g.n == 2 * 5 + 2  # two interior bridge nodes
+        assert is_connected(g)
+        assert g.degree(0) == 4  # interior clique node
+
+    def test_lollipop(self):
+        g = lollipop_graph(5, 4)
+        assert g.n == 9 and is_connected(g)
+        assert g.degree(g.n - 1) == 1  # tail tip
+
+    def test_bad_parameters(self):
+        for bad in (
+            lambda: barbell_graph(2, 1),
+            lambda: barbell_graph(5, 0),
+            lambda: lollipop_graph(2, 3),
+            lambda: lollipop_graph(5, 0),
+            lambda: grid_graph(0, 5),
+            lambda: hypercube_graph(0),
+            lambda: star_graph(1),
+            lambda: complete_graph(1),
+            lambda: binary_tree_graph(-1),
+        ):
+            with pytest.raises(GraphError):
+                bad()
+
+
+class TestRandomFamilies:
+    def test_gnp_connected_and_reproducible(self):
+        g1 = erdos_renyi_graph(30, 0.2, 7)
+        g2 = erdos_renyi_graph(30, 0.2, 7)
+        assert is_connected(g1)
+        assert g1.edges() == g2.edges()
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 0.0)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_gnp_impossible_raises(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(40, 0.01, 7, max_tries=3)
+
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(20, 4, 11)
+        assert all(g.degree(v) == 4 for v in range(20))
+        assert is_connected(g)
+
+    def test_random_regular_simple(self):
+        g = random_regular_graph(16, 3, 5)
+        seen = set()
+        for u, v in g.edges():
+            assert u != v
+            key = (min(u, v), max(u, v))
+            assert key not in seen
+            seen.add(key)
+
+    def test_random_regular_parity(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(7, 3)
+
+    def test_random_regular_degree_range(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(10, 1)
+        with pytest.raises(GraphError):
+            random_regular_graph(10, 10)
+
+    def test_rgg_connected(self):
+        g = random_geometric_graph(40, 0.45, 3)
+        assert is_connected(g)
+        # Edges respect the radius (checked via reproducing the points is
+        # impossible here, but degrees must be plausible for r=0.45).
+        assert g.m >= g.n - 1
+
+    def test_rgg_too_sparse_raises(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(50, 0.01, 3, max_tries=3)
+
+    def test_rgg_bad_radius(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(10, 0.0)
+
+
+class TestStandardFamilies:
+    def test_bundle_is_connected(self):
+        for g in standard_families(scale=1, seed=1):
+            assert is_connected(g), g.name
+
+    def test_bundle_has_varied_diameters(self):
+        ds = [diameter(g) for g in standard_families(scale=1, seed=1)]
+        assert max(ds) > 4 * min(ds)  # slow and fast topologies both present
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError):
+            standard_families(scale=0)

@@ -1,0 +1,124 @@
+"""Cross-module integration tests: full pipelines on varied topologies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import estimate_mixing_time, random_spanning_tree
+from repro.congest import Network
+from repro.graphs import (
+    diameter,
+    is_bipartite,
+    lollipop_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    standard_families,
+)
+from repro.markov import exact_mixing_time, stationary_distribution
+from repro.util.stats import total_variation_counts
+from repro.walks import (
+    lemma_2_6_bound,
+    naive_random_walk,
+    regenerate_walk,
+    single_random_walk,
+    visit_counts,
+)
+
+
+class TestWalkPipelineAcrossFamilies:
+    def test_single_walk_everywhere(self, small_graph):
+        g = small_graph
+        length = 6 * g.n
+        res = single_random_walk(g, 0, length, seed=42)
+        res.verify_positions(g)
+        assert sum(res.phase_rounds.values()) == res.rounds
+
+    def test_visit_bound_everywhere(self, small_graph):
+        g = small_graph
+        length = 6 * g.n
+        res = single_random_walk(g, 0, length, seed=7)
+        counts = visit_counts(res.positions, g.n)
+        for y in range(g.n):
+            assert counts[y] <= lemma_2_6_bound(g.degree(y), length, max(g.n, 3))
+
+    def test_regeneration_everywhere(self, small_graph):
+        g = small_graph
+        net = Network(g, seed=3)
+        res = single_random_walk(g, 0, 4 * g.n, seed=3, network=net)
+        regen = regenerate_walk(net, res)
+        claimed = sum(len(v) for v in regen.node_positions.values())
+        assert claimed == res.length + 1
+
+
+class TestScaleOneBundle:
+    def test_walks_on_standard_families(self):
+        for g in standard_families(scale=1, seed=5):
+            res = single_random_walk(g, 0, 2 * g.n, seed=5, record_paths=False)
+            assert 0 <= res.destination < g.n
+            assert res.rounds > 0
+
+    def test_rst_on_two_families(self):
+        for g in standard_families(scale=1, seed=6)[:2]:
+            res = random_spanning_tree(g, seed=6)
+            assert g.subgraph_is_spanning_tree(res.edges)
+
+
+class TestLongWalkSampling:
+    def test_long_walk_close_to_stationary(self):
+        # ℓ >> τ_mix: endpoint samples should be near the stationary law
+        # (the §1.2 discussion about rapidly mixing networks).
+        g = random_regular_graph(32, 4, 8)
+        if is_bipartite(g):  # extremely unlikely for random regular
+            pytest.skip("sampled graph bipartite")
+        tau = exact_mixing_time(g, 0)
+        length = 8 * max(tau, 1)
+        endpoints = [
+            single_random_walk(g, 0, length, seed=100 + i, record_paths=False).destination
+            for i in range(300)
+        ]
+        pi = stationary_distribution(g)
+        counts: dict[int, int] = {}
+        for e in endpoints:
+            counts[e] = counts.get(e, 0) + 1
+        tv = total_variation_counts(counts, {v: float(pi[v]) for v in range(g.n)})
+        assert tv < 0.25  # sampling noise at 300 samples dominates
+
+
+class TestGeometricGraphStory:
+    def test_rgg_mixing_exceeds_diameter(self):
+        # The paper's ad-hoc-network motivation: τ_mix >> D on RGGs near
+        # the connectivity threshold.
+        g = random_geometric_graph(48, 0.3, 4)
+        if is_bipartite(g):
+            pytest.skip("sampled graph bipartite")
+        d = diameter(g)
+        tau = exact_mixing_time(g, 0)
+        assert tau > d
+
+    def test_estimator_runs_on_rgg(self):
+        g = random_geometric_graph(36, 0.35, 11)
+        if is_bipartite(g):
+            pytest.skip("sampled graph bipartite")
+        est = estimate_mixing_time(g, 0, seed=11, samples=300)
+        tau = exact_mixing_time(g, 0)
+        assert est.estimate >= max(1, tau // 4)
+
+
+class TestLedgerConsistency:
+    def test_shared_network_is_additive(self):
+        g = lollipop_graph(6, 6)
+        net = Network(g, seed=1)
+        r1 = single_random_walk(g, 0, 100, seed=1, network=net)
+        mid = net.rounds
+        assert mid == r1.rounds
+        r2 = naive_random_walk(g, 0, 50, seed=2, network=net)
+        assert net.rounds == mid + r2.rounds
+
+    def test_messages_never_negative(self, small_graph):
+        net = Network(small_graph, seed=2)
+        single_random_walk(small_graph, 0, 3 * small_graph.n, seed=2, network=net)
+        assert net.messages_sent > 0
+        assert net.ledger.max_congestion >= 1

@@ -1,0 +1,141 @@
+"""Tests for repro.util.intervals, including hypothesis invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import (
+    IntervalSet,
+    intervals_mergeable,
+    merge_intervals,
+    normalize,
+)
+
+
+class TestMergeable:
+    def test_overlap(self):
+        assert intervals_mergeable((1, 5), (3, 8))
+
+    def test_touching(self):
+        assert intervals_mergeable((1, 3), (4, 6))
+        assert intervals_mergeable((4, 6), (1, 3))
+
+    def test_disjoint(self):
+        assert not intervals_mergeable((1, 3), (5, 8))
+
+    def test_contained(self):
+        assert intervals_mergeable((1, 10), (3, 4))
+
+
+class TestMerge:
+    def test_union(self):
+        assert merge_intervals((1, 5), (3, 8)) == (1, 8)
+
+    def test_touching_union(self):
+        assert merge_intervals((1, 3), (4, 6)) == (1, 6)
+
+    def test_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            merge_intervals((1, 2), (5, 6))
+
+
+class TestNormalize:
+    def test_collapses_chain(self):
+        assert normalize([(5, 6), (1, 2), (3, 4)]) == [(1, 6)]
+
+    def test_keeps_gaps(self):
+        # (1,2) and (4,5) are separated by the uncovered point 3.
+        assert normalize([(1, 2), (4, 5), (9, 9)]) == [(1, 2), (4, 5), (9, 9)]
+        # but (1,3) and (4,5) touch, so they merge.
+        assert normalize([(1, 3), (4, 5), (9, 9)]) == [(1, 5), (9, 9)]
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            normalize([(5, 3)])
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+
+class TestIntervalSet:
+    def test_add_reports_change(self):
+        s = IntervalSet([(1, 3)])
+        assert s.add((10, 12)) is True
+        assert s.add((2, 3)) is False  # already covered
+
+    def test_covers(self):
+        s = IntervalSet([(1, 5), (8, 9)])
+        assert s.covers((2, 4))
+        assert not s.covers((4, 8))
+
+    def test_covers_point_and_contains(self):
+        s = IntervalSet([(3, 5)])
+        assert s.covers_point(4)
+        assert 4 in s
+        assert 6 not in s
+        assert "x" not in s
+
+    def test_largest(self):
+        s = IntervalSet([(1, 2), (5, 9)])
+        assert s.largest() == (5, 9)
+
+    def test_largest_empty(self):
+        assert IntervalSet().largest() is None
+
+    def test_total_length(self):
+        s = IntervalSet([(1, 3), (5, 5)])
+        assert s.total_length() == 4
+
+    def test_update(self):
+        s = IntervalSet()
+        assert s.update([(1, 2), (3, 4)]) is True
+        assert s.as_list() == [(1, 4)]
+
+    def test_equality(self):
+        assert IntervalSet([(1, 2), (3, 4)]) == IntervalSet([(1, 4)])
+
+    def test_add_malformed(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add((5, 1))
+
+
+@st.composite
+def interval_lists(draw):
+    n = draw(st.integers(0, 12))
+    out = []
+    for _ in range(n):
+        lo = draw(st.integers(0, 50))
+        hi = draw(st.integers(lo, lo + 10))
+        out.append((lo, hi))
+    return out
+
+
+class TestIntervalSetProperties:
+    @given(interval_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_normalized_is_sorted_and_disjoint(self, intervals):
+        items = IntervalSet(intervals).as_list()
+        for (alo, ahi), (blo, bhi) in zip(items, items[1:]):
+            assert ahi + 1 < blo  # strictly separated (else they'd merge)
+            assert alo <= ahi and blo <= bhi
+
+    @given(interval_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_coverage_preserved(self, intervals):
+        s = IntervalSet(intervals)
+        points = {p for lo, hi in intervals for p in range(lo, hi + 1)}
+        for p in points:
+            assert s.covers_point(p)
+        # Touching-merge never invents coverage: [a,b]+[b+1,c] = [a,c] adds
+        # no integer outside the union, so the total is exactly preserved.
+        assert s.total_length() == len(points)
+
+    @given(interval_lists(), interval_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_update_is_union(self, first, second):
+        s = IntervalSet(first)
+        s.update(second)
+        t = IntervalSet(list(first) + list(second))
+        assert s == t

@@ -1,0 +1,165 @@
+"""Tests for the Section-3 lower-bound construction G_n (Definition 3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import build_lower_bound_graph, diameter, is_connected, round_bound
+from repro.graphs.lower_bound import _choose_k_prime
+
+
+class TestKPrime:
+    def test_definition_inequalities(self):
+        # k' is a power of two with k'/2 <= 4k < k'.
+        for k in (1, 2, 3, 5, 8, 19, 64):
+            kp = _choose_k_prime(k)
+            assert kp & (kp - 1) == 0
+            assert kp / 2 <= 4 * k < kp
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        inst = build_lower_bound_graph(100)
+        # n' path nodes + (2k' - 1) tree nodes.
+        assert inst.graph.n == inst.n_prime + 2 * inst.k_prime - 1
+        assert inst.n_prime >= 100
+        assert inst.n_prime % inst.k_prime == 0
+
+    def test_connected(self):
+        assert is_connected(build_lower_bound_graph(64).graph)
+
+    def test_logarithmic_diameter(self):
+        # Theorem 3.2 promises diameter O(log n); check a generous constant.
+        for n in (64, 256, 1024):
+            inst = build_lower_bound_graph(n)
+            d = diameter(inst.graph)
+            assert d <= 6 * math.log2(inst.graph.n) + 8, (n, d)
+
+    def test_path_is_a_path(self):
+        inst = build_lower_bound_graph(64)
+        g = inst.graph
+        for i in range(1, inst.n_prime):
+            assert g.has_edge(inst.path_node(i), inst.path_node(i + 1))
+
+    def test_leaf_attachment_pattern(self):
+        inst = build_lower_bound_graph(64)
+        g = inst.graph
+        # Leaf u_i is wired to v_{j k' + i} for every j.
+        for idx, leaf in enumerate(inst.leaves):
+            i = idx + 1
+            j = 0
+            while j * inst.k_prime + i <= inst.n_prime:
+                assert g.has_edge(leaf, inst.path_node(j * inst.k_prime + i))
+                j += 1
+
+    def test_each_path_node_has_one_leaf(self):
+        inst = build_lower_bound_graph(64)
+        g = inst.graph
+        leaf_set = set(inst.leaves)
+        for v in range(inst.n_prime):
+            tree_neighbors = [u for u in g.neighbor_set(v) if inst.is_tree_node(u)]
+            assert len(tree_neighbors) == 1
+            assert tree_neighbors[0] in leaf_set
+            assert tree_neighbors[0] == inst.leaf_of_path_node(v)
+
+    def test_tree_is_binary(self):
+        inst = build_lower_bound_graph(64)
+        g = inst.graph
+        root = inst.root
+        # Root has exactly two tree children.
+        kids = [u for u in g.neighbor_set(root) if inst.is_tree_node(u)]
+        assert sorted(kids) == [inst.left_child, inst.right_child]
+
+    def test_path_index_roundtrip(self):
+        inst = build_lower_bound_graph(32)
+        for i in (1, 2, inst.n_prime):
+            assert inst.path_index(inst.path_node(i)) == i
+        with pytest.raises(GraphError):
+            inst.path_node(0)
+        with pytest.raises(GraphError):
+            inst.path_index(inst.root)
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            build_lower_bound_graph(3)
+
+    def test_explicit_k(self):
+        inst = build_lower_bound_graph(64, k=2)
+        assert inst.k == 2
+        assert inst.k_prime == _choose_k_prime(2)
+
+
+class TestLeftRightSplit:
+    def test_partition(self):
+        inst = build_lower_bound_graph(64)
+        left = set(inst.left_path_nodes())
+        right = set(inst.right_path_nodes())
+        assert left | right == set(range(inst.n_prime))
+        assert not (left & right)
+
+    def test_left_nodes_attach_to_left_subtree(self):
+        inst = build_lower_bound_graph(64)
+        half = inst.k_prime // 2
+        left_leaves = set(inst.leaves[:half])
+        for v in inst.left_path_nodes():
+            assert inst.leaf_of_path_node(v) in left_leaves
+
+
+class TestBreakpoints:
+    def test_counts_scale(self):
+        # Lemma 3.4: at least n/(4k) breakpoints per side.
+        inst = build_lower_bound_graph(256)
+        expected_min = inst.n_prime / (4 * inst.k_prime)  # conservative reading
+        assert len(inst.left_breakpoints()) >= expected_min
+        assert len(inst.right_breakpoints()) >= expected_min
+
+    def test_left_breakpoints_far_from_left_leaves(self):
+        # A left breakpoint is > k path-hops from every node of L.
+        inst = build_lower_bound_graph(128)
+        left_positions = {inst.path_index(v) for v in inst.left_path_nodes()}
+        for b in inst.left_breakpoints():
+            pos = inst.path_index(b)
+            nearest = min(abs(pos - p) for p in left_positions)
+            assert nearest > inst.k
+
+    def test_breakpoint_spacing_is_k_prime(self):
+        inst = build_lower_bound_graph(128)
+        bps = [inst.path_index(b) for b in inst.right_breakpoints()]
+        assert all(b2 - b1 == inst.k_prime for b1, b2 in zip(bps, bps[1:]))
+
+
+class TestWeightedVariant:
+    def test_forward_probability_close_to_one(self):
+        inst = build_lower_bound_graph(64)
+        w = 2.0 * inst.n_prime
+        for i in (1, 2, 10, inst.n_prime - 1):
+            p = inst.forward_probability(i)
+            assert 1.0 - 2.0 / w**2 <= p < 1.0
+
+    def test_forward_probability_at_first_vertex(self):
+        inst = build_lower_bound_graph(64)
+        w = 2.0 * inst.n_prime
+        # v_1 has no backward edge: p = 1 / (1 + W^-2).
+        assert inst.forward_probability(1) == pytest.approx(1.0 / (1.0 + w**-2.0))
+
+    def test_forward_probability_range_checks(self):
+        inst = build_lower_bound_graph(64)
+        with pytest.raises(GraphError):
+            inst.forward_probability(0)
+        with pytest.raises(GraphError):
+            inst.forward_probability(inst.n_prime)
+
+
+class TestRoundBound:
+    def test_curve_values(self):
+        assert round_bound(100) == pytest.approx(math.sqrt(100 / math.log(100)))
+
+    def test_monotone(self):
+        assert round_bound(10_000) > round_bound(100)
+
+    def test_small_length_raises(self):
+        with pytest.raises(GraphError):
+            round_bound(1)

@@ -1,0 +1,125 @@
+"""Tests for MANY-RANDOM-WALKS — both Theorem 2.8 regimes and exactness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph, torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import many_random_walks, many_walks_params
+
+
+class TestParams:
+    def test_naive_branch_when_lambda_exceeds_length(self):
+        # Large k and D force λ > ℓ: Theorem 2.8's k+ℓ branch.
+        p = many_walks_params(50, 20, 30, n=64)
+        assert p.use_naive
+
+    def test_stitched_branch(self):
+        p = many_walks_params(2, 5000, 8, n=64)
+        assert not p.use_naive
+
+    def test_validation(self):
+        with pytest.raises(WalkError):
+            many_walks_params(0, 10, 5)
+
+
+class TestNaiveParallelMode:
+    def test_mode_and_counts(self, torus_6x6):
+        # Many sources, short walks: λ = √(kℓD)+k exceeds ℓ -> naive branch.
+        res = many_random_walks(torus_6x6, list(range(12)), 25, seed=1)
+        assert res.mode == "naive-parallel"
+        assert res.k == 12
+        assert len(res.destinations) == 12
+
+    def test_rounds_near_k_plus_length(self, torus_6x6):
+        k, length = 16, 30
+        res = many_random_walks(torus_6x6, list(range(k)), length, seed=2)
+        assert res.mode == "naive-parallel"
+        # ℓ iterations with mild congestion plus the k-report term.
+        assert res.rounds >= length
+        assert res.rounds <= 4 * (k + length)
+
+    def test_trajectories_when_recorded(self, torus_6x6):
+        res = many_random_walks(torus_6x6, [0, 7], 30, seed=3, record_paths=True)
+        assert res.positions is not None
+        for src, traj in zip(res.sources, res.positions):
+            assert traj[0] == src and len(traj) == 31
+            for a, b in zip(traj[:-1], traj[1:]):
+                assert torus_6x6.has_edge(int(a), int(b))
+
+    def test_endpoint_law_per_walk(self):
+        g = cycle_graph(8)
+        length = 10
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints: list[int] = []
+        for i in range(60):
+            res = many_random_walks(g, [0] * 10, length, seed=100 + i)
+            endpoints.extend(res.destinations)
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+
+class TestStitchedMode:
+    def test_mode_forced_by_small_lambda(self):
+        g = hypercube_graph(5)
+        res = many_random_walks(g, [0, 3], 800, seed=4, lam=40)
+        assert res.mode == "stitched"
+        assert len(res.destinations) == 2
+
+    def test_endpoint_law_stitched(self):
+        g = complete_graph(6)
+        length = 60
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints: list[int] = []
+        for i in range(120):
+            res = many_random_walks(g, [0] * 4, length, seed=300 + i, lam=8)
+            assert res.mode == "stitched"
+            endpoints.extend(res.destinations)
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n)}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_positions_recorded_in_stitched_mode(self):
+        g = hypercube_graph(5)
+        res = many_random_walks(g, [0, 1], 500, seed=5, lam=30, record_paths=True)
+        assert res.mode == "stitched"
+        assert res.positions is not None
+        for src, traj in zip(res.sources, res.positions):
+            assert traj[0] == src and len(traj) == 501
+
+    def test_shared_pool_spends_tokens_once(self):
+        # k stitched walks from one source must never reuse a segment:
+        # the store must be drawn down by at least the stitch count.
+        g = hypercube_graph(5)
+        res = many_random_walks(g, [0] * 3, 600, seed=6, lam=30)
+        assert res.mode == "stitched"
+        # all three walks completed with valid endpoints
+        assert all(0 <= d < g.n for d in res.destinations)
+
+
+class TestScaling:
+    def test_k_walks_cheaper_than_k_separate_runs(self):
+        from repro.walks import single_random_walk
+
+        g = hypercube_graph(6)
+        length = 2000
+        k = 4
+        batch = many_random_walks(g, [0] * k, length, seed=7)
+        separate = sum(
+            single_random_walk(g, 0, length, seed=8 + i, record_paths=False).rounds
+            for i in range(k)
+        )
+        assert batch.rounds < separate
+
+    def test_validation(self, torus_6x6):
+        with pytest.raises(WalkError):
+            many_random_walks(torus_6x6, [], 10, seed=0)
+        with pytest.raises(WalkError):
+            many_random_walks(torus_6x6, [0], 0, seed=0)
+        with pytest.raises(WalkError):
+            many_random_walks(torus_6x6, [99], 10, seed=0)

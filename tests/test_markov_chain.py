@@ -1,0 +1,167 @@
+"""Tests for exact Markov-chain machinery (transition, spectrum, mixing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, GraphError
+from repro.graphs import Graph, complete_graph, cycle_graph, grid_graph, star_graph, torus_graph
+from repro.markov import (
+    MIXING_EPSILON,
+    WalkSpectrum,
+    distribution_at,
+    exact_mixing_time,
+    stationary_distribution,
+    transition_matrix,
+    tv_from_stationary,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self):
+        for g in (cycle_graph(7), star_graph(6), complete_graph(5)):
+            p = transition_matrix(g)
+            assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_unweighted_uniform_over_neighbors(self):
+        g = star_graph(5)
+        p = transition_matrix(g)
+        assert p[0, 1] == pytest.approx(0.25)
+        assert p[1, 0] == pytest.approx(1.0)
+
+    def test_weighted_proportional(self):
+        g = Graph(3, [(0, 1), (0, 2)], weights=[1.0, 3.0])
+        p = transition_matrix(g)
+        assert p[0, 1] == pytest.approx(0.25)
+        assert p[0, 2] == pytest.approx(0.75)
+
+    def test_lazy_adds_half_self_loop(self):
+        g = cycle_graph(5)
+        p = transition_matrix(g, lazy=True)
+        assert np.allclose(np.diag(p), 0.5)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_parallel_edges_accumulate(self):
+        g = Graph(2, [(0, 1), (0, 1)])
+        p = transition_matrix(g)
+        assert p[0, 1] == pytest.approx(1.0)
+
+
+class TestStationary:
+    def test_degree_proportional(self):
+        g = star_graph(5)
+        pi = stationary_distribution(g)
+        assert pi[0] == pytest.approx(0.5)
+        assert pi[1] == pytest.approx(0.125)
+
+    def test_invariance(self):
+        for g in (cycle_graph(6), grid_graph(3, 4), complete_graph(5)):
+            pi = stationary_distribution(g)
+            p = transition_matrix(g)
+            assert np.allclose(pi @ p, pi, atol=1e-12)
+
+    def test_edgeless_raises(self):
+        with pytest.raises(GraphError):
+            stationary_distribution(Graph(2, []))
+
+
+class TestWalkSpectrum:
+    def test_distribution_matches_matrix_power(self):
+        g = grid_graph(3, 3)
+        spec = WalkSpectrum(g)
+        p = transition_matrix(g)
+        for t in (0, 1, 2, 5, 17):
+            brute = np.linalg.matrix_power(p, t)[4]
+            assert np.allclose(spec.distribution(4, t), brute, atol=1e-9), t
+
+    def test_distribution_large_t_reaches_stationary(self):
+        g = complete_graph(6)
+        spec = WalkSpectrum(g)
+        assert np.allclose(spec.distribution(0, 500), spec.pi, atol=1e-9)
+
+    def test_weighted_graph_distribution(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 2.0, 4.0])
+        spec = WalkSpectrum(g)
+        p = transition_matrix(g)
+        brute = np.linalg.matrix_power(p, 7)[1]
+        assert np.allclose(spec.distribution(1, 7), brute, atol=1e-9)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(GraphError):
+            WalkSpectrum(cycle_graph(5)).distribution(0, -1)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            WalkSpectrum(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_tv_and_l1_consistent(self):
+        g = cycle_graph(9)
+        spec = WalkSpectrum(g)
+        assert spec.l1_from_stationary(0, 5) == pytest.approx(2 * spec.tv_from_stationary(0, 5))
+
+    def test_one_shot_helpers(self):
+        g = cycle_graph(7)
+        assert np.allclose(distribution_at(g, 0, 3), WalkSpectrum(g).distribution(0, 3))
+        assert tv_from_stationary(g, 0, 3) == pytest.approx(
+            WalkSpectrum(g).tv_from_stationary(0, 3)
+        )
+
+
+class TestMonotonicity:
+    def test_lemma_4_4_l1_nonincreasing(self):
+        # ||pi_x(t+1) - pi||_1 <= ||pi_x(t) - pi||_1 on non-bipartite graphs.
+        for g in (cycle_graph(9), torus_graph(5, 5), complete_graph(6)):
+            spec = WalkSpectrum(g)
+            values = [spec.l1_from_stationary(0, t) for t in range(0, 40)]
+            for a, b in zip(values, values[1:]):
+                assert b <= a + 1e-9
+
+
+class TestExactMixingTime:
+    def test_definition_boundary(self):
+        g = torus_graph(5, 5)
+        spec = WalkSpectrum(g)
+        tau = exact_mixing_time(g, 0, spectrum=spec)
+        assert spec.l1_from_stationary(0, tau) < MIXING_EPSILON
+        assert spec.l1_from_stationary(0, tau - 1) >= MIXING_EPSILON
+
+    def test_matches_linear_scan(self):
+        g = cycle_graph(9)
+        spec = WalkSpectrum(g)
+        tau = exact_mixing_time(g, 0, spectrum=spec)
+        linear = next(
+            t for t in range(10_000) if spec.l1_from_stationary(0, t) < MIXING_EPSILON
+        )
+        assert tau == linear
+
+    def test_complete_graph_mixes_fast(self):
+        assert exact_mixing_time(complete_graph(16), 0) <= 3
+
+    def test_cycle_mixes_slowly(self):
+        assert exact_mixing_time(cycle_graph(25), 0) > 50
+
+    def test_scaling_with_cycle_size(self):
+        # τ ~ n² on cycles.
+        t1 = exact_mixing_time(cycle_graph(11), 0)
+        t2 = exact_mixing_time(cycle_graph(33), 0)
+        assert 4 < t2 / t1 < 20  # around 9x for 3x the size
+
+    def test_bipartite_rejected(self):
+        with pytest.raises(GraphError):
+            exact_mixing_time(cycle_graph(8), 0)
+
+    def test_custom_epsilon_monotone(self):
+        g = torus_graph(5, 5)
+        spec = WalkSpectrum(g)
+        loose = exact_mixing_time(g, 0, 0.5, spectrum=spec)
+        tight = exact_mixing_time(g, 0, 0.01, spectrum=spec)
+        assert loose <= tight
+
+    def test_bad_epsilon(self):
+        with pytest.raises(GraphError):
+            exact_mixing_time(torus_graph(5, 5), 0, 0.0)
+
+    def test_budget_exceeded(self):
+        with pytest.raises(ConvergenceError):
+            exact_mixing_time(cycle_graph(101), 0, max_t=4)

@@ -1,0 +1,99 @@
+"""Tests for Metropolis–Hastings walks (the PODC'09 generality extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.graphs import cycle_graph, path_graph, star_graph, torus_graph
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import (
+    metropolis_transition_matrix,
+    metropolis_walk,
+    naive_metropolis_walk,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self):
+        g = star_graph(8)
+        p = metropolis_transition_matrix(g)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_uniform_target_is_stationary(self):
+        # MH with uniform target: uniform distribution must be invariant.
+        g = star_graph(8)  # heavily skewed degrees
+        p = metropolis_transition_matrix(g)
+        uniform = np.full(g.n, 1 / g.n)
+        assert np.allclose(uniform @ p, uniform, atol=1e-12)
+
+    def test_custom_target_is_stationary(self):
+        g = torus_graph(4, 4)
+        rng = make_rng(0)
+        target = rng.random(g.n) + 0.5
+        target /= target.sum()
+        p = metropolis_transition_matrix(g, target)
+        assert np.allclose(target @ p, target, atol=1e-12)
+
+    def test_detailed_balance(self):
+        g = cycle_graph(6)
+        target = np.array([1, 2, 3, 1, 2, 3], dtype=float)
+        target /= target.sum()
+        p = metropolis_transition_matrix(g, target)
+        for u in range(6):
+            for v in range(6):
+                assert target[u] * p[u, v] == pytest.approx(target[v] * p[v, u], abs=1e-12)
+
+    def test_bad_target_rejected(self):
+        g = cycle_graph(5)
+        with pytest.raises(WalkError):
+            metropolis_transition_matrix(g, np.zeros(g.n))
+        with pytest.raises(WalkError):
+            metropolis_transition_matrix(g, np.ones(3))
+
+
+class TestWalk:
+    def test_trajectory_valid(self):
+        g = torus_graph(4, 4)
+        path = metropolis_walk(g, 0, 50, 1)
+        assert len(path) == 51
+        for a, b in zip(path, path[1:]):
+            assert a == b or g.has_edge(a, b)
+
+    def test_matches_matrix_law(self):
+        g = path_graph(5)
+        t = 6
+        p = metropolis_transition_matrix(g)
+        dist = np.linalg.matrix_power(p, t)[0]
+        endpoints = [metropolis_walk(g, 0, t, 100 + i)[-1] for i in range(2000)]
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_negative_length(self):
+        with pytest.raises(WalkError):
+            metropolis_walk(cycle_graph(5), 0, -1, 0)
+
+
+class TestDistributedWrapper:
+    def test_rounds_are_setup_plus_moves(self):
+        g = star_graph(10)
+        res = naive_metropolis_walk(g, 0, 80, seed=2)
+        positions = res.positions
+        moves = sum(1 for a, b in zip(positions[:-1], positions[1:]) if a != b)
+        assert res.rounds == 1 + moves  # one setup round + one per move
+        assert res.mode == "metropolis-naive"
+
+    def test_rejections_cost_nothing(self):
+        # On a star with uniform target, leaf -> hub moves are accepted
+        # with probability 1/(n-1): most steps are rejections (self-loops),
+        # so rounds must be far below ℓ.
+        g = star_graph(20)
+        res = naive_metropolis_walk(g, 1, 400, seed=3)
+        assert res.rounds < 250
+
+    def test_validation(self):
+        with pytest.raises(WalkError):
+            naive_metropolis_walk(cycle_graph(5), 0, 0, seed=0)

@@ -1,0 +1,84 @@
+"""Tests for the naive baseline — both the charged and protocol versions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.errors import WalkError
+from repro.graphs import cycle_graph, torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import TokenWalkProtocol, naive_random_walk
+
+
+class TestChargedNaiveWalk:
+    def test_rounds_equal_length(self, torus_6x6):
+        res = naive_random_walk(torus_6x6, 0, 321, seed=1)
+        assert res.rounds == 321
+        assert res.mode == "naive"
+
+    def test_report_doubles_rounds(self, torus_6x6):
+        res = naive_random_walk(torus_6x6, 0, 100, seed=2, report_to_source=True)
+        assert res.rounds == 200
+
+    def test_positions_valid(self, torus_6x6):
+        res = naive_random_walk(torus_6x6, 0, 150, seed=3)
+        res.verify_positions(torus_6x6)
+
+    def test_validation(self, torus_6x6):
+        with pytest.raises(WalkError):
+            naive_random_walk(torus_6x6, 99, 10, seed=0)
+        with pytest.raises(WalkError):
+            naive_random_walk(torus_6x6, 0, 0, seed=0)
+
+    def test_endpoint_law(self):
+        g = cycle_graph(8)
+        dist = WalkSpectrum(g).distribution(0, 11)
+        endpoints = [naive_random_walk(g, 0, 11, seed=i).destination for i in range(800)]
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+
+class TestTokenWalkProtocol:
+    def test_protocol_rounds_equal_length(self):
+        g = torus_graph(5, 5)
+        net = Network(g, seed=4)
+        proto = TokenWalkProtocol(source=0, length=40)
+        rounds = net.run(proto)
+        assert rounds == 40
+        assert proto.destination is not None
+
+    def test_protocol_trajectory_valid(self):
+        g = torus_graph(5, 5)
+        net = Network(g, seed=5)
+        proto = TokenWalkProtocol(source=3, length=25)
+        net.run(proto)
+        assert len(proto.trajectory) == 26
+        assert proto.trajectory[0] == 3
+        assert proto.trajectory[-1] == proto.destination
+        for a, b in zip(proto.trajectory, proto.trajectory[1:]):
+            assert g.has_edge(a, b)
+
+    def test_protocol_matches_charged_endpoint_law(self):
+        # Same algorithm, two engine styles: both must follow P^t.
+        g = cycle_graph(6)
+        dist = WalkSpectrum(g).distribution(0, 9)
+        endpoints = []
+        for i in range(600):
+            net = Network(g, seed=1000 + i)
+            proto = TokenWalkProtocol(source=0, length=9)
+            net.run(proto)
+            endpoints.append(proto.destination)
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_zero_length_token(self):
+        g = cycle_graph(5)
+        net = Network(g, seed=6)
+        proto = TokenWalkProtocol(source=2, length=0)
+        rounds = net.run(proto)
+        assert rounds == 0
+        assert proto.destination == 2

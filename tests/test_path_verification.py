@@ -1,0 +1,149 @@
+"""Tests for PATH-VERIFICATION and the interval-merging verifier."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    build_lower_bound_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    pseudo_diameter,
+    round_bound,
+)
+from repro.lowerbound import (
+    IntervalMergingVerifier,
+    PathVerificationInstance,
+    verify_path_centralized,
+)
+
+
+class TestInstance:
+    def test_from_lower_bound_full(self):
+        inst = build_lower_bound_graph(64)
+        pv = PathVerificationInstance.from_lower_bound(inst)
+        assert pv.length == inst.n_prime
+        assert verify_path_centralized(pv.graph, pv.sequence)
+
+    def test_from_lower_bound_prefix(self):
+        inst = build_lower_bound_graph(64)
+        pv = PathVerificationInstance.from_lower_bound(inst, length=10)
+        assert pv.length == 10
+
+    def test_length_validation(self):
+        inst = build_lower_bound_graph(64)
+        with pytest.raises(GraphError):
+            PathVerificationInstance.from_lower_bound(inst, length=0)
+        with pytest.raises(GraphError):
+            PathVerificationInstance.from_lower_bound(inst, length=10**9)
+
+    def test_positions_of(self):
+        g = path_graph(5)
+        pv = PathVerificationInstance(graph=g, sequence=(0, 1, 2, 1, 0))
+        assert pv.positions_of(1) == [2, 4]
+        assert pv.positions_of(4) == []
+
+
+class TestCentralizedCheck:
+    def test_valid_path(self):
+        g = cycle_graph(6)
+        assert verify_path_centralized(g, [0, 1, 2, 3])
+
+    def test_invalid_path(self):
+        g = path_graph(5)
+        assert not verify_path_centralized(g, [0, 2])
+
+    def test_repeated_vertices_fine(self):
+        g = path_graph(3)
+        assert verify_path_centralized(g, [0, 1, 0, 1, 2])
+
+
+class TestVerifier:
+    def test_simple_path_verifies(self):
+        g = path_graph(12)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(range(12)))
+        result = IntervalMergingVerifier(pv).run()
+        assert result.verified
+        assert result.verifier_node is not None
+        assert result.rounds >= 1
+
+    def test_rounds_scale_with_path_length_on_a_path_graph(self):
+        # Without shortcuts, information travels 1 hop/round: verifying a
+        # length-n path needs Ω(n) rounds.
+        g = path_graph(40)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(range(40)))
+        result = IntervalMergingVerifier(pv).run()
+        assert result.rounds >= 19  # roughly half the length (meet in middle)
+
+    def test_complete_graph_is_fast(self):
+        g = complete_graph(12)
+        seq = tuple(range(12))
+        result = IntervalMergingVerifier(
+            PathVerificationInstance(graph=g, sequence=seq)
+        ).run()
+        assert result.verified
+        assert result.rounds <= 12
+
+    def test_non_path_sequence_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(GraphError):
+            IntervalMergingVerifier(PathVerificationInstance(graph=g, sequence=(0, 3)))
+
+    def test_coverage_history_monotone(self):
+        g = path_graph(20)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(range(20)))
+        result = IntervalMergingVerifier(pv).run()
+        hist = result.coverage_history
+        assert all(a <= b for a, b in zip(hist, hist[1:]))
+        assert hist[-1] == 20
+
+    def test_round_budget(self):
+        g = path_graph(30)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(range(30)))
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            IntervalMergingVerifier(pv).run(max_rounds=2)
+
+    def test_verifier_holds_full_interval(self):
+        g = cycle_graph(10)
+        pv = PathVerificationInstance(graph=g, sequence=tuple(range(10)))
+        verifier = IntervalMergingVerifier(pv)
+        result = verifier.run()
+        state = verifier.states[result.verifier_node]
+        assert state.verified.covers((1, 10))
+
+
+class TestOnLowerBoundGraph:
+    def test_verifies_and_respects_lower_bound(self):
+        inst = build_lower_bound_graph(128)
+        pv = PathVerificationInstance.from_lower_bound(inst)
+        result = IntervalMergingVerifier(pv).run()
+        assert result.verified
+        # Theorem 3.2: any algorithm in the class needs at least
+        # ~sqrt(l/log l) rounds (up to the proof's constants); our greedy
+        # algorithm must sit above a constant fraction of that curve and
+        # be at most ~the trivial O(l) bound.
+        curve = round_bound(pv.length)
+        assert result.rounds >= 0.3 * curve
+        assert result.rounds <= pv.length
+
+    def test_much_faster_than_path_only(self):
+        # The tree shortcuts must beat the pure-path linear time.
+        inst = build_lower_bound_graph(256)
+        pv = PathVerificationInstance.from_lower_bound(inst)
+        result = IntervalMergingVerifier(pv).run()
+        assert result.rounds < pv.length / 3
+
+    def test_rounds_grow_with_instance(self):
+        r_small = IntervalMergingVerifier(
+            PathVerificationInstance.from_lower_bound(build_lower_bound_graph(64))
+        ).run()
+        r_large = IntervalMergingVerifier(
+            PathVerificationInstance.from_lower_bound(build_lower_bound_graph(1024))
+        ).run()
+        assert r_large.rounds > r_small.rounds

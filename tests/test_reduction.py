@@ -1,0 +1,79 @@
+"""Tests for the Section-3.2 weighted reduction (Theorem 3.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import build_lower_bound_graph
+from repro.lowerbound import simulate_reduction, weighted_walk
+from repro.util.rng import make_rng
+
+
+class TestWeightedWalk:
+    def test_walk_is_valid_in_graph(self):
+        inst = build_lower_bound_graph(64)
+        walk = weighted_walk(inst, 50, make_rng(1))
+        g = inst.graph
+        assert len(walk) == 51
+        for a, b in zip(walk, walk[1:]):
+            assert g.has_edge(a, b)
+
+    def test_follows_path_with_high_probability(self):
+        # P[follow all of P] >= 1 - l/(2n')^2; for n'=64 that's > 0.99.
+        inst = build_lower_bound_graph(64)
+        rng = make_rng(2)
+        length = inst.n_prime - 1
+        expected = [inst.path_node(i) for i in range(1, length + 2)]
+        followed = sum(weighted_walk(inst, length, rng) == expected for _ in range(50))
+        assert followed >= 45
+
+    def test_deviations_are_rare_per_step(self):
+        inst = build_lower_bound_graph(128)
+        rng = make_rng(3)
+        deviations = 0
+        steps = 0
+        for _ in range(20):
+            walk = weighted_walk(inst, inst.n_prime - 1, rng)
+            for a, b in zip(walk, walk[1:]):
+                if inst.is_path_node(a):
+                    steps += 1
+                    # Any move that is not the forward path edge is a deviation.
+                    if b != a + 1:
+                        deviations += 1
+        # Departures from the forward path should be far below 1% of steps.
+        assert deviations / max(steps, 1) < 0.01
+
+    def test_length_validation(self):
+        inst = build_lower_bound_graph(64)
+        with pytest.raises(GraphError):
+            weighted_walk(inst, 0, make_rng(0))
+
+
+class TestSimulateReduction:
+    def test_report_fields(self):
+        report = simulate_reduction(64, trials=10, seed=4)
+        assert report.n == 64
+        assert report.trials == 10
+        assert 0.0 <= report.follow_fraction <= 1.0
+        assert report.verification_rounds > 0
+        assert report.lower_bound_curve > 0
+        assert report.diameter_bound >= 1
+
+    def test_follow_fraction_high(self):
+        report = simulate_reduction(64, trials=30, seed=5)
+        assert report.follow_fraction >= 0.9
+
+    def test_verification_respects_curve(self):
+        report = simulate_reduction(256, trials=2, seed=6)
+        assert report.verification_rounds >= 0.3 * report.lower_bound_curve
+
+    def test_skip_verification(self):
+        report = simulate_reduction(64, trials=2, seed=7, verify=False)
+        assert report.verification_rounds == 0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            simulate_reduction(64, trials=0)
+        with pytest.raises(GraphError):
+            simulate_reduction(64, length=10**9, trials=1)

@@ -1,0 +1,66 @@
+"""Tests for walk regeneration (§2.2, 'Regenerating the entire random walk')."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.errors import WalkError
+from repro.graphs import hypercube_graph, torus_graph
+from repro.walks import naive_random_walk, positions_by_node, regenerate_walk, single_random_walk
+
+
+class TestPositionsByNode:
+    def test_inversion(self):
+        traj = np.array([3, 1, 3, 2])
+        mapping = positions_by_node(traj)
+        assert mapping == {3: [0, 2], 1: [1], 2: [3]}
+
+
+class TestRegenerate:
+    def test_mapping_matches_trajectory(self, torus_6x6):
+        net = Network(torus_6x6, seed=1)
+        res = single_random_walk(torus_6x6, 0, 300, seed=1, network=net)
+        regen = regenerate_walk(net, res)
+        # Every node's claimed positions point back at itself.
+        for node, steps in regen.node_positions.items():
+            for t in steps:
+                assert res.positions[t] == node
+        # And every step is claimed by exactly one node.
+        total = sum(len(v) for v in regen.node_positions.values())
+        assert total == res.length + 1
+
+    def test_charges_rounds_for_stitched(self, torus_6x6):
+        net = Network(torus_6x6, seed=2)
+        res = single_random_walk(torus_6x6, 0, 300, seed=2, network=net)
+        before = net.rounds
+        regen = regenerate_walk(net, res)
+        assert res.mode == "stitched"
+        assert regen.rounds > 0
+        assert net.rounds == before + regen.rounds
+        assert regen.replayed_segments == len(res.segments)
+
+    def test_cost_bounded_by_phase1(self):
+        # "takes time at most the time taken in Phase 1" — with slack for
+        # the connector-informing sweep (height + #segments).
+        g = hypercube_graph(6)
+        net = Network(g, seed=3)
+        res = single_random_walk(g, 0, 3000, seed=3, network=net)
+        phase1 = res.phase_rounds["phase1"]
+        regen = regenerate_walk(net, res)
+        slack = g.n + len(res.segments)
+        assert regen.rounds <= phase1 + slack
+
+    def test_naive_walk_is_free(self, torus_6x6):
+        net = Network(torus_6x6, seed=4)
+        res = naive_random_walk(torus_6x6, 0, 100, seed=4, network=net)
+        regen = regenerate_walk(net, res)
+        assert regen.rounds == 0
+        assert sum(len(v) for v in regen.node_positions.values()) == 101
+
+    def test_requires_recorded_paths(self, torus_6x6):
+        net = Network(torus_6x6, seed=5)
+        res = single_random_walk(torus_6x6, 0, 200, seed=5, network=net, record_paths=False)
+        with pytest.raises(WalkError):
+            regenerate_walk(net, res)

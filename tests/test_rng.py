@@ -1,0 +1,85 @@
+"""Tests for repro.util.rng — deterministic derivation and independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, key_to_entropy, make_rng, spawn_rngs
+
+
+class TestKeyToEntropy:
+    def test_int_keys_are_masked_to_64_bits(self):
+        assert key_to_entropy(5) == 5
+        assert key_to_entropy(2**64 + 7) == 7
+
+    def test_string_keys_are_stable(self):
+        assert key_to_entropy("phase1") == key_to_entropy("phase1")
+
+    def test_distinct_strings_differ(self):
+        assert key_to_entropy("phase1") != key_to_entropy("phase2")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            key_to_entropy(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            key_to_entropy(1.5)  # type: ignore[arg-type]
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_reproducible(self):
+        a = derive_rng(7, "walks", 3).random(5)
+        b = derive_rng(7, "walks", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_key_path_matters(self):
+        a = derive_rng(7, "walks", 3).random(5)
+        b = derive_rng(7, "walks", 4).random(5)
+        c = derive_rng(7, "other", 3).random(5)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_seed_matters(self):
+        a = derive_rng(7, "walks").random(5)
+        b = derive_rng(8, "walks").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_derived_streams_look_independent(self):
+        # Correlation between two derived streams should be near zero.
+        a = derive_rng(0, "a").random(20_000)
+        b = derive_rng(0, "b").random(20_000)
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.03
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(make_rng(3), 5)
+        assert len(children) == 5
+
+    def test_children_differ(self):
+        children = spawn_rngs(make_rng(3), 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(3), -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(make_rng(3), 0) == []

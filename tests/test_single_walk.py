@@ -1,0 +1,145 @@
+"""Tests for SINGLE-RANDOM-WALK — exactness (Theorem 2.5's Las Vegas claim),
+structure of the stitched trajectory, and round accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.errors import WalkError
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph, torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import naive_random_walk, single_random_walk
+
+
+class TestBasicContract:
+    def test_returns_valid_walk(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 200, seed=1)
+        assert res.mode == "stitched"
+        assert res.length == 200
+        res.verify_positions(torus_6x6)
+
+    def test_naive_fallback_for_short_walks(self, torus_6x6):
+        # ℓ smaller than λ: the algorithm itself says walk naively.
+        res = single_random_walk(torus_6x6, 0, 3, seed=2)
+        assert res.mode == "naive"
+        res.verify_positions(torus_6x6)
+
+    def test_explicit_lambda_respected(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 100, seed=3, lam=10)
+        assert res.lam == 10
+        assert res.mode == "stitched"
+
+    def test_segments_partition_the_walk(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 300, seed=4)
+        seg_total = sum(seg.length for seg in res.segments)
+        assert seg_total <= 300
+        # Tail is shorter than 2λ by the loop guard.
+        assert 300 - seg_total < 2 * res.lam
+        # Connectors are the segment start points.
+        assert len(res.connectors) == len(res.segments)
+        assert res.connectors[0] == 0
+
+    def test_segment_lengths_in_range(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 400, seed=5)
+        for seg in res.segments:
+            assert res.lam <= seg.length <= 2 * res.lam - 1
+
+    def test_phase_breakdown_present(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 200, seed=6)
+        for phase in ("setup", "phase1", "sample-destination", "stitch-route"):
+            assert phase in res.phase_rounds, phase
+        assert sum(res.phase_rounds.values()) == res.rounds
+
+    def test_deterministic_given_seed(self, torus_6x6):
+        r1 = single_random_walk(torus_6x6, 0, 150, seed=7)
+        r2 = single_random_walk(torus_6x6, 0, 150, seed=7)
+        assert r1.destination == r2.destination
+        assert r1.rounds == r2.rounds
+        assert np.array_equal(r1.positions, r2.positions)
+
+    def test_different_seeds_differ(self, torus_6x6):
+        dests = {single_random_walk(torus_6x6, 0, 150, seed=s).destination for s in range(8)}
+        assert len(dests) > 1
+
+    def test_no_record_paths(self, torus_6x6):
+        res = single_random_walk(torus_6x6, 0, 200, seed=8, record_paths=False)
+        assert res.positions is None
+        with pytest.raises(WalkError):
+            res.verify_positions(torus_6x6)
+
+    def test_external_network_accumulates(self, torus_6x6):
+        net = Network(torus_6x6, seed=9)
+        single_random_walk(torus_6x6, 0, 100, seed=9, network=net)
+        after_first = net.rounds
+        single_random_walk(torus_6x6, 1, 100, seed=10, network=net)
+        assert net.rounds > after_first
+
+    def test_validation(self, torus_6x6):
+        with pytest.raises(WalkError):
+            single_random_walk(torus_6x6, -1, 10, seed=0)
+        with pytest.raises(WalkError):
+            single_random_walk(torus_6x6, 0, 0, seed=0)
+
+
+class TestExactness:
+    """The headline Las Vegas claim: output law is exactly the ℓ-step law."""
+
+    @pytest.mark.parametrize("factory,length", [
+        (lambda: torus_graph(4, 4), 30),
+        (lambda: cycle_graph(9), 25),
+        (lambda: complete_graph(6), 40),
+    ])
+    def test_endpoint_distribution_chi_square(self, factory, length):
+        g = factory()
+        dist = WalkSpectrum(g).distribution(0, length)
+        n_samples = 600
+        endpoints = [
+            single_random_walk(g, 0, length, seed=1000 + i, record_paths=False).destination
+            for i in range(n_samples)
+        ]
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        result = chi_square_goodness_of_fit(observed, expected)
+        assert not result.rejects_at(1e-4), result
+
+    def test_every_sample_is_a_genuine_walk(self):
+        g = hypercube_graph(4)
+        for i in range(25):
+            res = single_random_walk(g, 0, 120, seed=i)
+            res.verify_positions(g)
+
+
+class TestGetMoreWalksFallback:
+    def test_invoked_when_pool_too_small(self):
+        # Tiny η and a long walk relative to the pool forces GET-MORE-WALKS.
+        g = cycle_graph(8)  # 16 tokens at eta=1; stitching burns them fast
+        res = single_random_walk(g, 0, 600, seed=11, lam=3)
+        assert res.get_more_walks_calls > 0
+        res.verify_positions(g)
+
+    def test_rarely_invoked_at_default_parameters(self, torus_8x8):
+        calls = [
+            single_random_walk(torus_8x8, 0, 400, seed=i, record_paths=False).get_more_walks_calls
+            for i in range(10)
+        ]
+        assert sum(calls) == 0  # Lemma 2.6/2.7 regime: never needed
+
+
+class TestRoundScaling:
+    def test_beats_naive_on_long_walks_small_diameter(self):
+        g = hypercube_graph(6)  # n=64, D=6
+        length = 6000
+        stitched = single_random_walk(g, 0, length, seed=12, record_paths=False)
+        naive = naive_random_walk(g, 0, length, seed=12, record_paths=False)
+        assert naive.rounds == length
+        assert stitched.rounds < naive.rounds
+
+    def test_rounds_grow_sublinearly(self):
+        g = hypercube_graph(6)
+        r1 = single_random_walk(g, 0, 1000, seed=13, record_paths=False).rounds
+        r2 = single_random_walk(g, 0, 4000, seed=13, record_paths=False).rounds
+        # √ scaling: 4x length should cost well under 4x rounds.
+        assert r2 < 3.2 * r1

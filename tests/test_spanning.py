@@ -1,0 +1,137 @@
+"""Tests for spanning-tree counting/enumeration (matrix-tree ground truth)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    canonical_tree,
+    complete_graph,
+    cycle_graph,
+    enumerate_spanning_trees,
+    path_graph,
+    spanning_tree_count,
+    spanning_tree_count_float,
+    tree_probabilities,
+)
+from repro.graphs.spanning import degree_sequence_of_tree
+
+
+class TestCount:
+    def test_cayley_formula(self):
+        # K_n has n^(n-2) spanning trees.
+        for n in (3, 4, 5, 6):
+            assert spanning_tree_count(complete_graph(n)) == n ** (n - 2)
+
+    def test_cycle_has_n_trees(self):
+        for n in (3, 5, 8):
+            assert spanning_tree_count(cycle_graph(n)) == n
+
+    def test_tree_has_one(self):
+        assert spanning_tree_count(path_graph(7)) == 1
+
+    def test_disconnected_has_zero(self):
+        assert spanning_tree_count(Graph(4, [(0, 1), (2, 3)])) == 0
+
+    def test_multigraph_counts_parallel_edges(self):
+        # Two parallel edges between 2 nodes: 2 labeled spanning trees.
+        assert spanning_tree_count(Graph(2, [(0, 1), (0, 1)])) == 2
+
+    def test_self_loops_ignored(self):
+        g = Graph(3, [(0, 1), (1, 2), (1, 1)])
+        assert spanning_tree_count(g) == 1
+
+    def test_single_node(self):
+        assert spanning_tree_count(Graph(1, [])) == 1
+
+    def test_float_count_close(self):
+        g = complete_graph(7)
+        assert spanning_tree_count_float(g) == pytest.approx(7**5, rel=1e-9)
+
+
+class TestEnumeration:
+    def test_k4_has_16(self):
+        trees = enumerate_spanning_trees(complete_graph(4))
+        assert len(trees) == 16
+
+    def test_cycle5(self):
+        trees = enumerate_spanning_trees(cycle_graph(5))
+        assert len(trees) == 5
+
+    def test_canonical_form_sorted(self):
+        trees = enumerate_spanning_trees(complete_graph(4))
+        for tree in trees:
+            assert tree == tuple(sorted(tree))
+            assert all(u < v for u, v in tree)
+
+    def test_gate_on_size(self):
+        with pytest.raises(GraphError):
+            enumerate_spanning_trees(complete_graph(8))
+
+    def test_trees_are_valid(self):
+        g = complete_graph(4)
+        for tree in enumerate_spanning_trees(g):
+            assert g.subgraph_is_spanning_tree(tree)
+
+
+class TestTreeProbabilities:
+    def test_simple_graph_uniform(self):
+        g = complete_graph(4)
+        probs = tree_probabilities(g)
+        assert len(probs) == 16
+        for p in probs.values():
+            assert p == pytest.approx(1 / 16)
+
+    def test_multigraph_weights_by_multiplicity(self):
+        # Triangle with the (0,1) edge doubled: trees using (0,1) are twice
+        # as likely as the tree avoiding it.
+        g = Graph(3, [(0, 1), (0, 1), (1, 2), (0, 2)])
+        probs = tree_probabilities(g)
+        tree_without = canonical_tree([(1, 2), (0, 2)])
+        trees_with = [t for t in probs if t != tree_without]
+        for t in trees_with:
+            assert probs[t] == pytest.approx(2 * probs[tree_without])
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_canonical_tree_order_invariant(self):
+        assert canonical_tree([(2, 1), (0, 1)]) == canonical_tree([(0, 1), (1, 2)])
+
+    def test_degree_sequence(self):
+        assert degree_sequence_of_tree([(0, 1), (1, 2)], 3) == (1, 1, 2)
+
+
+@st.composite
+def small_connected_graphs(draw):
+    n = draw(st.integers(2, 7))
+    base = [(i, i + 1) for i in range(n - 1)]
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), max_size=6, unique=True))
+    edges = sorted(set(base) | set(extra))
+    return n, edges
+
+
+class TestAgainstNetworkxAndEnumeration:
+    @given(small_connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_enumeration(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        if g.m <= 20:
+            assert spanning_tree_count(g) == len(enumerate_spanning_trees(g))
+
+    @given(small_connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_networkx(self, data):
+        n, edges = data
+        g = Graph(n, edges)
+        h = nx.Graph(edges)
+        h.add_nodes_from(range(n))
+        expected = round(nx.number_of_spanning_trees(h))
+        assert spanning_tree_count(g) == expected

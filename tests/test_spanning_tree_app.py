@@ -1,0 +1,129 @@
+"""Tests for the distributed RST application (Theorem 4.1)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.apps import aldous_broder_tree, first_entry_tree, random_spanning_tree, wilson_tree
+from repro.apps.wilson import cover_time_of
+from repro.errors import ConvergenceError, GraphError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    lollipop_graph,
+    grid_graph,
+    torus_graph,
+    tree_probabilities,
+)
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_goodness_of_fit
+
+
+class TestFirstEntryTree:
+    def test_known_trajectory(self):
+        edges = first_entry_tree([0, 1, 2, 1, 3], 4)
+        assert edges == [(0, 1), (1, 2), (1, 3)]
+
+    def test_not_covering_raises(self):
+        with pytest.raises(GraphError):
+            first_entry_tree([0, 1, 0], 3)
+
+    def test_cover_time(self):
+        assert cover_time_of([0, 1, 0, 2], 3) == 3
+        assert cover_time_of([0, 1, 0], 3) is None
+
+
+class TestCentralizedSamplers:
+    def test_aldous_broder_uniform_on_k4(self):
+        g = complete_graph(4)
+        rng = make_rng(0)
+        counts = Counter(aldous_broder_tree(g, 0, rng)[0] for _ in range(4000))
+        expected = tree_probabilities(g)
+        assert not chi_square_goodness_of_fit(counts, expected).rejects_at(1e-4)
+
+    def test_wilson_uniform_on_k4(self):
+        g = complete_graph(4)
+        rng = make_rng(1)
+        counts = Counter(wilson_tree(g, 0, rng) for _ in range(4000))
+        expected = tree_probabilities(g)
+        assert not chi_square_goodness_of_fit(counts, expected).rejects_at(1e-4)
+
+    def test_wilson_uniform_on_cycle_plus_chord(self):
+        from repro.graphs import Graph
+
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        rng = make_rng(2)
+        counts = Counter(wilson_tree(g, 0, rng) for _ in range(4000))
+        expected = tree_probabilities(g)
+        assert not chi_square_goodness_of_fit(counts, expected).rejects_at(1e-4)
+
+    def test_samplers_produce_valid_trees(self):
+        g = torus_graph(4, 4)
+        rng = make_rng(3)
+        tree_ab, cover = aldous_broder_tree(g, 0, rng)
+        assert g.subgraph_is_spanning_tree(tree_ab)
+        assert cover >= g.n - 1
+        tree_w = wilson_tree(g, 0, rng)
+        assert g.subgraph_is_spanning_tree(tree_w)
+
+
+class TestDistributedRST:
+    def test_returns_spanning_tree(self, torus_6x6):
+        res = random_spanning_tree(torus_6x6, seed=1)
+        assert torus_6x6.subgraph_is_spanning_tree(res.edges)
+        assert res.rounds > 0
+        assert res.cover_time >= torus_6x6.n - 1
+
+    def test_phases_double(self, cycle_24):
+        res = random_spanning_tree(cycle_24, seed=2)
+        lengths = [p.length for p in res.phases]
+        for a, b in zip(lengths, lengths[1:]):
+            assert b == 2 * a
+        assert res.phases[-1].covered
+
+    def test_deterministic(self, torus_6x6):
+        a = random_spanning_tree(torus_6x6, seed=3)
+        b = random_spanning_tree(torus_6x6, seed=3)
+        assert a.tree == b.tree and a.rounds == b.rounds
+
+    def test_works_on_slow_cover_graphs(self):
+        g = lollipop_graph(8, 8)
+        res = random_spanning_tree(g, seed=4)
+        assert g.subgraph_is_spanning_tree(res.edges)
+
+    def test_custom_root_and_walks(self, grid_5x5):
+        res = random_spanning_tree(grid_5x5, root=12, seed=5, walks_per_phase=2)
+        assert grid_5x5.subgraph_is_spanning_tree(res.edges)
+        assert all(p.walks == 2 for p in res.phases)
+
+    def test_max_phases_exceeded(self, cycle_24):
+        with pytest.raises(ConvergenceError):
+            random_spanning_tree(cycle_24, seed=6, initial_length=1, max_phases=2)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            random_spanning_tree(complete_graph(4), root=99, seed=0)
+
+    def test_uniformity_on_k4(self):
+        # The distributed pipeline end-to-end must reproduce the uniform
+        # law (conditioning on covering within the doubled length is a
+        # vanishing bias once lengths are > 2x cover time; alpha is set
+        # accordingly).
+        g = complete_graph(4)
+        counts = Counter(
+            random_spanning_tree(g, seed=1000 + i, initial_length=64).tree
+            for i in range(1200)
+        )
+        expected = tree_probabilities(g)
+        result = chi_square_goodness_of_fit(counts, expected)
+        assert not result.rejects_at(1e-5), result
+
+    def test_rounds_beat_naive_cover_walk(self):
+        # Theorem 4.1 sanity: the distributed RST must undercut what its
+        # own schedule would cost with naive walks (sum of k·ℓ per phase).
+        res = random_spanning_tree(torus_graph(8, 8), seed=7)
+        naive_equivalent = sum(p.walks * p.length for p in res.phases)
+        assert res.rounds < naive_equivalent / 2

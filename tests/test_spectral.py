@@ -1,0 +1,107 @@
+"""Tests for spectral gap / conductance and the mixing-derived bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.markov import (
+    WalkSpectrum,
+    cheeger_bounds,
+    conductance_bounds_from_mixing,
+    conductance_exact,
+    exact_mixing_time,
+    gap_bounds_from_mixing,
+    relaxation_time,
+    spectral_gap,
+)
+
+
+class TestSpectralGap:
+    def test_complete_graph_closed_form(self):
+        # K_n walk eigenvalues: 1 and -1/(n-1); second largest is -1/(n-1),
+        # so the gap is 1 + 1/(n-1) = n/(n-1).
+        n = 8
+        assert spectral_gap(complete_graph(n)) == pytest.approx(n / (n - 1), abs=1e-9)
+
+    def test_cycle_closed_form(self):
+        # Cycle eigenvalues cos(2πk/n): gap = 1 - cos(2π/n).
+        n = 12
+        assert spectral_gap(cycle_graph(n)) == pytest.approx(
+            1 - math.cos(2 * math.pi / n), abs=1e-9
+        )
+
+    def test_barbell_has_tiny_gap(self):
+        assert spectral_gap(barbell_graph(8, 2)) < 0.05
+
+    def test_expander_has_large_gap(self):
+        assert spectral_gap(random_regular_graph(64, 4, 3)) > 0.15
+
+    def test_relaxation_time_inverse(self):
+        g = cycle_graph(9)
+        assert relaxation_time(g) == pytest.approx(1 / spectral_gap(g))
+
+
+class TestConductance:
+    def test_complete_graph(self):
+        # K4: the best cut isolates 2 nodes: cut=4, vol=6 -> 2/3.
+        assert conductance_exact(complete_graph(4)) == pytest.approx(2 / 3)
+
+    def test_cycle(self):
+        # Cycle: halving cut has 2 edges, volume n -> phi = 2/n.
+        n = 10
+        assert conductance_exact(cycle_graph(n)) == pytest.approx(2 / n)
+
+    def test_barbell_bridge_is_bottleneck(self):
+        g = barbell_graph(5, 1)
+        # The bridge edge separates the two bells: cut weight 1 over
+        # volume of one bell (5*4/... degrees: 4 clique nodes of deg 4,
+        # one of deg 5): vol = 21.
+        assert conductance_exact(g) == pytest.approx(1 / 21)
+
+    def test_size_gate(self):
+        with pytest.raises(GraphError):
+            conductance_exact(cycle_graph(30))
+
+    def test_cheeger_sandwich_holds(self):
+        for g in (cycle_graph(12), complete_graph(6), barbell_graph(5, 1), torus_graph(4, 4)):
+            lo, hi = cheeger_bounds(g)
+            phi = conductance_exact(g, max_nodes=18)
+            assert lo - 1e-9 <= phi <= hi + 1e-9, g.name
+
+
+class TestMixingDerivedBounds:
+    def test_gap_interval_contains_truth(self):
+        # The Section 4.2 relations, applied with the true mixing time,
+        # must bracket the true gap (up to the Θ constants, slack=2).
+        for g in (torus_graph(5, 5), complete_graph(12), cycle_graph(15)):
+            tau = exact_mixing_time(g, 0)
+            est = gap_bounds_from_mixing(max(tau, 1), g.n)
+            gap = spectral_gap(g)
+            assert est.contains(gap, slack=3.0), (g.name, str(est), gap)
+
+    def test_conductance_interval_contains_truth(self):
+        for g in (complete_graph(10), cycle_graph(15)):
+            tau = exact_mixing_time(g, 0)
+            est = conductance_bounds_from_mixing(max(tau, 1), g.n)
+            phi = conductance_exact(g, max_nodes=18)
+            assert est.contains(phi, slack=3.0), (g.name, str(est), phi)
+
+    def test_interval_str_and_validation(self):
+        est = gap_bounds_from_mixing(10.0, 64)
+        assert "[" in str(est)
+        with pytest.raises(GraphError):
+            gap_bounds_from_mixing(0.0, 64)
+        with pytest.raises(GraphError):
+            gap_bounds_from_mixing(5.0, 1)

@@ -1,0 +1,51 @@
+"""Tests for repro.util.tables — report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_cell(1.5e9)
+
+    def test_small_float_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_and_none(self):
+        assert format_cell(True) == "True"
+        assert format_cell(None) == "None"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        table = render_table(["name", "rounds"], [["naive", 512], ["stitched", 96]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "512" in table and "stitched" in table
+        # header separator present
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_title(self):
+        table = render_table(["a"], [[1]], title="E1")
+        assert table.splitlines()[0] == "E1"
+        assert table.splitlines()[1] == "=="
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        table = render_table(["x"], [])
+        assert "x" in table

@@ -1,0 +1,106 @@
+"""Tests for visit/connector instrumentation (Lemmas 2.6 & 2.7 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.graphs import cycle_graph, path_graph, torus_graph
+from repro.util.rng import make_rng
+from repro.walks import (
+    connector_stats,
+    lemma_2_6_bound,
+    max_visit_ratio,
+    single_random_walk,
+    visit_counts,
+)
+
+
+class TestVisitCounts:
+    def test_basic_counting(self):
+        counts = visit_counts(np.array([0, 1, 0, 2, 0]), 4)
+        assert list(counts) == [3, 1, 1, 0]
+
+    def test_empty_raises(self):
+        with pytest.raises(WalkError):
+            visit_counts(np.array([]), 3)
+
+
+class TestLemma26:
+    def test_bound_formula(self):
+        assert lemma_2_6_bound(2, 100, 64) == pytest.approx(
+            24 * 2 * math.sqrt(101) * math.log(64) + 1
+        )
+
+    def test_bound_validation(self):
+        with pytest.raises(WalkError):
+            lemma_2_6_bound(0, 10, 8)
+
+    def test_visits_within_bound_on_families(self):
+        # Empirical Lemma 2.6: max visits <= 24 d(y) sqrt(ℓ+1) log n.
+        for factory, length in [
+            (lambda: cycle_graph(32), 900),
+            (lambda: torus_graph(5, 5), 900),
+            (lambda: path_graph(24), 900),
+        ]:
+            g = factory()
+            rng = make_rng(11)
+            trajectory = np.asarray(g.walk(0, length, rng))
+            counts = visit_counts(trajectory, g.n)
+            for y in range(g.n):
+                assert counts[y] <= lemma_2_6_bound(g.degree(y), length, g.n)
+
+    def test_ratio_tight_on_path(self):
+        # The paper notes the d(x)√ℓ bound is tight on the line: a walk of
+        # length ~n² visits the origin ~√ℓ times, so the normalized ratio
+        # is Θ(1) — it must not vanish.
+        g = path_graph(20)
+        rng = make_rng(5)
+        trajs = [np.asarray(g.walk(0, 400, rng)) for _ in range(4)]
+        ratio, _node = max_visit_ratio(g, trajs)
+        assert ratio > 0.4
+
+    def test_ratio_small_on_expander_like(self):
+        g = torus_graph(6, 6)
+        rng = make_rng(6)
+        trajs = [np.asarray(g.walk(0, 400, rng)) for _ in range(4)]
+        ratio, _ = max_visit_ratio(g, trajs)
+        assert ratio < 1.5
+
+    def test_max_visit_ratio_validation(self):
+        g = path_graph(4)
+        with pytest.raises(WalkError):
+            max_visit_ratio(g, [])
+        with pytest.raises(WalkError):
+            max_visit_ratio(g, [np.array([0, 1]), np.array([0, 1, 2])])
+
+
+class TestConnectorStats:
+    def test_counts_connectors(self):
+        g = torus_graph(5, 5)
+        res = single_random_walk(g, 0, 400, seed=3)
+        stats = connector_stats(g, res.positions, res.connectors, res.lam)
+        assert stats.total_connectors == len(res.connectors)
+        # Every connector must actually appear in the walk.
+        for node, c in stats.connector_counts.items():
+            assert stats.visit_totals[node] >= 1
+            assert c >= 1
+
+    def test_lemma_2_7_ratio_bounded(self):
+        # Connector appearances stay within (log n)^2 · t/λ.
+        g = torus_graph(6, 6)
+        worst = 0.0
+        for seed in range(6):
+            res = single_random_walk(g, 0, 600, seed=seed)
+            stats = connector_stats(g, res.positions, res.connectors, res.lam)
+            worst = max(worst, stats.worst_ratio)
+        bound = math.log(g.n) ** 2
+        assert worst <= max(bound, 4.0) * 4  # generous constant, catches blowups
+
+    def test_validation(self):
+        g = path_graph(4)
+        with pytest.raises(WalkError):
+            connector_stats(g, np.array([0, 1]), [0], 0)

@@ -1,0 +1,88 @@
+"""Tests for the short-walk token store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.walks import TokenRecord, WalkStore
+
+
+def record(tid: int, source: int = 0, length: int = 3, destination: int = 2) -> TokenRecord:
+    return TokenRecord(token_id=tid, source=source, length=length, destination=destination)
+
+
+class TestTokenRecord:
+    def test_path_length_validated(self):
+        with pytest.raises(WalkError):
+            TokenRecord(token_id=0, source=0, length=3, destination=1, path=np.array([0, 1]))
+
+    def test_valid_path_accepted(self):
+        rec = TokenRecord(
+            token_id=0, source=0, length=2, destination=2, path=np.array([0, 1, 2])
+        )
+        assert rec.length == 2
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(WalkError):
+            TokenRecord(token_id=0, source=0, length=-1, destination=1)
+
+
+class TestWalkStore:
+    def test_add_and_count(self):
+        store = WalkStore()
+        store.add(record(0, source=1, destination=5))
+        store.add(record(1, source=1, destination=5))
+        store.add(record(2, source=1, destination=6))
+        assert store.count_for_source(1) == 3
+        assert store.count_for_source(9) == 0
+        assert len(store.tokens_at(5, 1)) == 2
+        assert store.holders_for_source(1) == {5: 2, 6: 1}
+
+    def test_remove(self):
+        store = WalkStore()
+        rec = record(7, source=2, destination=3)
+        store.add(rec)
+        store.remove(rec)
+        assert store.count_for_source(2) == 0
+        assert store.tokens_at(3, 2) == []
+        assert store.tokens_consumed == 1
+
+    def test_remove_missing_raises(self):
+        store = WalkStore()
+        with pytest.raises(WalkError):
+            store.remove(record(0))
+
+    def test_remove_twice_raises(self):
+        store = WalkStore()
+        rec = record(1)
+        store.add(rec)
+        store.remove(rec)
+        with pytest.raises(WalkError):
+            store.remove(rec)
+
+    def test_token_ids_unique(self):
+        store = WalkStore()
+        ids = [store.new_token_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_iter_all_and_len(self):
+        store = WalkStore()
+        for i in range(4):
+            store.add(record(i, source=i % 2))
+        assert len(store) == 4
+        assert len(list(store.iter_all())) == 4
+        assert store.total_unused() == 4
+
+    def test_tokens_at_returns_copy(self):
+        store = WalkStore()
+        store.add(record(0, source=1, destination=5))
+        bucket = store.tokens_at(5, 1)
+        bucket.clear()
+        assert store.count_for_source(1) == 1
+
+    def test_repr(self):
+        store = WalkStore()
+        store.add(record(0))
+        assert "unused=1" in repr(store)
