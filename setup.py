@@ -9,9 +9,16 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    # `python -m repro --version` is the post-install sanity check; the
+    # extras pull in what the test tiers and the perf benches need.
+    extras_require={
+        "test": ["pytest>=7"],
+        "bench": ["pytest>=7", "pytest-benchmark"],
+    },
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

@@ -20,7 +20,7 @@ from repro.errors import (
     WalkError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",

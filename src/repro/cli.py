@@ -192,6 +192,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Distributed random walks (PODC 2010) — run the algorithms from the shell.",
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit (install sanity check)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     walk = sub.add_parser("walk", help="sample an ℓ-step walk")

@@ -83,11 +83,17 @@ class Network:
         # between the same pair pool their bandwidth, which matches the
         # multigraph-bandwidth equivalence used in Section 3.2.
         self._queues: dict[tuple[int, int], deque[Message]] = defaultdict(deque)
-        self._edge_multiplicity: dict[tuple[int, int], int] = defaultdict(int)
-        for u, v in graph.edges():
-            self._edge_multiplicity[(u, v)] += 1
-            if u != v:
-                self._edge_multiplicity[(v, u)] += 1
+        # Directed adjacency with multiplicity, as sorted (u*n + v) keys —
+        # built vectorized from the edge array; queries binary-search it.
+        ea = graph.edge_array
+        if len(ea):
+            u, v = ea[:, 0], ea[:, 1]
+            non_loop = u != v
+            keys = np.concatenate([u * graph.n + v, v[non_loop] * graph.n + u[non_loop]])
+            self._mult_keys, self._mult_counts = np.unique(keys, return_counts=True)
+        else:
+            self._mult_keys = np.empty(0, dtype=np.int64)
+            self._mult_counts = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -102,7 +108,15 @@ class Network:
         return self.ledger.messages
 
     def are_adjacent(self, u: int, v: int) -> bool:
-        return self._edge_multiplicity.get((u, v), 0) > 0
+        return self.edge_multiplicity(u, v) > 0
+
+    def edge_multiplicity(self, u: int, v: int) -> int:
+        """Number of parallel edges carrying ``u -> v`` traffic."""
+        key = u * self.graph.n + v
+        i = int(np.searchsorted(self._mult_keys, key))
+        if i < len(self._mult_keys) and int(self._mult_keys[i]) == key:
+            return int(self._mult_counts[i])
+        return 0
 
     def phase(self, name: str):
         """Attribute subsequent costs to phase ``name`` (context manager)."""

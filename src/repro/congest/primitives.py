@@ -24,10 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.protocol import Protocol, ProtocolAPI
 from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
 
 __all__ = [
     "BfsTree",
@@ -124,24 +127,129 @@ class BfsFloodProtocol(Protocol):
         return BfsTree(root=self.root, parent=parent, depth=depth, children=children)
 
 
-def build_bfs_tree(network: Network, root: int, *, cache: dict[int, BfsTree] | None = None) -> BfsTree:
+def _vectorized_bfs(graph: Graph, root: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR frontier BFS: ``(depth, parent)`` with lowest-ID parent ties.
+
+    Matches :class:`BfsFloodProtocol` exactly — a node's parent is the
+    lowest-ID neighbor one level closer to the root (the flood's first-round
+    tie-break).  Raises :class:`ProtocolError` on disconnected graphs with
+    the protocol's message.
+    """
+    n = graph.n
+    depth = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, root, dtype=np.int64)
+    depth[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    reached = 1
+    level = 0
+    while frontier.size:
+        starts = graph.indptr[frontier]
+        counts = graph.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather all outgoing slots of the frontier in one shot.
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        slots = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+        targets = graph.csr_target[slots]
+        senders = np.repeat(frontier, counts)
+        fresh = depth[targets] == -1
+        if not fresh.any():
+            break
+        cand_t = targets[fresh]
+        cand_s = senders[fresh]
+        # Lowest-ID sender per discovered node: sort by (node, sender) and
+        # keep each group's first entry (reduceat-style min per segment).
+        order = np.lexsort((cand_s, cand_t))
+        cand_t = cand_t[order]
+        cand_s = cand_s[order]
+        first = np.ones(len(cand_t), dtype=bool)
+        first[1:] = cand_t[1:] != cand_t[:-1]
+        frontier = cand_t[first]
+        parent[frontier] = cand_s[first]
+        level += 1
+        depth[frontier] = level
+        reached += int(frontier.size)
+    if reached != n:
+        raise ProtocolError(f"BFS reached {reached}/{n} nodes; graph must be connected")
+    return depth, parent
+
+
+def _flood_cost(graph: Graph, root: int, depth: np.ndarray) -> tuple[int, int]:
+    """Exact ``(rounds, messages)`` the event-driven flood would charge.
+
+    Every node that joins the tree at depth ``d`` sends one ``explore`` to
+    each distinct neighbor other than itself and its parent (the root skips
+    only itself); those sends are delivered — and the run's last round
+    happens — one round after the deepest sender adopts.  One message per
+    directed node pair means queues never exceed one, so congestion is 1
+    every delivering round, exactly as the engine observes.
+    """
+    n = graph.n
+    non_loop = graph.csr_source != graph.csr_target
+    pair_keys = np.unique(graph.csr_source[non_loop] * n + graph.csr_target[non_loop])
+    distinct = np.bincount(pair_keys // n, minlength=n)
+    sends = distinct - 1  # every non-root node skips its parent...
+    sends[root] = distinct[root]  # ...the root skips only itself
+    messages = int(sends.sum())
+    rounds = 1 + int(depth[sends > 0].max()) if messages else 0
+    return rounds, messages
+
+
+def build_bfs_tree(
+    network: Network,
+    root: int,
+    *,
+    cache: dict[int, BfsTree] | None = None,
+    use_protocol: bool = False,
+) -> BfsTree:
     """Build (or recall) the BFS tree rooted at ``root``, charging rounds.
 
-    With a ``cache`` dict, the first call per root runs the flood protocol
-    on the engine and records its exact cost; later calls charge the same
-    recorded cost without re-simulating (the flood is deterministic, so the
-    re-run would be identical message-for-message).
+    By default this takes the **charged vectorized fast path**: the tree is
+    computed by CSR frontier expansion and the ledger is charged the exact
+    rounds/messages/congestion the event-driven
+    :class:`BfsFloodProtocol` run would have produced (the flood's message
+    pattern is deterministic given the topology, so re-simulating it adds
+    wall-clock and nothing else — the same "charged fast path" contract as
+    :func:`charged_convergecast`, proved by
+    ``tests/test_congest_primitives.py``).  ``use_protocol=True`` forces the
+    message-by-message execution instead.
+
+    With a ``cache`` dict, the first call per root computes and records the
+    exact cost; later calls charge the same recorded cost without
+    recomputing.
     """
     if cache is not None and root in cache:
         tree = cache[root]
-        network.ledger.charge(tree.build_rounds, messages=tree.build_messages, congestion=1)
+        if tree.build_rounds or tree.build_messages:
+            network.ledger.charge(tree.build_rounds, messages=tree.build_messages, congestion=1)
         return tree
-    proto = BfsFloodProtocol(root)
-    messages_before = network.messages_sent
-    rounds = network.run(proto)
-    tree = proto.tree(network.graph.n)
-    tree.build_rounds = rounds
-    tree.build_messages = network.messages_sent - messages_before
+    if use_protocol:
+        proto = BfsFloodProtocol(root)
+        messages_before = network.messages_sent
+        rounds = network.run(proto)
+        tree = proto.tree(network.graph.n)
+        tree.build_rounds = rounds
+        tree.build_messages = network.messages_sent - messages_before
+    else:
+        graph = network.graph
+        depth, parent = _vectorized_bfs(graph, root)
+        rounds, messages = _flood_cost(graph, root, depth)
+        if rounds:
+            network.ledger.charge(rounds, messages=messages, congestion=1)
+        children: list[list[int]] = [[] for _ in range(graph.n)]
+        parent_list = parent.tolist()
+        for v, p in enumerate(parent_list):
+            if v != root:
+                children[p].append(v)
+        tree = BfsTree(
+            root=root,
+            parent=parent_list,
+            depth=depth.tolist(),
+            children=children,
+            build_rounds=rounds,
+            build_messages=messages,
+        )
     if cache is not None:
         cache[root] = tree
     return tree

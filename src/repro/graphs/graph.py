@@ -61,49 +61,69 @@ class Graph:
     ) -> None:
         if n <= 0:
             raise GraphError(f"graph must have at least one node, got n={n}")
-        edge_list = [(int(u), int(v)) for u, v in edges]
-        for u, v in edge_list:
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
-        if weights is None:
-            weight_arr = np.ones(len(edge_list), dtype=np.float64)
+        if isinstance(edges, np.ndarray):
+            # Copy: the graph must not alias a caller-owned buffer.
+            try:
+                edge_arr = np.array(edges, dtype=np.int64)
+            except (TypeError, ValueError) as exc:
+                raise GraphError(f"edges must be (u, v) pairs: {exc}") from exc
+            if edge_arr.size == 0:
+                edge_arr = edge_arr.reshape(0, 2)
         else:
-            weight_arr = np.asarray(list(weights), dtype=np.float64)
-            if weight_arr.shape != (len(edge_list),):
+            edge_seq = list(edges)
+            if edge_seq:
+                try:
+                    edge_arr = np.array(edge_seq, dtype=np.int64)
+                except (TypeError, ValueError) as exc:
+                    raise GraphError(f"edges must be (u, v) pairs: {exc}") from exc
+            else:
+                edge_arr = np.empty((0, 2), dtype=np.int64)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphError(f"edges must be (u, v) pairs, got shape {edge_arr.shape}")
+        out_of_range = (edge_arr < 0) | (edge_arr >= n)
+        if out_of_range.any():
+            u, v = edge_arr[np.nonzero(out_of_range.any(axis=1))[0][0]]
+            raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+        m = len(edge_arr)
+        if weights is None:
+            weight_arr = np.ones(m, dtype=np.float64)
+        else:
+            if isinstance(weights, np.ndarray):
+                weight_arr = np.array(weights, dtype=np.float64)  # defensive copy
+            else:
+                weight_arr = np.asarray(list(weights), dtype=np.float64)
+            if weight_arr.shape != (m,):
                 raise GraphError("weights must parallel the edge list")
             if np.any(weight_arr <= 0):
                 raise GraphError("edge weights must be strictly positive")
 
         self.n = n
         self.name = name
-        self.m = len(edge_list)
-        self._edges = edge_list
+        self.m = m
+        self._edge_array = edge_arr
         self._edge_weights = weight_arr
 
-        # Build CSR.  Each non-loop edge contributes a slot at both ends;
-        # each self-loop contributes one slot.
-        degree = np.zeros(n, dtype=np.int64)
-        for u, v in edge_list:
-            degree[u] += 1
-            if u != v:
-                degree[v] += 1
+        # Build CSR by vectorized scatter.  Each non-loop edge contributes a
+        # slot at both ends; each self-loop contributes one slot.  Within a
+        # node, slots are ordered by undirected edge index — the same order
+        # the legacy per-edge fill loop produced, which keeps slot IDs (and
+        # hence every RNG draw over slots) stable across the rewrite.
+        eu, ev = edge_arr[:, 0], edge_arr[:, 1]
+        non_loop = eu != ev
+        eids = np.arange(m, dtype=np.int64)
+        src_dir = np.concatenate([eu, ev[non_loop]])
+        dst_dir = np.concatenate([ev, eu[non_loop]])
+        eid_dir = np.concatenate([eids, eids[non_loop]])
+        w_dir = np.concatenate([weight_arr, weight_arr[non_loop]])
+        order = np.lexsort((eid_dir, src_dir))
+        sources = src_dir[order]
+        targets = dst_dir[order]
+        slot_weight = w_dir[order]
+        slot_edge = eid_dir[order]  # undirected edge index
+        degree = np.bincount(src_dir, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degree, out=indptr[1:])
         n_slots = int(indptr[-1])
-        targets = np.empty(n_slots, dtype=np.int64)
-        sources = np.empty(n_slots, dtype=np.int64)
-        slot_weight = np.empty(n_slots, dtype=np.float64)
-        slot_edge = np.empty(n_slots, dtype=np.int64)  # undirected edge index
-        fill = indptr[:-1].copy()
-        for eid, (u, v) in enumerate(edge_list):
-            w = weight_arr[eid]
-            j = fill[u]
-            sources[j], targets[j], slot_weight[j], slot_edge[j] = u, v, w, eid
-            fill[u] += 1
-            if u != v:
-                j = fill[v]
-                sources[j], targets[j], slot_weight[j], slot_edge[j] = v, u, w, eid
-                fill[v] += 1
 
         self.indptr = indptr
         self.csr_target = targets
@@ -118,6 +138,8 @@ class Graph:
         # Per-node cumulative weights for weighted sampling, lazily built.
         self._cumweights: np.ndarray | None = None
         self._reverse_slot: np.ndarray | None = None
+        # Per-node sorted neighbor view for O(log deg) has_edge, lazily built.
+        self._sorted_neighbors: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -153,7 +175,12 @@ class Graph:
 
     def edges(self) -> list[tuple[int, int]]:
         """The undirected edge list as given at construction."""
-        return list(self._edges)
+        return [tuple(e) for e in self._edge_array.tolist()]
+
+    @property
+    def edge_array(self) -> np.ndarray:
+        """Undirected edges as an ``(m, 2)`` int64 array (do not mutate)."""
+        return self._edge_array
 
     def edge_weights(self) -> np.ndarray:
         return self._edge_weights.copy()
@@ -164,7 +191,21 @@ class Graph:
         return not self._uniform_weights
 
     def has_edge(self, u: int, v: int) -> bool:
-        return v in self.neighbor_set(u)
+        """Adjacency test in O(log deg(u)) via a lazily built sorted view.
+
+        The first call sorts every node's neighbor list once; afterwards a
+        call is a binary search inside ``u``'s segment (``verify_positions``
+        probes this ℓ times per walk verification).
+        """
+        if self._sorted_neighbors is None:
+            # csr_source is non-decreasing, so one lexsort yields every
+            # node's targets sorted, concatenated in node order.
+            order = np.lexsort((self.csr_target, self.csr_source))
+            self._sorted_neighbors = self.csr_target[order]
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        sn = self._sorted_neighbors
+        i = lo + int(np.searchsorted(sn[lo:hi], v))
+        return i < hi and int(sn[i]) == v
 
     def total_weight(self) -> float:
         return float(self._edge_weights.sum())
@@ -175,16 +216,19 @@ class Graph:
         For a self-loop the slot is its own reverse.
         """
         if self._reverse_slot is None:
+            # Group slots by undirected edge id: a stable argsort puts each
+            # edge's one (self-loop) or two slots adjacent, in slot order.
             rev = np.empty(self.n_slots, dtype=np.int64)
-            by_edge: dict[int, list[int]] = {}
-            for j in range(self.n_slots):
-                by_edge.setdefault(int(self.csr_edge[j]), []).append(j)
-            for slots in by_edge.values():
-                if len(slots) == 1:  # self-loop
-                    rev[slots[0]] = slots[0]
-                else:
-                    a, b = slots
-                    rev[a], rev[b] = b, a
+            if self.n_slots:
+                order = np.argsort(self.csr_edge, kind="stable")
+                counts = np.bincount(self.csr_edge, minlength=self.m)
+                starts = np.zeros(self.m, dtype=np.int64)
+                np.cumsum(counts[:-1], out=starts[1:])
+                paired = starts[counts == 2]
+                a, b = order[paired], order[paired + 1]
+                rev[a], rev[b] = b, a
+                loops = order[starts[counts == 1]]
+                rev[loops] = loops
             self._reverse_slot = rev
         return int(self._reverse_slot[slot])
 
@@ -266,7 +310,7 @@ class Graph:
         edges = [(min(u, v), max(u, v)) for u, v in tree_edges]
         if len(edges) != self.n - 1:
             return False
-        available = {(min(u, v), max(u, v)) for u, v in self._edges}
+        available = {(min(u, v), max(u, v)) for u, v in self.edges()}
         if any(e not in available for e in edges):
             return False
         parent = list(range(self.n))
@@ -300,6 +344,6 @@ class Graph:
 
         g = nx.MultiGraph()
         g.add_nodes_from(range(self.n))
-        for (u, v), w in zip(self._edges, self._edge_weights):
+        for (u, v), w in zip(self.edges(), self._edge_weights):
             g.add_edge(u, v, weight=float(w))
         return g

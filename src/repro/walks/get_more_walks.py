@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.congest.network import Network
 from repro.errors import WalkError
-from repro.walks.store import TokenRecord, WalkStore
+from repro.walks.store import WalkStore
 
 __all__ = ["get_more_walks"]
 
@@ -81,20 +81,16 @@ def get_more_walks(
                 network.deliver_step(slots, aggregate=True, words=2)
                 positions[idx] = graph.csr_target[slots]
                 if paths is not None:
-                    paths[idx, lam + 1 + i] = positions[idx]
+                    # Retired tokens keep their final position in columns
+                    # past their length, which no reader slices; a full
+                    # column store beats an index scatter.
+                    paths[:, lam + 1 + i] = positions
             # Step i = λ−1 has stop probability 1, so nothing survives.
             assert not np.any(alive), "reservoir extension must retire every token"
 
-    for i in range(count):
-        length = int(final_length[i])
-        path = paths[i, : length + 1].copy() if paths is not None else None
-        store.add(
-            TokenRecord(
-                token_id=store.new_token_id(),
-                source=source,
-                length=length,
-                destination=int(positions[i]),
-                path=path,
-            )
-        )
+    # Columnar handover, same as Phase 1: one add_batch call, path matrix
+    # transferred wholesale, records materialized lazily on pop.
+    store.add_batch(
+        np.full(count, source, dtype=np.int64), final_length, positions, paths=paths
+    )
     return network.rounds - rounds_before

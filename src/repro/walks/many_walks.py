@@ -96,9 +96,12 @@ def _parallel_tails(
     positions = np.array([node for node, _ in pre_tails], dtype=np.int64)
     remaining = np.array([r for _, r in pre_tails], dtype=np.int64)
     max_rem = int(remaining.max()) if k else 0
-    paths: list[list[int]] | None = None
+    paths = None
     if record_paths:
-        paths = [[int(p)] for p in positions]
+        # One shared (k, max_rem + 1) matrix; row i's tail occupies columns
+        # 1..remaining[i] (column 0 repeats the pre-tail node).
+        paths = np.empty((k, max_rem + 1), dtype=np.int64)
+        paths[:, 0] = positions
     graph = network.graph
     with network.phase("naive-tail"):
         for step in range(1, max_rem + 1):
@@ -110,13 +113,12 @@ def _parallel_tails(
             network.deliver_step(slots, words=2)
             positions[idx] = graph.csr_target[slots]
             if paths is not None:
-                for j, node in zip(idx, positions[idx]):
-                    paths[int(j)].append(int(node))
+                paths[idx, step] = positions[idx]
     destinations = [int(p) for p in positions]
     if paths is None:
         return destinations, [None] * k
     # Drop the duplicated pre-tail node from each path fragment.
-    return destinations, [np.asarray(p[1:], dtype=np.int64) for p in paths]
+    return destinations, [paths[i, 1 : int(remaining[i]) + 1].copy() for i in range(k)]
 
 
 def many_random_walks(

@@ -80,14 +80,19 @@ def regenerate_walk(
 
         # Step 2: replay all used segments simultaneously; iteration j
         # forwards one message along hop j of every segment longer than j.
+        # Segments pad into one (k, max_len + 1) matrix so each iteration is
+        # a column slice instead of a per-segment Python scan.
         seg_paths = [seg.path for seg in result.segments]
         if any(p is None for p in seg_paths):
             raise WalkError("segment paths missing; Phase 1 must record paths")
-        max_len = max(len(p) - 1 for p in seg_paths)
+        seg_lens = np.array([len(p) - 1 for p in seg_paths], dtype=np.int64)
+        max_len = int(seg_lens.max())
+        hops = np.zeros((len(seg_paths), max_len + 1), dtype=np.int64)
+        for i, p in enumerate(seg_paths):
+            hops[i, : len(p)] = p
         for j in range(max_len):
-            hop_src = [p[j] for p in seg_paths if len(p) - 1 > j]
-            hop_dst = [p[j + 1] for p in seg_paths if len(p) - 1 > j]
-            network.deliver_pairs(hop_src, hop_dst, words=2)
+            live = seg_lens > j
+            network.deliver_pairs(hops[live, j], hops[live, j + 1], words=2)
 
     return RegenerationResult(
         node_positions=node_positions,

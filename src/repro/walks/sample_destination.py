@@ -59,13 +59,18 @@ def make_sample_combine(rng: np.random.Generator):
 
 
 def _leaf_values(store: WalkStore, source: int, n: int, rng: np.random.Generator):
-    """Per-node (count, own-nominee) pairs — Algorithm 3 line 3."""
+    """Per-node (count, own-nominee) pairs — Algorithm 3 line 3.
+
+    Uses the store's per-source holder index (O(1) per holder lookup) and
+    materializes exactly one nominee record per holder; the RNG draw order
+    (one uniform per holder, in first-token holder order) is identical to
+    the legacy bucket-scanning implementation.
+    """
     values: list[tuple[int, TokenRecord | None]] = [(0, None)] * n
     holders = store.holders_for_source(source)
-    for holder in holders:
-        bucket = store.tokens_at(holder, source)
-        nominee = bucket[int(rng.integers(0, len(bucket)))]
-        values[holder] = (len(bucket), nominee)
+    for holder, count in holders.items():
+        nominee = store.token_at(holder, source, int(rng.integers(0, count)))
+        values[holder] = (count, nominee)
     return values, set(holders)
 
 
@@ -97,7 +102,7 @@ def sample_destination_protocol(
     )
 
     rounds_before = network.rounds
-    tree = build_bfs_tree(network, source)  # Sweep 1 (event-driven flood)
+    tree = build_bfs_tree(network, source, use_protocol=True)  # Sweep 1 (event-driven flood)
     values, _participants = _leaf_values(store, source, network.graph.n, rng)
     sweep2 = ConvergecastProtocol(tree, values, make_sample_combine(rng), words=4)
     network.run(sweep2)  # Sweep 2

@@ -13,7 +13,12 @@ so congestion is real here — this is precisely the quantity Lemma 2.1
 bounds by ``O(η log n)`` w.h.p.).
 
 The loop is vectorized: one NumPy step per iteration over all live tokens,
-with the congestion charge computed from the per-slot histogram.
+with the congestion charge computed from the per-slot histogram.  Storage
+is vectorized too — the finished batch (origins, lengths, endpoints, and
+the shared hop matrix) transfers to the columnar
+:class:`~repro.walks.store.WalkStore` in a single :meth:`add_batch` call;
+no per-token Python objects are built on this path (they materialize
+lazily when stitching pops a token).
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import numpy as np
 
 from repro.congest.network import Network
 from repro.errors import WalkError
-from repro.walks.store import TokenRecord, WalkStore
+from repro.walks.store import WalkStore
 
 __all__ = ["perform_short_walks", "token_counts"]
 
@@ -103,18 +108,14 @@ def perform_short_walks(
             network.deliver_step(slots, words=2)  # (source ID, remaining length)
             positions[active] = graph.csr_target[slots]
             if paths is not None:
-                paths[active, step] = positions[active]
+                # Full-column write: rows of finished tokens hold their
+                # final position, in columns past `length` that no reader
+                # ever slices — and a strided column store beats a
+                # boolean-mask scatter by a wide margin.
+                paths[:, step] = positions
 
-    for i in range(total):
-        length = int(target_len[i])
-        path = paths[i, : length + 1].copy() if paths is not None else None
-        store.add(
-            TokenRecord(
-                token_id=store.new_token_id(),
-                source=int(origins[i]),
-                length=length,
-                destination=int(positions[i]),
-                path=path,
-            )
-        )
+    # Hand the whole batch to the store columnar: the path matrix transfers
+    # wholesale (no per-token row copies) and TokenRecords materialize only
+    # when the stitching phase actually pops a token.
+    store.add_batch(origins, target_len, positions, paths=paths)
     return network.rounds - rounds_before

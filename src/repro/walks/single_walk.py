@@ -50,8 +50,11 @@ class WalkResult:
     ``positions`` holds the full ℓ+1-node trajectory when path recording was
     on (the paper's "regenerating the entire walk" — every node can learn
     its positions); ``None`` otherwise.  ``segments`` are the stitched
-    short-walk records in order; ``connectors`` the nodes where stitches
-    happened (Figure 2's stitch points).
+    short-walk records in order, materialized lazily by the columnar
+    :class:`~repro.walks.store.WalkStore` as each one was popped (only
+    ``O(ℓ/λ)`` of the Θ(η·m) Phase-1 tokens ever become objects);
+    ``connectors`` the nodes where stitches happened (Figure 2's stitch
+    points).
     """
 
     source: int
@@ -68,7 +71,11 @@ class WalkResult:
     tokens_prepared: int = 0
 
     def verify_positions(self, graph: Graph) -> None:
-        """Assert the recorded trajectory is a genuine ℓ-step walk."""
+        """Assert the recorded trajectory is a genuine ℓ-step walk.
+
+        Probes :meth:`~repro.graphs.graph.Graph.has_edge` once per hop —
+        O(log deg) each against the graph's sorted-neighbor view.
+        """
         if self.positions is None:
             raise WalkError("positions were not recorded")
         if len(self.positions) != self.length + 1:

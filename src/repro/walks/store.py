@@ -1,4 +1,4 @@
-"""Distributed short-walk storage.
+"""Distributed short-walk storage (columnar).
 
 After Phase 1 (and after any GET-MORE-WALKS call), the network holds a pool
 of *short walk tokens*: walk ``i`` started at ``source``, took ``length``
@@ -15,6 +15,29 @@ Everything in it corresponds to node-local knowledge:
   its successor ``path[j+1]`` (this is what walk *regeneration* re-announces
   through the network, cf. "Regenerating the entire random walk", §2.2).
 
+Layout
+------
+The store is **columnar** (struct-of-arrays): token ``source`` / ``length``
+/ ``destination`` / ``token_id`` live in parallel int64 arrays that grow by
+amortized doubling, and recorded hop sequences live in shared
+``(rows, max_len + 1)`` path matrices handed over *wholesale* by
+:func:`~repro.walks.short_walks.perform_short_walks` /
+:func:`~repro.walks.get_more_walks.get_more_walks` via :meth:`add_batch`
+(each token keeps only a ``(batch, row)`` reference).  A run materializes
+Θ(η·m) tokens but the stitching phase pops only ``O(ℓ/λ)`` of them, so
+:class:`TokenRecord` objects are built lazily at the API edge
+(:meth:`tokens_at` / :meth:`token_at` / :meth:`iter_all`) — never during
+Phase 1, which is the paper's hot path.
+
+Lookups by source go through a lazily built per-source holder index
+(``source -> holder -> [row, ...]``), making :meth:`holders_for_source` and
+:meth:`tokens_at` O(#tokens of that source) instead of a scan over every
+``(holder, source)`` bucket in the network.  Bucket and holder iteration
+order deliberately reproduces the legacy per-object store: tokens in
+creation order within a bucket, holders in order of their first token — so
+RNG-driven consumers (SAMPLE-DESTINATION's reservoir merge) draw the exact
+same stream as before the columnar rewrite.
+
 The store never touches the round ledger; moving its information around is
 the algorithms' job.
 """
@@ -30,14 +53,18 @@ from repro.errors import WalkError
 
 __all__ = ["TokenRecord", "WalkStore"]
 
+_INITIAL_CAPACITY = 64
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class TokenRecord:
-    """One prepared short walk.
+    """One prepared short walk, materialized from the columnar store.
 
     ``path`` (when recorded) holds the ``length + 1`` node IDs from source
     to destination inclusive; it may be ``None`` when the caller disabled
-    path recording to save memory on large sweeps.
+    path recording to save memory on large sweeps.  Records are snapshots:
+    the store hands out fresh instances on demand and identifies tokens by
+    ``token_id``, not object identity.
     """
 
     token_id: int
@@ -54,12 +81,45 @@ class TokenRecord:
                 f"path has {len(self.path)} nodes but length={self.length} requires {self.length + 1}"
             )
 
+    def __eq__(self, other: object) -> bool:
+        # Records materialize fresh on every query, so equality must compare
+        # path *contents* — the dataclass-generated __eq__ would choke on
+        # elementwise ndarray comparison.
+        if not isinstance(other, TokenRecord):
+            return NotImplemented
+        if (self.token_id, self.source, self.length, self.destination) != (
+            other.token_id,
+            other.source,
+            other.length,
+            other.destination,
+        ):
+            return False
+        if self.path is None or other.path is None:
+            return self.path is None and other.path is None
+        return bool(np.array_equal(self.path, other.path))
+
 
 class WalkStore:
-    """All unused short-walk tokens, indexed by (holder, source)."""
+    """All unused short-walk tokens, stored columnar, indexed by source."""
 
     def __init__(self) -> None:
-        self._by_holder_source: dict[tuple[int, int], list[TokenRecord]] = {}
+        cap = _INITIAL_CAPACITY
+        self._ids = np.empty(cap, dtype=np.int64)
+        self._src = np.empty(cap, dtype=np.int64)
+        self._len = np.empty(cap, dtype=np.int64)
+        self._dst = np.empty(cap, dtype=np.int64)
+        self._path_batch = np.empty(cap, dtype=np.int64)  # -1 = no path
+        self._path_row = np.empty(cap, dtype=np.int64)
+        self._alive = np.empty(cap, dtype=bool)
+        self._size = 0
+        # Shared path matrices; an entry is dropped (set to None) once every
+        # token referencing it has been consumed, so hop memory tracks live
+        # tokens rather than growing for the store's lifetime.
+        self._path_batches: list[np.ndarray | None] = []
+        self._batch_live: list[int] = []
+        # source -> holder -> [row, ...]; built lazily per source, then
+        # maintained incrementally.  Holder keys keep first-token order.
+        self._index: dict[int, dict[int, list[int]]] = {}
         self._count_by_source: dict[int, int] = {}
         self._next_token_id = 0
         self.tokens_created = 0
@@ -73,51 +133,203 @@ class WalkStore:
         self._next_token_id += 1
         return tid
 
+    def _grow_to(self, needed: int) -> None:
+        cap = len(self._ids)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("_ids", "_src", "_len", "_dst", "_path_batch", "_path_row", "_alive"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+
+    def add_batch(
+        self,
+        sources: np.ndarray,
+        lengths: np.ndarray,
+        destinations: np.ndarray,
+        paths: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Absorb a whole Phase-1 (or GET-MORE-WALKS) output in one call.
+
+        ``sources`` / ``lengths`` / ``destinations`` are parallel int64
+        arrays, one entry per token.  ``paths``, when given, is the shared
+        ``(total, width)`` hop matrix produced by the vectorized walk loop;
+        row ``i`` holds token ``i``'s ``lengths[i] + 1`` hops (columns past
+        that are scratch).  Ownership of the matrix transfers to the store —
+        no per-row copies are made until a record is materialized.
+
+        Token IDs are assigned sequentially (equivalent to one
+        :meth:`new_token_id` per token, in order) and returned.
+        """
+        src = np.ascontiguousarray(sources, dtype=np.int64)
+        lng = np.ascontiguousarray(lengths, dtype=np.int64)
+        dst = np.ascontiguousarray(destinations, dtype=np.int64)
+        if src.ndim != 1 or src.shape != lng.shape or src.shape != dst.shape:
+            raise WalkError("add_batch columns must be 1-D arrays of equal length")
+        total = int(src.size)
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.any(lng < 0):
+            raise WalkError("token lengths must be >= 0")
+        if paths is not None:
+            if paths.ndim != 2 or paths.shape[0] != total:
+                raise WalkError(f"paths must be (total, width), got {paths.shape}")
+            if paths.shape[1] < int(lng.max()) + 1:
+                raise WalkError(
+                    f"paths width {paths.shape[1]} too small for max length {int(lng.max())}"
+                )
+
+        base = self._size
+        self._grow_to(base + total)
+        rows = slice(base, base + total)
+        ids = np.arange(self._next_token_id, self._next_token_id + total, dtype=np.int64)
+        self._ids[rows] = ids
+        self._src[rows] = src
+        self._len[rows] = lng
+        self._dst[rows] = dst
+        self._alive[rows] = True
+        if paths is not None:
+            self._path_batch[rows] = len(self._path_batches)
+            self._path_row[rows] = np.arange(total, dtype=np.int64)
+            self._path_batches.append(paths)
+            self._batch_live.append(total)
+        else:
+            self._path_batch[rows] = -1
+            self._path_row[rows] = -1
+        self._size = base + total
+        self._next_token_id += total
+        self.tokens_created += total
+
+        uniq, counts = np.unique(src, return_counts=True)
+        get = self._count_by_source.get
+        for s, c in zip(uniq.tolist(), counts.tolist()):
+            self._count_by_source[s] = get(s, 0) + c
+            if s in self._index:
+                # Source already indexed: splice the new rows in add order.
+                buckets = self._index[s]
+                for off in np.nonzero(src == s)[0].tolist():
+                    buckets.setdefault(int(dst[off]), []).append(base + off)
+        return ids
+
     def add(self, record: TokenRecord) -> None:
-        key = (record.destination, record.source)
-        self._by_holder_source.setdefault(key, []).append(record)
+        """Add one token (API edge; bulk producers use :meth:`add_batch`)."""
+        base = self._size
+        self._grow_to(base + 1)
+        self._ids[base] = record.token_id
+        self._src[base] = record.source
+        self._len[base] = record.length
+        self._dst[base] = record.destination
+        self._alive[base] = True
+        if record.path is not None:
+            self._path_batch[base] = len(self._path_batches)
+            self._path_row[base] = 0
+            self._path_batches.append(
+                np.array(record.path, dtype=np.int64).reshape(1, -1)
+            )
+            self._batch_live.append(1)
+        else:
+            self._path_batch[base] = -1
+            self._path_row[base] = -1
+        self._size = base + 1
         self._count_by_source[record.source] = self._count_by_source.get(record.source, 0) + 1
+        if record.source in self._index:
+            self._index[record.source].setdefault(record.destination, []).append(base)
         self.tokens_created += 1
 
     def remove(self, record: TokenRecord) -> None:
         """Delete a consumed token (Sweep 3 of SAMPLE-DESTINATION)."""
-        key = (record.destination, record.source)
-        bucket = self._by_holder_source.get(key, [])
-        for i, existing in enumerate(bucket):
-            if existing.token_id == record.token_id:
-                bucket.pop(i)
-                if not bucket:
-                    del self._by_holder_source[key]
-                self._count_by_source[record.source] -= 1
-                self.tokens_consumed += 1
-                return
+        buckets = self._ensure_index(record.source)
+        bucket = buckets.get(record.destination)
+        if bucket is not None:
+            for i, row in enumerate(bucket):
+                if int(self._ids[row]) == record.token_id:
+                    bucket.pop(i)
+                    if not bucket:
+                        del buckets[record.destination]
+                    self._alive[row] = False
+                    self._count_by_source[record.source] -= 1
+                    self.tokens_consumed += 1
+                    batch = int(self._path_batch[row])
+                    if batch >= 0:
+                        self._batch_live[batch] -= 1
+                        if self._batch_live[batch] == 0:
+                            self._path_batches[batch] = None  # free the matrix
+                    return
         raise WalkError(f"token {record.token_id} not stored at node {record.destination}")
+
+    # ------------------------------------------------------------------
+    # Index maintenance / materialization
+    # ------------------------------------------------------------------
+    def _ensure_index(self, source: int) -> dict[int, list[int]]:
+        buckets = self._index.get(source)
+        if buckets is None:
+            live = np.nonzero(
+                (self._src[: self._size] == source) & self._alive[: self._size]
+            )[0]
+            buckets = {}
+            for row, holder in zip(live.tolist(), self._dst[live].tolist()):
+                buckets.setdefault(holder, []).append(row)
+            self._index[source] = buckets
+        return buckets
+
+    def _materialize(self, row: int) -> TokenRecord:
+        batch = int(self._path_batch[row])
+        length = int(self._len[row])
+        path = None
+        if batch >= 0:
+            path = self._path_batches[batch][int(self._path_row[row]), : length + 1].copy()
+        return TokenRecord(
+            token_id=int(self._ids[row]),
+            source=int(self._src[row]),
+            length=length,
+            destination=int(self._dst[row]),
+            path=path,
+        )
 
     # ------------------------------------------------------------------
     # Queries (all reflect node-local or aggregate knowledge)
     # ------------------------------------------------------------------
     def tokens_at(self, holder: int, source: int) -> list[TokenRecord]:
         """Unused tokens of ``source`` currently stored at ``holder``."""
-        return list(self._by_holder_source.get((holder, source), []))
+        bucket = self._ensure_index(source).get(holder, [])
+        return [self._materialize(row) for row in bucket]
+
+    def token_at(self, holder: int, source: int, index: int) -> TokenRecord:
+        """The ``index``-th unused token of ``source`` held at ``holder``.
+
+        O(1) single-record materialization — SAMPLE-DESTINATION's leaf
+        nomination uses this so drawing one nominee never materializes the
+        whole bucket.
+        """
+        bucket = self._ensure_index(source).get(holder)
+        if bucket is None or not 0 <= index < len(bucket):
+            raise WalkError(f"node {holder} has no token #{index} of source {source}")
+        return self._materialize(bucket[index])
 
     def count_for_source(self, source: int) -> int:
         """Total unused tokens of ``source`` anywhere in the network."""
         return self._count_by_source.get(source, 0)
 
     def holders_for_source(self, source: int) -> dict[int, int]:
-        """Map holder-node -> number of unused tokens of ``source`` there."""
-        return {
-            holder: len(bucket)
-            for (holder, src), bucket in self._by_holder_source.items()
-            if src == source and bucket
-        }
+        """Map holder-node -> number of unused tokens of ``source`` there.
+
+        Holder order is the order each holder first received a token of
+        ``source`` (re-insertion after a bucket empties moves the holder to
+        the end) — the same order the legacy bucket store produced, which
+        keeps RNG-consuming sweeps reproducible across store layouts.
+        """
+        return {holder: len(bucket) for holder, bucket in self._ensure_index(source).items()}
 
     def iter_all(self) -> Iterator[TokenRecord]:
-        for bucket in self._by_holder_source.values():
-            yield from bucket
+        """All unused tokens, in creation order."""
+        for row in np.nonzero(self._alive[: self._size])[0].tolist():
+            yield self._materialize(row)
 
     def total_unused(self) -> int:
-        return sum(len(b) for b in self._by_holder_source.values())
+        return self.tokens_created - self.tokens_consumed
 
     def __len__(self) -> int:
         return self.total_unused()

@@ -100,3 +100,13 @@ class TestCommands:
         code = main(["walk", "--graph", "path:4", "--length", "10", "--source", "99"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out

@@ -206,3 +206,91 @@ class TestBroadcast:
         tree = build_bfs_tree(net, 0)
         with pytest.raises(ProtocolError):
             charged_broadcast(net, tree, words=4)
+
+
+class TestBfsFastPathEquivalence:
+    """The charged vectorized BFS must be indistinguishable — tree and
+    ledger — from a message-by-message :class:`BfsFloodProtocol` run."""
+
+    ZOO = [
+        ("path9", lambda: path_graph(9), [0, 4, 8]),
+        ("cycle10", lambda: cycle_graph(10), [0, 3]),
+        ("grid4x5", lambda: grid_graph(4, 5), [0, 7, 19]),
+        ("star8", lambda: star_graph(8), [0, 3]),
+        ("torus4x4", lambda: torus_graph(4, 4), [5]),
+        (
+            "multigraph",
+            lambda: Graph(5, [(0, 1), (0, 1), (1, 2), (2, 2), (2, 3), (3, 4), (0, 4), (4, 4), (1, 3)]),
+            [0, 2, 4],
+        ),
+        (
+            "loops-and-parallel",
+            lambda: Graph(3, [(0, 0), (0, 1), (0, 1), (1, 2), (2, 2), (2, 0)]),
+            [0, 1, 2],
+        ),
+        ("single-node", lambda: Graph(1, []), [0]),
+        ("single-edge", lambda: Graph(2, [(0, 1)]), [0, 1]),
+    ]
+
+    @pytest.mark.parametrize(
+        "factory,root",
+        [(factory, root) for _name, factory, roots in ZOO for root in roots],
+        ids=[f"{name}-r{root}" for name, _f, roots in ZOO for root in roots],
+    )
+    def test_tree_and_ledger_identical(self, factory, root):
+        g = factory()
+
+        net_p = Network(g)
+        tree_p = build_bfs_tree(net_p, root, use_protocol=True)
+
+        net_f = Network(g)
+        tree_f = build_bfs_tree(net_f, root)
+
+        # Identical BfsTree: parent ties broken lowest-ID, same depths,
+        # same children ordering.
+        assert tree_f.parent == tree_p.parent
+        assert tree_f.depth == tree_p.depth
+        assert tree_f.children == tree_p.children
+        assert tree_f.root == tree_p.root
+
+        # Identical ledger charges.
+        assert net_f.rounds == net_p.rounds
+        assert net_f.messages_sent == net_p.messages_sent
+        assert net_f.ledger.max_congestion == net_p.ledger.max_congestion
+        assert tree_f.build_rounds == tree_p.build_rounds
+        assert tree_f.build_messages == tree_p.build_messages
+
+    def test_fast_path_disconnected_raises_like_protocol(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ProtocolError):
+            build_bfs_tree(Network(g), 0)
+        with pytest.raises(ProtocolError):
+            build_bfs_tree(Network(g), 0, use_protocol=True)
+
+    def test_fast_path_populates_cache_with_exact_cost(self):
+        g = grid_graph(4, 4)
+        cache: dict = {}
+        net = Network(g)
+        build_bfs_tree(net, 0, cache=cache)
+        first_rounds, first_messages = net.rounds, net.messages_sent
+        build_bfs_tree(net, 0, cache=cache)
+        assert net.rounds == 2 * first_rounds
+        assert net.messages_sent == 2 * first_messages
+
+    def test_downstream_sweeps_agree_across_paths(self):
+        """A convergecast over the fast-path tree costs the same as over
+        the protocol-built tree (the trees are identical objects)."""
+        g = torus_graph(4, 4)
+        values = [v * 2 for v in range(g.n)]
+
+        net_p = Network(g)
+        tree_p = build_bfs_tree(net_p, 3, use_protocol=True)
+        res_p = charged_convergecast(net_p, tree_p, list(values), lambda a, b: a + b)
+
+        net_f = Network(g)
+        tree_f = build_bfs_tree(net_f, 3)
+        res_f = charged_convergecast(net_f, tree_f, list(values), lambda a, b: a + b)
+
+        assert res_f == res_p
+        assert net_f.rounds == net_p.rounds
+        assert net_f.messages_sent == net_p.messages_sent

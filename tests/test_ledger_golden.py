@@ -1,0 +1,366 @@
+"""Golden ledger totals, frozen from the pre-columnar seed implementation.
+
+The columnar walk-token engine, the vectorized CSR build, and the charged
+BFS fast path are *wall-clock* optimizations: the simulated complexity
+measure — rounds, messages, worst congestion, per-phase attribution, and
+the sampled walks themselves — must be **bit-identical** to the seed
+implementation at fixed seeds.  These totals were captured by running the
+seed (pre-optimization) code; any drift here means an optimization changed
+the model, not just the speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import (
+    barbell_graph,
+    grid_graph,
+    hypercube_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.walks import many_random_walks, single_random_walk
+
+SINGLE_CASES = {
+    "torus8x8-l256-s7": (lambda: torus_graph(8, 8), 0, 256, 7, {}),
+    "grid6x6-l144-s3": (lambda: grid_graph(6, 6), 5, 144, 3, {}),
+    "hypercube5-l300-s11": (lambda: hypercube_graph(5), 2, 300, 11, {}),
+    "regular64-l200-s13": (lambda: random_regular_graph(64, 4, 12345), 1, 200, 13, {}),
+    "barbell6x3-l100-s5": (lambda: barbell_graph(6, 3), 0, 100, 5, {}),
+    "torus6x6-l400-s17-eta0.05": (lambda: torus_graph(6, 6), 3, 400, 17, {"eta": 0.05}),
+    "grid5x5-l200-s23-lam4": (lambda: grid_graph(5, 5), 0, 200, 23, {"lam": 4}),
+}
+
+MANY_CASES = {
+    "torus8x8-k4-l128-s7": (lambda: torus_graph(8, 8), [0, 5, 17, 33], 128, 7, {}),
+    "hypercube5-k3-l200-s2": (lambda: hypercube_graph(5), [0, 0, 9], 200, 2, {}),
+    "torus8x8-k3-l256-s5-lam12": (lambda: torus_graph(8, 8), [0, 9, 21], 256, 5, {"lam": 12}),
+    "grid6x6-k4-l144-s3-lam8": (lambda: grid_graph(6, 6), [0, 7, 14, 35], 144, 3, {"lam": 8}),
+}
+
+GOLDEN_SINGLE = {
+    "torus8x8-l256-s7": {
+        "destination": 4,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 398,
+        "messages": 11853,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 9,
+            "phase1": 195,
+            "sample-destination": 150,
+            "stitch-route": 26,
+            "naive-tail": 14,
+            "report": 4
+        },
+        "phase_messages": {
+            "setup": 193,
+            "phase1": 10004,
+            "sample-destination": 1612,
+            "stitch-route": 26,
+            "naive-tail": 14,
+            "report": 4
+        }
+    },
+    "grid6x6-l144-s3": {
+        "destination": 18,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 322,
+        "messages": 4775,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 11,
+            "phase1": 174,
+            "sample-destination": 81,
+            "stitch-route": 14,
+            "naive-tail": 34,
+            "report": 8
+        },
+        "phase_messages": {
+            "setup": 85,
+            "phase1": 4249,
+            "sample-destination": 385,
+            "stitch-route": 14,
+            "naive-tail": 34,
+            "report": 8
+        }
+    },
+    "hypercube5-l300-s11": {
+        "destination": 25,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 366,
+        "messages": 7234,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 6,
+            "phase1": 170,
+            "sample-destination": 128,
+            "stitch-route": 21,
+            "naive-tail": 37,
+            "report": 4
+        },
+        "phase_messages": {
+            "setup": 129,
+            "phase1": 5682,
+            "sample-destination": 1361,
+            "stitch-route": 21,
+            "naive-tail": 37,
+            "report": 4
+        }
+    },
+    "regular64-l200-s13": {
+        "destination": 29,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 302,
+        "messages": 9070,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 6,
+            "phase1": 143,
+            "sample-destination": 112,
+            "stitch-route": 23,
+            "naive-tail": 15,
+            "report": 3
+        },
+        "phase_messages": {
+            "setup": 193,
+            "phase1": 6977,
+            "sample-destination": 1859,
+            "stitch-route": 23,
+            "naive-tail": 15,
+            "report": 3
+        }
+    },
+    "barbell6x3-l100-s5": {
+        "destination": 9,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 189,
+        "messages": 1885,
+        "max_congestion": 5,
+        "phase_rounds": {
+            "setup": 6,
+            "phase1": 98,
+            "sample-destination": 61,
+            "stitch-route": 7,
+            "naive-tail": 12,
+            "report": 5
+        },
+        "phase_messages": {
+            "setup": 53,
+            "phase1": 1526,
+            "sample-destination": 282,
+            "stitch-route": 7,
+            "naive-tail": 12,
+            "report": 5
+        }
+    },
+    "torus6x6-l400-s17-eta0.05": {
+        "destination": 30,
+        "mode": "stitched",
+        "gmw": 1,
+        "rounds": 417,
+        "messages": 3611,
+        "max_congestion": 3,
+        "phase_rounds": {
+            "setup": 7,
+            "phase1": 108,
+            "sample-destination": 165,
+            "stitch-route": 24,
+            "get-more-walks": 59,
+            "naive-tail": 50,
+            "report": 4
+        },
+        "phase_messages": {
+            "setup": 109,
+            "phase1": 1569,
+            "sample-destination": 1299,
+            "stitch-route": 24,
+            "get-more-walks": 556,
+            "naive-tail": 50,
+            "report": 4
+        }
+    },
+    "grid5x5-l200-s23-lam4": {
+        "destination": 16,
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 792,
+        "messages": 3525,
+        "max_congestion": 5,
+        "phase_rounds": {
+            "setup": 9,
+            "phase1": 21,
+            "sample-destination": 680,
+            "stitch-route": 71,
+            "naive-tail": 7,
+            "report": 4
+        },
+        "phase_messages": {
+            "setup": 56,
+            "phase1": 422,
+            "sample-destination": 2965,
+            "stitch-route": 71,
+            "naive-tail": 7,
+            "report": 4
+        }
+    }
+}
+
+GOLDEN_MANY = {
+    "torus8x8-k4-l128-s7": {
+        "destinations": [
+            48,
+            49,
+            39,
+            14
+        ],
+        "mode": "naive-parallel",
+        "gmw": 0,
+        "rounds": 152,
+        "messages": 713,
+        "max_congestion": 4,
+        "phase_rounds": {
+            "setup": 9,
+            "naive-parallel": 131,
+            "report": 12
+        },
+        "phase_messages": {
+            "setup": 193,
+            "naive-parallel": 512,
+            "report": 8
+        }
+    },
+    "hypercube5-k3-l200-s2": {
+        "destinations": [
+            17,
+            5,
+            12
+        ],
+        "mode": "naive-parallel",
+        "gmw": 0,
+        "rounds": 223,
+        "messages": 735,
+        "max_congestion": 3,
+        "phase_rounds": {
+            "setup": 6,
+            "naive-parallel": 209,
+            "report": 8
+        },
+        "phase_messages": {
+            "setup": 129,
+            "naive-parallel": 600,
+            "report": 6
+        }
+    },
+    "torus8x8-k3-l256-s5-lam12": {
+        "destinations": [
+            48,
+            63,
+            53
+        ],
+        "mode": "stitched",
+        "gmw": 0,
+        "rounds": 1329,
+        "messages": 16108,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 9,
+            "phase1": 90,
+            "sample-destination": 1050,
+            "stitch-route": 155,
+            "naive-tail": 16,
+            "report": 9
+        },
+        "phase_messages": {
+            "setup": 193,
+            "phase1": 4484,
+            "sample-destination": 11234,
+            "stitch-route": 155,
+            "naive-tail": 33,
+            "report": 9
+        }
+    },
+    "grid6x6-k4-l144-s3-lam8": {
+        "destinations": [
+            35,
+            0,
+            14,
+            26
+        ],
+        "mode": "stitched",
+        "gmw": 3,
+        "rounds": 1527,
+        "messages": 8576,
+        "max_congestion": 6,
+        "phase_rounds": {
+            "setup": 11,
+            "phase1": 60,
+            "sample-destination": 1240,
+            "stitch-route": 136,
+            "get-more-walks": 45,
+            "naive-tail": 15,
+            "report": 20
+        },
+        "phase_messages": {
+            "setup": 85,
+            "phase1": 1380,
+            "sample-destination": 6495,
+            "stitch-route": 136,
+            "get-more-walks": 424,
+            "naive-tail": 36,
+            "report": 20
+        }
+    }
+}
+
+
+
+def _snapshot(net: Network) -> dict:
+    return {
+        "rounds": net.ledger.rounds,
+        "messages": net.ledger.messages,
+        "max_congestion": net.ledger.max_congestion,
+        "phase_rounds": {k: v.rounds for k, v in net.ledger.phases.items()},
+        "phase_messages": {k: v.messages for k, v in net.ledger.phases.items()},
+    }
+
+
+class TestGoldenLedger:
+    @pytest.mark.parametrize("name", sorted(SINGLE_CASES))
+    def test_single_random_walk_matches_seed(self, name):
+        factory, source, length, seed, kwargs = SINGLE_CASES[name]
+        graph = factory()
+        net = Network(graph, seed=0)
+        result = single_random_walk(graph, source, length, seed=seed, network=net, **kwargs)
+        want = GOLDEN_SINGLE[name]
+        got = {
+            "destination": int(result.destination),
+            "mode": result.mode,
+            "gmw": result.get_more_walks_calls,
+            **_snapshot(net),
+        }
+        assert got == want
+
+    @pytest.mark.parametrize("name", sorted(MANY_CASES))
+    def test_many_random_walks_matches_seed(self, name):
+        factory, sources, length, seed, kwargs = MANY_CASES[name]
+        graph = factory()
+        net = Network(graph, seed=0)
+        result = many_random_walks(
+            graph, sources, length, seed=seed, record_paths=True, network=net, **kwargs
+        )
+        want = GOLDEN_MANY[name]
+        got = {
+            "destinations": [int(d) for d in result.destinations],
+            "mode": result.mode,
+            "gmw": result.get_more_walks_calls,
+            **_snapshot(net),
+        }
+        assert got == want

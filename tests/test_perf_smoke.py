@@ -1,0 +1,66 @@
+"""Tier-1 perf smoke guard for the columnar hot paths.
+
+The heavyweight wall-clock sweeps live in
+``benchmarks/bench_perf_hotpaths.py`` (run directly, or via pytest where
+they are ``@pytest.mark.slow``).  This module keeps a *fast* guard inside
+the tier-1 gate: the bench harness still imports, emits its
+machine-readable schema, and the columnar Phase-1 storage still clearly
+beats the legacy per-token loop at a small size.  The full ≥5x acceptance
+check at n ∈ {1k, 10k, 50k} is the slow suite's job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import bench_perf_hotpaths as bench  # noqa: E402
+
+
+class TestBenchHarnessSmoke:
+    def test_run_suite_schema(self):
+        results = bench.run_suite(sizes=(256,))
+        assert results["schema"] == "bench_perf_hotpaths/v1"
+        assert [row["n"] for row in results["phase1_token_creation"]] == [256]
+        for section in ("phase1_token_creation", "csr_construction", "bfs_build"):
+            assert len(results[section]) == 1
+        row = results["phase1_token_creation"][0]
+        assert row["tokens"] == 4 * 256  # η=1 on a 4-regular torus
+        assert row["columnar_seconds"] > 0 and row["legacy_seconds"] > 0
+        # JSON round-trips (the emitted file is the perf trajectory record).
+        assert json.loads(json.dumps(results)) == results
+
+    @pytest.mark.slow
+    def test_columnar_storage_beats_legacy_loop(self):
+        # Wall-clock assertion: slow tier only, so a loaded CI machine can
+        # never flake the tier-1 gate on a timing race.
+        row = bench.bench_phase1(1024)
+        assert row["speedup"] >= 2.0, f"columnar Phase-1 no longer clearly wins: {row}"
+
+    def test_committed_results_match_schema(self):
+        path = bench.RESULT_PATH
+        assert path.exists(), "BENCH_HOTPATHS.json must be committed at the repo root"
+        results = json.loads(path.read_text())
+        assert results["schema"] == "bench_perf_hotpaths/v1"
+        assert set(results["sizes"]) == set(bench.SIZES)
+        for row in results["phase1_token_creation"]:
+            if row["n"] == 10_000:
+                assert row["speedup"] >= 5.0, (
+                    "committed Phase-1 speedup at n=10k below the 5x acceptance bar"
+                )
+                break
+        else:  # pragma: no cover - schema violation
+            pytest.fail("no n=10k row in committed BENCH_HOTPATHS.json")
+
+
+@pytest.mark.slow
+def test_full_acceptance_sweep():
+    """The complete acceptance sweep (≥5x at every size) — slow."""
+    for n in bench.SIZES:
+        row = bench.bench_phase1(n)
+        assert row["speedup"] >= 5.0, f"phase-1 speedup regressed at n={n}: {row}"
