@@ -1,0 +1,27 @@
+# Developer entry points.  Tier-1 verify is `make test` (equivalently
+# `PYTHONPATH=src python -m pytest -x -q`); the lint gate also runs inside
+# it via tests/test_lint.py.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse
+
+test:
+	$(PY) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed — running the AST dead-import gate only"; \
+	fi
+	$(PY) -m pytest -q tests/test_lint.py
+
+slow:
+	$(PY) -m pytest -q -m slow tests benchmarks/bench_perf_hotpaths.py benchmarks/bench_engine_reuse.py
+
+bench-hotpaths:
+	$(PY) benchmarks/bench_perf_hotpaths.py
+
+bench-engine-reuse:
+	$(PY) benchmarks/bench_engine_reuse.py

@@ -18,10 +18,8 @@ A3  The §1.2 stationary shortcut: once ℓ exceeds the mixing time, the
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.congest import Network
 from repro.graphs import star_graph, torus_graph

@@ -20,7 +20,6 @@ from __future__ import annotations
 import math
 from collections import Counter
 
-import pytest
 
 from repro.graphs import cycle_graph, torus_graph
 from repro.util.tables import render_table

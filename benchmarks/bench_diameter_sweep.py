@@ -13,7 +13,6 @@ optimum (the cost structure behind Theorem 2.5's parameter choice).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.graphs import diameter, torus_graph
 from repro.util.fitting import fit_power_law

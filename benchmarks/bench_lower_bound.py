@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.graphs import build_lower_bound_graph, pseudo_diameter, round_bound
 from repro.lowerbound import (

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.graphs import diameter, hypercube_graph
 from repro.util.tables import render_table

@@ -13,7 +13,6 @@ complexity."  This bench quantifies both halves:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.congest import Network
 from repro.graphs import hypercube_graph

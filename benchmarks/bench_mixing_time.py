@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.apps import estimate_mixing_time, power_iteration_mixing_time
 from repro.graphs import (

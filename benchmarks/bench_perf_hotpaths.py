@@ -207,7 +207,11 @@ def test_suite_emits_json(tmp_path):
 def main(argv: list[str]) -> int:
     sizes = QUICK_SIZES if "--quick" in argv else SIZES
     results = run_suite(sizes=sizes)
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    # Preserve sections other benches own (e.g. bench_engine_reuse.py's
+    # "engine_reuse") — this file is the shared perf trajectory record.
+    merged = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    merged.update(results)
+    RESULT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
     for row in results["phase1_token_creation"]:
         print(
             f"phase1 n={row['n']:>6}: columnar {row['columnar_seconds']*1e3:8.1f} ms  "

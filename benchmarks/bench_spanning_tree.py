@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from collections import Counter
 
-import pytest
 
 from repro.apps import aldous_broder_tree, random_spanning_tree, wilson_tree
 from repro.graphs import (

@@ -14,7 +14,6 @@ picture on real executions:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.graphs import torus_graph
 from repro.util.tables import render_table

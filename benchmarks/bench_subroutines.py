@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-import pytest
 
 from repro.congest import Network
 from repro.graphs import (

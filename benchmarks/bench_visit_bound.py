@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro.graphs import (
     cycle_graph,
@@ -24,7 +23,7 @@ from repro.graphs import (
 )
 from repro.util.rng import derive_rng
 from repro.util.tables import render_table
-from repro.walks import lemma_2_6_bound, max_visit_ratio
+from repro.walks import max_visit_ratio
 
 FAMILIES = [
     ("path(64)", lambda: path_graph(64)),

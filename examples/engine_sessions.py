@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Session serving: one engine, one Phase-1 pool, a stream of queries.
+
+The follow-up paper (arXiv:1201.1363) frames the short-walk pool as a
+*served* resource: prepare it once, answer a stream of walk requests,
+refill incrementally.  This example runs 50 walk queries two ways —
+
+* **fresh** — one ``single_random_walk`` call per query (every call pays
+  the full Θ(η·m) Phase-1 token preparation);
+* **session** — one :class:`~repro.engine.core.WalkEngine` serving every
+  query from its persistent pool, refilling dry connectors with
+  GET-MORE-WALKS (charged to the ``"pool-refill"`` ledger phase);
+
+then prints the amortized per-query round bill and the engine telemetry.
+
+Run:  python examples/engine_sessions.py
+"""
+
+from __future__ import annotations
+
+from repro import WalkEngine, single_random_walk
+from repro.graphs import torus_graph
+from repro.util.tables import render_table
+
+
+def main() -> None:
+    graph = torus_graph(12, 12)
+    length = 1024
+    queries = 50
+    sources = [(13 * i) % graph.n for i in range(queries)]
+
+    fresh_rounds = sum(
+        single_random_walk(graph, s, length, seed=100 + i, record_paths=False).rounds
+        for i, s in enumerate(sources)
+    )
+
+    engine = WalkEngine(graph, seed=100, record_paths=False)
+    engine.prepare(length_hint=length)  # explicit warm-up (optional)
+    session_rounds = sum(engine.walk(s, length).rounds for s in sources)
+    stats = engine.stats()
+
+    print(
+        render_table(
+            ["strategy", "total rounds", "rounds / query"],
+            [
+                ["fresh call per query", fresh_rounds, f"{fresh_rounds / queries:.0f}"],
+                ["engine session (pooled)", session_rounds, f"{session_rounds / queries:.0f}"],
+            ],
+            title=f"{queries} x {length}-step walks on {graph.name}",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ["telemetry", "value"],
+            [
+                ["full Phase-1 preparations", stats.full_preparations],
+                ["GET-MORE-WALKS refills", stats.refills],
+                ["tokens prepared", stats.tokens_prepared],
+                ["tokens consumed", stats.tokens_consumed],
+                ["pool occupancy now", stats.pool_unused],
+                ["pool λ", stats.pool_lam],
+                ["refill rounds charged", stats.phase_rounds.get("pool-refill", 0)],
+            ],
+            title="engine.stats()",
+        )
+    )
+
+    speedup = fresh_rounds / session_rounds
+    print(
+        f"\nThe session amortizes Phase 1 across the stream: "
+        f"{speedup:.1f}x fewer simulated rounds than {queries} fresh calls, "
+        f"with {stats.full_preparations} full preparation(s) total."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,8 @@ Run:  python examples/mixing_time_estimation.py
 
 from __future__ import annotations
 
-from repro.apps import estimate_mixing_time, power_iteration_mixing_time
+from repro import WalkEngine
+from repro.apps import power_iteration_mixing_time
 from repro.graphs import barbell_graph, random_regular_graph, torus_graph
 from repro.markov import conductance_exact, exact_mixing_time, spectral_gap
 from repro.util.tables import render_table
@@ -30,7 +31,7 @@ def main() -> None:
     detail_rows = []
     for name, graph in cases:
         exact = exact_mixing_time(graph, 0)
-        est = estimate_mixing_time(graph, 0, seed=11)
+        est = WalkEngine(graph, seed=11).mixing_time(0)
         base_tau, base_rounds = power_iteration_mixing_time(graph, 0)
         rows.append((name, exact, est.estimate, est.rounds, base_rounds))
         gap_iv = est.spectral_gap_bounds(graph.n)

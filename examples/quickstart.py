@@ -2,18 +2,19 @@
 """Quickstart: sample a long random walk in far fewer rounds than its length.
 
 Builds a 16x16 torus (n=256, diameter 16), asks for an 8192-step random
-walk from node 0, and compares the paper's Õ(√(ℓD)) algorithm against the
-naive ℓ-round token walk and the PODC'09 baseline — printing the round
-bill for each, plus the stitched algorithm's phase breakdown.
+walk from node 0 through the :class:`~repro.engine.core.WalkEngine`
+façade, and compares the paper's Õ(√(ℓD)) algorithm against the naive
+ℓ-round token walk and the PODC'09 baseline — printing the round bill for
+each, plus the stitched algorithm's phase breakdown.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+from repro import WalkEngine
 from repro.graphs import diameter, torus_graph
 from repro.util.tables import render_table
-from repro.walks import naive_random_walk, podc09_random_walk, single_random_walk
 
 
 def main() -> None:
@@ -22,9 +23,13 @@ def main() -> None:
     print(f"Graph: {graph.name}  (n={graph.n}, m={graph.m}, D={diameter(graph)})")
     print(f"Task:  sample the endpoint of an {length}-step random walk from node 0\n")
 
-    result = single_random_walk(graph, 0, length, seed=42)
-    naive = naive_random_walk(graph, 0, length, seed=42, record_paths=False)
-    podc09 = podc09_random_walk(graph, 0, length, seed=42, record_paths=False)
+    # One engine per algorithm: identical seed, independent ledgers, so the
+    # round bills are an apples-to-apples comparison.
+    result = WalkEngine(graph, seed=42).walk(0, length, pooled=False)
+    naive = WalkEngine(graph, seed=42).walk(
+        0, length, algorithm="naive", record_paths=False, report_to_source=False
+    )
+    podc09 = WalkEngine(graph, seed=42).walk(0, length, algorithm="podc09", record_paths=False)
 
     print(
         render_table(
@@ -55,6 +60,8 @@ def main() -> None:
         f"[{result.lam}, {2 * result.lam - 1}], "
         f"{result.get_more_walks_calls} GET-MORE-WALKS refills)."
     )
+    print("\nServing many queries on one graph?  Hold the engine: see")
+    print("examples/engine_sessions.py for the persistent-pool session API.")
 
 
 if __name__ == "__main__":

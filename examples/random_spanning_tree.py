@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro import WalkEngine
 from repro.apps import random_spanning_tree, wilson_tree
 from repro.graphs import complete_graph, diameter, grid_graph, tree_probabilities
 from repro.util.rng import make_rng
@@ -48,7 +49,7 @@ def main() -> None:
     print(f"Sampling a uniform spanning tree of {graph.name} "
           f"(n={graph.n}, m={graph.m}, D={diameter(graph)})\n")
 
-    result = random_spanning_tree(graph, seed=7)
+    result = WalkEngine(graph, seed=7).spanning_tree()
     print(render_grid_tree(rows, cols, set(result.tree)))
     print()
     print(

@@ -36,6 +36,7 @@ from repro.apps.distribution_test import (
 )
 from repro.congest.network import Network
 from repro.congest.primitives import BfsTree, build_bfs_tree
+from repro.engine.model import ResultBase
 from repro.errors import ConvergenceError, GraphError
 from repro.graphs.graph import Graph
 from repro.graphs.properties import is_bipartite
@@ -61,17 +62,18 @@ class MixingProbe:
 
 
 @dataclass
-class MixingTimeEstimate:
+class MixingTimeEstimate(ResultBase):
     """Result of the decentralized estimation.
 
     ``estimate`` is the first length at which the identity test PASSes
     (the paper's ``τ̃``); the theorem guarantees it sandwiches between
-    ``τ^x_mix`` and ``τ^x(ε)`` w.h.p.
+    ``τ^x_mix`` and ``τ^x(ε)`` w.h.p.  ``rounds``/``mode``/``phase_rounds``
+    come from :class:`~repro.engine.model.ResultBase` (``mode`` is
+    ``"mixing"``; the breakdown covers this request only).
     """
 
     source: int
     estimate: int
-    rounds: int
     samples_per_test: int
     probes: list[MixingProbe] = field(default_factory=list)
 
@@ -109,6 +111,7 @@ def estimate_mixing_time(
     rng = make_rng(seed)
     net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
+    ledger_before = net.ledger.capture()
     k = samples if samples is not None else recommended_sample_count(graph.n)
     if k < 2:
         raise GraphError("need at least 2 samples per test")
@@ -168,7 +171,9 @@ def estimate_mixing_time(
     return MixingTimeEstimate(
         source=source,
         estimate=hi,
+        mode="mixing",
         rounds=net.rounds - rounds_before,
+        phase_rounds=dict(net.ledger.delta_since(ledger_before).phase_rounds),
         samples_per_test=k,
         probes=probes,
     )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.apps.wilson import cover_time_of, first_entry_tree
 from repro.congest.network import Network
 from repro.congest.primitives import BfsTree, build_bfs_tree, charged_convergecast
+from repro.engine.model import ResultBase
 from repro.errors import ConvergenceError, GraphError
 from repro.graphs.graph import Graph
 from repro.graphs.spanning import TreeKey, canonical_tree
@@ -46,12 +47,16 @@ class PhaseRecord:
 
 
 @dataclass
-class RSTResult:
-    """A sampled spanning tree plus the full cost breakdown."""
+class RSTResult(ResultBase):
+    """A sampled spanning tree plus the full cost breakdown.
+
+    ``rounds``/``mode``/``phase_rounds`` come from
+    :class:`~repro.engine.model.ResultBase` (``mode`` is ``"rst"``; the
+    phase breakdown covers this request only, even on a shared network).
+    """
 
     root: int
     tree: TreeKey
-    rounds: int
     phases: list[PhaseRecord] = field(default_factory=list)
     cover_time: int = 0
     final_length: int = 0
@@ -115,6 +120,7 @@ def random_spanning_tree(
     rng = make_rng(seed)
     net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
+    ledger_before = net.ledger.capture()
     k = walks_per_phase if walks_per_phase is not None else max(1, math.ceil(math.log2(graph.n)))
     length = initial_length if initial_length is not None else graph.n
 
@@ -174,7 +180,9 @@ def random_spanning_tree(
         return RSTResult(
             root=root,
             tree=canonical_tree(edges),
+            mode="rst",
             rounds=net.rounds - rounds_before,
+            phase_rounds=dict(net.ledger.delta_since(ledger_before).phase_rounds),
             phases=phases,
             cover_time=cover_time,
             final_length=length,

@@ -6,9 +6,14 @@ Examples
 
     python -m repro walk --graph torus:8x8 --length 4096 --seed 7
     python -m repro walk --graph hypercube:6 --length 8000 --algorithm all
+    python -m repro walk --graph torus:8x8 --length 4096 --json
     python -m repro rst --graph grid:6x6 --seed 3
     python -m repro mixing --graph barbell:8:1 --seed 11
     python -m repro lowerbound --n 512
+
+Every command routes through the :class:`~repro.engine.core.WalkEngine`
+session façade; ``--json`` (walk/rst/mixing) emits the result dataclass as
+machine-readable JSON for downstream tooling.
 
 Graph specs are ``family:arg1:arg2...``:
 
@@ -34,6 +39,7 @@ spec                      graph
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -107,24 +113,40 @@ def parse_graph_spec(spec: str) -> Graph:
 
 
 def _cmd_walk(args: argparse.Namespace) -> int:
-    from repro.walks import naive_random_walk, podc09_random_walk, single_random_walk
+    from repro.engine import WalkEngine
 
     graph = parse_graph_spec(args.graph)
+    # label, engine algorithm name, report_to_source (each legacy
+    # free-function default, so round bills match the pre-engine CLI).
     algorithms = {
-        "single": ("SINGLE-RANDOM-WALK", single_random_walk),
-        "podc09": ("PODC'09 baseline", podc09_random_walk),
-        "naive": ("naive token walk", naive_random_walk),
+        "single": ("SINGLE-RANDOM-WALK", "paper", True),
+        "podc09": ("PODC'09 baseline", "podc09", True),
+        "naive": ("naive token walk", "naive", False),
+        "metropolis": ("Metropolis-Hastings walk", "metropolis", False),
     }
-    chosen = list(algorithms) if args.algorithm == "all" else [args.algorithm]
-    rows = []
+    chosen = ["single", "podc09", "naive"] if args.algorithm == "all" else [args.algorithm]
+    results = []
     for key in chosen:
-        label, fn = algorithms[key]
-        res = fn(graph, args.source, args.length, seed=args.seed, record_paths=False)
-        rows.append((label, res.mode, res.destination, res.rounds))
+        label, algorithm, report = algorithms[key]
+        # A fresh one-shot engine per algorithm keeps the comparison
+        # apples-to-apples: identical seed, independent ledgers.
+        engine = WalkEngine(graph, seed=args.seed)
+        res = engine.walk(
+            args.source,
+            args.length,
+            algorithm=algorithm,
+            pooled=False,
+            record_paths=False,
+            report_to_source=report,
+        )
+        results.append((label, res))
+    if args.json:
+        print(json.dumps([{"algorithm": label, **res.to_dict()} for label, res in results], indent=2))
+        return 0
     print(
         render_table(
             ["algorithm", "mode", "destination", "rounds"],
-            rows,
+            [(label, res.mode, res.destination, res.rounds) for label, res in results],
             title=f"{args.length}-step walk from node {args.source} on {graph.name} "
             f"(n={graph.n}, m={graph.m}, D≈{pseudo_diameter(graph)})",
         )
@@ -133,10 +155,13 @@ def _cmd_walk(args: argparse.Namespace) -> int:
 
 
 def _cmd_rst(args: argparse.Namespace) -> int:
-    from repro.apps import random_spanning_tree
+    from repro.engine import WalkEngine
 
     graph = parse_graph_spec(args.graph)
-    res = random_spanning_tree(graph, root=args.source, seed=args.seed)
+    res = WalkEngine(graph, seed=args.seed).spanning_tree(root=args.source)
+    if args.json:
+        print(json.dumps(res.to_dict(), indent=2))
+        return 0
     print(
         render_table(
             ["phase ℓ", "walks", "covered", "rounds"],
@@ -150,11 +175,14 @@ def _cmd_rst(args: argparse.Namespace) -> int:
 
 
 def _cmd_mixing(args: argparse.Namespace) -> int:
-    from repro.apps import estimate_mixing_time
+    from repro.engine import WalkEngine
     from repro.markov import exact_mixing_time
 
     graph = parse_graph_spec(args.graph)
-    est = estimate_mixing_time(graph, args.source, seed=args.seed, samples=args.samples)
+    est = WalkEngine(graph, seed=args.seed).mixing_time(args.source, samples=args.samples)
+    if args.json:
+        print(json.dumps(est.to_dict(), indent=2))
+        return 0
     exact = exact_mixing_time(graph, args.source) if graph.n <= 512 else None
     rows = [
         ("estimated τ̃", est.estimate),
@@ -208,7 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--source", type=int, default=0)
     walk.add_argument("--seed", type=int, default=0)
     walk.add_argument(
-        "--algorithm", choices=["single", "podc09", "naive", "all"], default="single"
+        "--algorithm",
+        choices=["single", "podc09", "naive", "metropolis", "all"],
+        default="single",
+    )
+    walk.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result dataclass(es) as machine-readable JSON",
     )
     walk.set_defaults(fn=_cmd_walk)
 
@@ -216,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     rst.add_argument("--graph", required=True)
     rst.add_argument("--source", type=int, default=0)
     rst.add_argument("--seed", type=int, default=0)
+    rst.add_argument("--json", action="store_true", help="emit the result as JSON")
     rst.set_defaults(fn=_cmd_rst)
 
     mixing = sub.add_parser("mixing", help="estimate the mixing time decentrally")
@@ -223,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     mixing.add_argument("--source", type=int, default=0)
     mixing.add_argument("--seed", type=int, default=0)
     mixing.add_argument("--samples", type=int, default=None)
+    mixing.add_argument("--json", action="store_true", help="emit the result as JSON")
     mixing.set_defaults(fn=_cmd_mixing)
 
     lb = sub.add_parser("lowerbound", help="run PATH-VERIFICATION on G_n")

@@ -1,7 +1,7 @@
 """CONGEST-model substrate: engine, messages, ledger, and tree primitives."""
 
 from repro.congest.faults import LossyNetwork, ReliableTokenWalkProtocol, reliable_walk
-from repro.congest.ledger import PhaseStats, RoundLedger
+from repro.congest.ledger import LedgerSnapshot, PhaseStats, RoundLedger
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.pipelines import PipelinedUpcastProtocol, pipelined_upcast
@@ -22,6 +22,7 @@ __all__ = [
     "reliable_walk",
     "PipelinedUpcastProtocol",
     "pipelined_upcast",
+    "LedgerSnapshot",
     "PhaseStats",
     "RoundLedger",
     "Message",

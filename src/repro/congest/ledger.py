@@ -14,7 +14,25 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["PhaseStats", "RoundLedger"]
+__all__ = ["LedgerSnapshot", "PhaseStats", "RoundLedger"]
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Immutable point-in-time (or delta) view of a ledger.
+
+    Produced by :meth:`RoundLedger.capture` (cumulative totals) and
+    :meth:`RoundLedger.delta_since` (per-request accounting on a shared
+    network: what one query cost between two captures).  ``max_congestion``
+    is a running maximum, not additive, so a delta reports the value
+    observed at capture time.
+    """
+
+    rounds: int
+    messages: int
+    max_congestion: int
+    phase_rounds: dict[str, int] = field(default_factory=dict)
+    phase_messages: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -75,6 +93,40 @@ class RoundLedger:
     def phase_rounds(self, name: str) -> int:
         stats = self.phases.get(name)
         return stats.rounds if stats else 0
+
+    def capture(self) -> LedgerSnapshot:
+        """Freeze the cumulative totals (for later :meth:`delta_since`)."""
+        return LedgerSnapshot(
+            rounds=self.rounds,
+            messages=self.messages,
+            max_congestion=self.max_congestion,
+            phase_rounds={k: v.rounds for k, v in self.phases.items()},
+            phase_messages={k: v.messages for k, v in self.phases.items()},
+        )
+
+    def delta_since(self, snapshot: LedgerSnapshot) -> LedgerSnapshot:
+        """Costs accrued since ``snapshot``, with zero-delta phases dropped.
+
+        This is how per-request accounting works on a *shared* network:
+        the engine captures before serving a query and attributes the
+        difference to it, so result ``rounds``/``phase_rounds`` stay
+        per-request even though the ledger keeps one global total.
+        """
+        phase_rounds: dict[str, int] = {}
+        phase_messages: dict[str, int] = {}
+        for name, stats in self.phases.items():
+            dr = stats.rounds - snapshot.phase_rounds.get(name, 0)
+            dm = stats.messages - snapshot.phase_messages.get(name, 0)
+            if dr or dm:
+                phase_rounds[name] = dr
+                phase_messages[name] = dm
+        return LedgerSnapshot(
+            rounds=self.rounds - snapshot.rounds,
+            messages=self.messages - snapshot.messages,
+            max_congestion=self.max_congestion,
+            phase_rounds=phase_rounds,
+            phase_messages=phase_messages,
+        )
 
     def snapshot(self) -> dict[str, int]:
         """Flat summary used by benches and reports."""

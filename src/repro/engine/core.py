@@ -1,0 +1,671 @@
+"""``WalkEngine`` — the session object every query on one graph shares.
+
+The paper's own follow-up (*Near-Optimal Random Walk Sampling in
+Distributed Networks*, arXiv:1201.1363) observes that the short-walk pool
+of Phase 1 is not a per-query scratch structure: prepared once, it can
+answer a *stream* of walk requests, refilled incrementally when a
+connector runs dry.  The free functions predating this module rebuilt the
+``Network``, the RNG, the BFS-tree cache, and — most wastefully — a fresh
+Θ(η·m)-token :class:`~repro.walks.store.WalkStore` on every call.  The
+engine makes the amortized shape the default:
+
+* **One session owns the state**: graph, :class:`~repro.congest.network.Network`
+  (one ledger for every request), RNG, BFS-tree cache, parameter policy.
+* **Persistent Phase-1 pool**: :meth:`prepare` (or the first pooled query)
+  runs Phase 1 once; successive :meth:`walk`/:meth:`walks` queries stitch
+  against the surviving tokens, invoking GET-MORE-WALKS (charged to the
+  ``"pool-refill"`` phase) only when the connector they land on is dry.
+  Each consumed token is an unused, independently generated short walk, so
+  pooled endpoints keep the exact ``P^ℓ`` law of the one-shot algorithm.
+* **Per-request accounting on the shared ledger**: every pooled result
+  carries the rounds/phase deltas of *its* request
+  (:meth:`~repro.congest.ledger.RoundLedger.delta_since`), while
+  :meth:`stats` exposes the cumulative session ledger, pool occupancy, and
+  preparation/refill counters.
+* **One request/result model**: :class:`~repro.engine.model.WalkRequest`
+  in, :class:`~repro.engine.model.ResultBase` subclasses out, with
+  baseline selection (``algorithm="paper"|"naive"|"podc09"|"metropolis"``)
+  behind the same façade.
+
+The legacy free functions (``single_random_walk`` & co.) are thin wrappers
+over a one-shot engine; their non-pooled execution path is byte-for-byte
+the pre-engine code, so the golden-ledger suite pins it to the seed
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.congest.network import Network
+from repro.congest.primitives import BfsTree
+from repro.engine.model import EngineStats, WalkRequest
+from repro.errors import WalkError
+from repro.graphs.graph import Graph
+from repro.util.rng import make_rng
+from repro.walks.many_walks import (
+    ManyWalksResult,
+    _parallel_naive,
+    _parallel_tails,
+    _run_many_walks,
+)
+from repro.walks.metropolis import _run_metropolis_walk
+from repro.walks.naive import _run_naive_walk
+from repro.walks.params import WalkParams, single_walk_params
+from repro.walks.podc09 import _run_podc09_walk
+from repro.walks.regenerate import RegenerationResult, regenerate_walk
+from repro.walks.short_walks import perform_short_walks, token_counts
+from repro.walks.single_walk import (
+    WalkResult,
+    _run_single_walk,
+    estimate_diameter,
+    stitch_walk,
+)
+from repro.walks.store import WalkStore
+
+__all__ = ["Phase1Pool", "WalkEngine"]
+
+
+@dataclass
+class Phase1Pool:
+    """The persistent short-walk pool one engine session serves from.
+
+    ``store`` holds every unused token (columnar); ``lam``/``eta`` are the
+    parameters Phase 1 ran with (all refills reuse them so the pool stays
+    homogeneous — every token length uniform on ``[λ, 2λ−1]``);
+    ``record_paths`` is fixed at preparation time for the same reason.
+    ``diameter_estimate`` is the Θ(D) estimate captured during the warm-up
+    BFS.
+    """
+
+    store: WalkStore
+    lam: int
+    eta: float
+    record_paths: bool
+    diameter_estimate: int
+    refills: int = 0
+    queries: int = 0
+
+    @property
+    def unused(self) -> int:
+        """Current pool occupancy (tokens not yet consumed)."""
+        return self.store.total_unused()
+
+
+@dataclass
+class _SingleServed:
+    """Internal carrier for one pooled single-walk execution."""
+
+    destination: int
+    mode: str
+    positions: np.ndarray | None = None
+    segments: list = field(default_factory=list)
+    connectors: list[int] = field(default_factory=list)
+    gmw_calls: int = 0
+
+
+class WalkEngine:
+    """Session façade: one graph, one network, one RNG, one token pool.
+
+    Parameters
+    ----------
+    graph:
+        Topology every request runs on.
+    seed:
+        Root seed (or an existing generator) for all randomness in the
+        session; a fixed seed replays the full query stream identically.
+    capacity / max_words:
+        CONGEST model knobs, forwarded to the owned :class:`Network`.
+    lambda_constant / eta:
+        Default parameter policy (λ's leading constant; Phase-1 walks per
+        unit degree).
+    record_paths:
+        Default for pool preparation and one-shot single walks.
+    network:
+        Use an existing network (sharing its ledger) instead of creating
+        one — the legacy wrappers pass their ``network=`` argument through
+        here.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        seed=None,
+        capacity: int = 1,
+        max_words: int = 8,
+        lambda_constant: float = 1.0,
+        eta: float = 1.0,
+        record_paths: bool = True,
+        network: Network | None = None,
+    ) -> None:
+        self.graph = graph
+        self.rng = make_rng(seed)
+        self.network = (
+            network
+            if network is not None
+            else Network(graph, capacity=capacity, max_words=max_words, seed=self.rng)
+        )
+        self.lambda_constant = lambda_constant
+        self._default_eta = eta
+        self._default_record_paths = record_paths
+        self._tree_cache: dict[int, BfsTree] = {}
+        self._pool: Phase1Pool | None = None
+        self._queries = 0
+        self._full_preparations = 0
+        self._refills = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Phase1Pool | None:
+        """The current persistent pool (``None`` before any pooled work)."""
+        return self._pool
+
+    def prepare(
+        self,
+        lam: int | None = None,
+        eta: float | None = None,
+        *,
+        length_hint: int | None = None,
+        source_hint: int | None = None,
+        record_paths: bool | None = None,
+    ) -> Phase1Pool:
+        """Explicit warm-up: run Phase 1 once and install the pool.
+
+        ``lam`` may be given directly, or derived from ``length_hint`` via
+        the paper's ``λ = Θ(√(ℓD))`` policy using a fresh distributed
+        diameter estimate (one BFS from ``source_hint``, default node 0 —
+        charged to ``"setup"`` like every legacy call's estimate).
+        Calling :meth:`prepare` again replaces the pool (a new full
+        preparation, visible in :meth:`stats`).
+        """
+        rp = self._default_record_paths if record_paths is None else record_paths
+        eta_val = self._default_eta if eta is None else float(eta)
+        root = 0 if source_hint is None else source_hint
+        if not 0 <= root < self.graph.n:
+            raise WalkError(f"source_hint {root} out of range")
+        d_est, _tree = estimate_diameter(self.network, root, self._tree_cache)
+        if lam is None:
+            if length_hint is None:
+                raise WalkError("prepare() needs lam= or length_hint=")
+            lam = single_walk_params(
+                length_hint, d_est, constant=self.lambda_constant, eta=eta_val, n=self.graph.n
+            ).lam
+        return self._install_pool(int(lam), eta_val, rp, d_est)
+
+    def _install_pool(
+        self, lam: int, eta: float, record_paths: bool, d_est: int
+    ) -> Phase1Pool:
+        """Run Phase 1 and make its token pool the session's live pool."""
+        if lam < 1:
+            raise WalkError(f"lambda must be >= 1, got {lam}")
+        store = WalkStore()
+        counts = token_counts(self.graph.degrees, eta, degree_proportional=True)
+        perform_short_walks(
+            self.network,
+            store,
+            lam,
+            self.rng,
+            counts=counts,
+            randomized_lengths=True,
+            record_paths=record_paths,
+        )
+        self._pool = Phase1Pool(
+            store=store, lam=lam, eta=eta, record_paths=record_paths, diameter_estimate=d_est
+        )
+        self._full_preparations += 1
+        return self._pool
+
+    def _pool_for_request(
+        self,
+        length: int,
+        lam: int | None,
+        eta: float | None,
+        record_paths: bool | None,
+        d_est: int,
+    ) -> tuple[Phase1Pool | None, int]:
+        """Resolve the pool a query serves from; returns ``(pool, λ)``.
+
+        Returns the live pool when it is compatible; re-prepares when the
+        request pins ``lam``/``eta`` different from the live pool's (pools
+        are parameter-homogeneous so token lengths stay uniform on one
+        ``[λ, 2λ−1]`` window).  Returns ``(None, λ)`` when the derived
+        ``λ ≥ ℓ`` — the query will run naively without touching the pool,
+        so a cold engine must *not* pay Θ(η·m) Phase-1 preparation for it
+        (the ``use_naive`` policy the one-shot path honors).
+
+        An auto-prepared pool records paths when the engine default *or*
+        the triggering request wants them: pool policy is a session
+        property, so one endpoint-only query must not lock a path-capable
+        session out of serving later trajectory queries.
+        """
+        eta_val = self._default_eta if eta is None else float(eta)
+        rp = self._default_record_paths or record_paths is True
+        pool = self._pool
+        if (
+            pool is not None
+            and (lam is None or int(lam) == pool.lam)
+            and (eta is None or float(eta) == pool.eta)
+        ):
+            return pool, pool.lam
+        if lam is None:
+            candidate = single_walk_params(
+                length, d_est, constant=self.lambda_constant, eta=eta_val, n=self.graph.n
+            )
+            if candidate.use_naive:
+                return None, candidate.lam
+            lam = candidate.lam
+        return self._install_pool(int(lam), eta_val, rp, d_est), int(lam)
+
+    # ------------------------------------------------------------------
+    # Public query surface
+    # ------------------------------------------------------------------
+    def walk(
+        self,
+        source: int,
+        length: int,
+        *,
+        algorithm: str = "paper",
+        pooled: bool = True,
+        record_paths: bool | None = None,
+        report_to_source: bool = True,
+        lam: int | None = None,
+        eta: float | None = None,
+        params: WalkParams | None = None,
+        target: np.ndarray | None = None,
+    ) -> WalkResult:
+        """Sample one ℓ-step walk from ``source``; see :meth:`run`."""
+        request = WalkRequest(
+            sources=(source,),
+            length=length,
+            algorithm=algorithm,
+            many=False,
+            pooled=pooled,
+            record_paths=record_paths,
+            report_to_source=report_to_source,
+            lam=lam,
+            eta=eta,
+        )
+        return self.run(request, params=params, target=target)
+
+    def walks(
+        self,
+        sources,
+        length: int,
+        *,
+        algorithm: str = "paper",
+        pooled: bool = True,
+        record_paths: bool | None = None,
+        report_to_source: bool = True,
+        lam: int | None = None,
+        eta: float | None = None,
+        params: WalkParams | None = None,
+    ) -> ManyWalksResult:
+        """Sample ``k = len(sources)`` independent ℓ-step walks; see :meth:`run`."""
+        request = WalkRequest(
+            sources=tuple(sources) if sources else (),
+            length=length,
+            algorithm=algorithm,
+            many=True,
+            pooled=pooled,
+            record_paths=record_paths,
+            report_to_source=report_to_source,
+            lam=lam,
+            eta=eta,
+        )
+        return self.run(request, params=params)
+
+    def run(
+        self,
+        request: WalkRequest,
+        *,
+        params: WalkParams | None = None,
+        target: np.ndarray | None = None,
+    ):
+        """Serve one :class:`~repro.engine.model.WalkRequest` — the dispatch point.
+
+        ``algorithm="paper"`` with ``pooled=True`` (the default) serves from
+        the persistent pool, auto-preparing on first use.  ``pooled=False``
+        reproduces the legacy one-shot execution bit-for-bit (the
+        golden-ledger contract).  The baselines (``naive``, ``podc09``,
+        ``metropolis``) always run one-shot on the shared network.
+        ``params`` is the legacy full-override escape hatch and applies to
+        one-shot execution of the parameterized algorithms ("paper",
+        "podc09") only; ``target`` is the Metropolis–Hastings stationary
+        distribution.  The MH baseline models no report step, so
+        ``report_to_source`` is ignored for it (its round count is the
+        number of accepted moves plus one setup round).
+        """
+        if params is not None:
+            if request.pooled and request.algorithm == "paper":
+                raise WalkError(
+                    "params= overrides apply to one-shot execution; "
+                    "pass pooled=False (or use lam=/eta= with the pooled engine)"
+                )
+            if request.algorithm in ("naive", "metropolis"):
+                raise WalkError(
+                    f"algorithm {request.algorithm!r} takes no params= override"
+                )
+        self._queries += 1
+        algo = request.algorithm
+        if algo == "paper":
+            if request.many:
+                if request.pooled:
+                    return self._serve_pooled_many(request)
+                return _run_many_walks(
+                    self.graph,
+                    list(request.sources),
+                    request.length,
+                    self.rng,
+                    self.network,
+                    params=params,
+                    lam=request.lam,
+                    eta=self._default_eta if request.eta is None else request.eta,
+                    lambda_constant=self.lambda_constant,
+                    record_paths=False if request.record_paths is None else request.record_paths,
+                    report_to_source=request.report_to_source,
+                )
+            if request.pooled:
+                return self._serve_pooled_single(request)
+            return _run_single_walk(
+                self.graph,
+                request.source,
+                request.length,
+                self.rng,
+                self.network,
+                params=params,
+                lam=request.lam,
+                eta=self._default_eta if request.eta is None else request.eta,
+                lambda_constant=self.lambda_constant,
+                record_paths=True if request.record_paths is None else request.record_paths,
+                report_to_source=request.report_to_source,
+            )
+        if request.many:
+            raise WalkError(
+                f"algorithm {algo!r} serves single-walk requests only; "
+                "use algorithm='paper' for batches"
+            )
+        if algo == "naive":
+            return _run_naive_walk(
+                self.graph,
+                request.source,
+                request.length,
+                self.rng,
+                self.network,
+                record_paths=True if request.record_paths is None else request.record_paths,
+                report_to_source=request.report_to_source,
+            )
+        if algo == "podc09":
+            return _run_podc09_walk(
+                self.graph,
+                request.source,
+                request.length,
+                self.rng,
+                self.network,
+                params=params,
+                lam=request.lam,
+                eta=request.eta,  # None means Θ((ℓ/D)^{1/3}), the baseline's own policy
+                lambda_constant=self.lambda_constant,
+                record_paths=True if request.record_paths is None else request.record_paths,
+                report_to_source=request.report_to_source,
+            )
+        # WalkRequest.__post_init__ guarantees this is "metropolis".
+        result = _run_metropolis_walk(
+            self.graph, request.source, request.length, self.rng, self.network, target=target
+        )
+        if request.record_paths is False:
+            result.positions = None
+        return result
+
+    # ------------------------------------------------------------------
+    # Pooled serving
+    # ------------------------------------------------------------------
+    def _validate_query(self, source: int, length: int) -> None:
+        if not 0 <= source < self.graph.n:
+            raise WalkError(f"source {source} out of range")
+        if length < 1:
+            raise WalkError(f"walk length must be >= 1, got {length}")
+
+    def _resolve_record_paths(self, pool: Phase1Pool, requested: bool | None, default: bool) -> bool:
+        rp = default if requested is None else requested
+        if rp and not pool.record_paths:
+            raise WalkError(
+                "pool was prepared with record_paths=False; "
+                "call prepare(record_paths=True) to serve trajectory queries"
+            )
+        return rp
+
+    def _stitch_pooled(
+        self,
+        pool: Phase1Pool,
+        source: int,
+        length: int,
+        *,
+        record_paths: bool,
+        defer_tail: bool,
+    ) -> tuple:
+        """One pooled stitching sweep; refills charge to ``"pool-refill"``.
+
+        Trajectory assembly follows the *request* (``record_paths``) while
+        refill tokens follow the *pool's* policy, keeping the pool
+        homogeneous: an endpoint-only query on a path-recording pool
+        neither builds trajectories it will drop nor injects pathless
+        tokens a later trajectory query would choke on.
+        """
+        out = stitch_walk(
+            self.network,
+            pool.store,
+            source,
+            length,
+            pool.lam,
+            self.rng,
+            loop_margin=2 * pool.lam,
+            gmw_count=max(1, length // pool.lam),
+            randomized_lengths=True,
+            record_paths=record_paths,
+            tree_cache=self._tree_cache,
+            defer_tail=defer_tail,
+            gmw_phase="pool-refill",
+            refill_record_paths=pool.record_paths,
+        )
+        gmw_calls = out[4]
+        pool.refills += gmw_calls
+        self._refills += gmw_calls
+        return out
+
+    def _serve_pooled_single(self, request: WalkRequest) -> WalkResult:
+        source, length = request.source, request.length
+        self._validate_query(source, length)
+        net = self.network
+        snapshot = net.ledger.capture()
+        # One setup BFS per query: it doubles as the diameter estimate for
+        # (auto-)preparation and as the report-routing tree.
+        d_est, source_tree = estimate_diameter(net, source, self._tree_cache)
+        old_pool = self._pool
+        pool, lam_val = self._pool_for_request(
+            length, request.lam, request.eta, request.record_paths, d_est
+        )
+        tokens_before = (
+            pool.store.tokens_created if (pool is not None and pool is old_pool) else 0
+        )
+
+        if pool is None or pool.lam >= length:
+            # The walk is shorter than one short-walk segment: serve it
+            # naively (ℓ rounds), leaving the pool — if any — untouched.
+            if request.record_paths is not None:
+                rp = request.record_paths
+            else:
+                rp = pool.record_paths if pool is not None else self._default_record_paths
+            positions_list = self.graph.walk(source, length, self.rng)
+            with net.phase("naive"):
+                net.deliver_sequential(length)
+            served = _SingleServed(
+                destination=positions_list[-1],
+                mode="naive",
+                positions=np.asarray(positions_list, dtype=np.int64) if rp else None,
+            )
+        else:
+            rp = self._resolve_record_paths(pool, request.record_paths, pool.record_paths)
+            destination, positions, segments, connectors, gmw_calls, _remaining = (
+                self._stitch_pooled(pool, source, length, record_paths=rp, defer_tail=False)
+            )
+            served = _SingleServed(
+                destination=destination,
+                mode="stitched",
+                positions=positions,
+                segments=segments,
+                connectors=connectors,
+                gmw_calls=gmw_calls,
+            )
+
+        if request.report_to_source:
+            with net.phase("report"):
+                net.deliver_sequential(source_tree.depth[served.destination])
+
+        if pool is not None:
+            pool.queries += 1
+        delta = net.ledger.delta_since(snapshot)
+        return WalkResult(
+            source=source,
+            length=length,
+            destination=served.destination,
+            positions=served.positions,
+            segments=served.segments,
+            connectors=served.connectors,
+            tokens_prepared=(pool.store.tokens_created - tokens_before) if pool is not None else 0,
+            mode=served.mode,
+            rounds=delta.rounds,
+            lam=lam_val,
+            phase_rounds=dict(delta.phase_rounds),
+            get_more_walks_calls=served.gmw_calls,
+        )
+
+    def _serve_pooled_many(self, request: WalkRequest) -> ManyWalksResult:
+        sources, length = list(request.sources), request.length
+        for s in sources:
+            self._validate_query(s, length)
+        net = self.network
+        snapshot = net.ledger.capture()
+        k = len(sources)
+        d_est, base_tree = estimate_diameter(net, sources[0], self._tree_cache)
+        pool, lam_val = self._pool_for_request(
+            length, request.lam, request.eta, request.record_paths, d_est
+        )
+        # Batch queries default to endpoint-only (the legacy many-walks
+        # contract); trajectories must be requested explicitly.
+        rp = False if request.record_paths is None else request.record_paths
+
+        if pool is None or pool.lam >= length:
+            destinations, trajectories = _parallel_naive(
+                net, sources, length, self.rng, record_paths=rp
+            )
+            total_gmw = 0
+            mode = "naive-parallel"
+            if request.report_to_source:
+                with net.phase("report"):
+                    net.ledger.charge(base_tree.height + k, messages=2 * k, congestion=k)
+        else:
+            rp = self._resolve_record_paths(pool, request.record_paths, default=False)
+            pre_tails: list[tuple[int, int]] = []
+            stitched_chunks: list[np.ndarray | None] = []
+            total_gmw = 0
+            for source in sources:
+                current, positions, _segments, _connectors, gmw_calls, remaining = (
+                    self._stitch_pooled(pool, source, length, record_paths=rp, defer_tail=True)
+                )
+                total_gmw += gmw_calls
+                pre_tails.append((current, remaining))
+                stitched_chunks.append(positions)
+            destinations, tail_paths = _parallel_tails(
+                net, pre_tails, self.rng, record_paths=rp
+            )
+            trajectories = None
+            if rp:
+                trajectories = []
+                for stitched, tail in zip(stitched_chunks, tail_paths):
+                    assert stitched is not None and tail is not None
+                    trajectories.append(np.concatenate([stitched, tail]))
+                    if len(trajectories[-1]) != length + 1:
+                        raise WalkError("stitched + tail trajectory has wrong length")
+            mode = "stitched"
+            if request.report_to_source:
+                with net.phase("report"):
+                    for destination in destinations:
+                        net.deliver_sequential(base_tree.depth[destination])
+
+        if pool is not None:
+            pool.queries += 1
+        delta = net.ledger.delta_since(snapshot)
+        return ManyWalksResult(
+            sources=sources,
+            length=length,
+            destinations=destinations,
+            positions=trajectories if rp else None,
+            mode=mode,
+            rounds=delta.rounds,
+            lam=lam_val,
+            phase_rounds=dict(delta.phase_rounds),
+            get_more_walks_calls=total_gmw,
+        )
+
+    # ------------------------------------------------------------------
+    # Applications (shared network/ledger/RNG)
+    # ------------------------------------------------------------------
+    def mixing_time(self, source: int, **kwargs):
+        """Section 4.2's decentralized mixing-time estimation on this session."""
+        from repro.apps.mixing_time import estimate_mixing_time
+
+        kwargs.setdefault("lambda_constant", self.lambda_constant)
+        self._queries += 1
+        return estimate_mixing_time(self.graph, source, seed=self.rng, network=self.network, **kwargs)
+
+    def spanning_tree(self, root: int = 0, **kwargs):
+        """Section 4.1's distributed random spanning tree on this session."""
+        from repro.apps.spanning_tree import random_spanning_tree
+
+        kwargs.setdefault("lambda_constant", self.lambda_constant)
+        self._queries += 1
+        return random_spanning_tree(self.graph, root=root, seed=self.rng, network=self.network, **kwargs)
+
+    def regenerate(self, result: WalkResult, **kwargs) -> RegenerationResult:
+        """Re-announce a recorded walk so every node learns its positions (§2.2)."""
+        return regenerate_walk(self.network, result, tree_cache=self._tree_cache, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Session telemetry: pool occupancy, amortization counters, ledger.
+
+        ``refills`` counts GET-MORE-WALKS invocations across the whole
+        session (surviving pool re-preparations); the token counters
+        describe the *current* pool's store.
+        """
+        pool = self._pool
+        return EngineStats(
+            queries=self._queries,
+            full_preparations=self._full_preparations,
+            refills=self._refills,
+            tokens_prepared=pool.store.tokens_created if pool is not None else 0,
+            tokens_consumed=pool.store.tokens_consumed if pool is not None else 0,
+            pool_unused=pool.unused if pool is not None else 0,
+            pool_lam=pool.lam if pool is not None else None,
+            pool_eta=pool.eta if pool is not None else None,
+            rounds=self.network.rounds,
+            messages=self.network.messages_sent,
+            phase_rounds={k: v.rounds for k, v in self.network.ledger.phases.items()},
+        )
+
+    def __repr__(self) -> str:
+        pool = self._pool
+        pool_desc = (
+            f"pool(lam={pool.lam}, unused={pool.unused})" if pool is not None else "no pool"
+        )
+        return (
+            f"WalkEngine(graph={self.graph.name!r}, n={self.graph.n}, "
+            f"queries={self._queries}, {pool_desc}, rounds={self.network.rounds})"
+        )

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import GraphError
 from repro.graphs.lower_bound import LowerBoundInstance, build_lower_bound_graph, round_bound

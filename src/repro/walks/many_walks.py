@@ -21,15 +21,15 @@ with ``k`` copies of the same source.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.congest.network import Network
 from repro.congest.primitives import BfsTree
+from repro.engine.model import ResultBase
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
-from repro.util.rng import make_rng
 from repro.walks.params import WalkParams, many_walks_params
 from repro.walks.short_walks import perform_short_walks, token_counts
 from repro.walks.single_walk import estimate_diameter, stitch_walk
@@ -39,18 +39,17 @@ __all__ = ["ManyWalksResult", "many_random_walks"]
 
 
 @dataclass
-class ManyWalksResult:
-    """Outcome of a k-walk computation."""
+class ManyWalksResult(ResultBase):
+    """Outcome of a k-walk computation.
+
+    Shared cost fields (``mode``/``rounds``/``lam``/``phase_rounds``/
+    ``get_more_walks_calls``) live on :class:`~repro.engine.model.ResultBase`.
+    """
 
     sources: list[int]
     length: int
     destinations: list[int]
-    mode: str
-    rounds: int
-    lam: int
     positions: list[np.ndarray] | None = None
-    phase_rounds: dict[str, int] = field(default_factory=dict)
-    get_more_walks_calls: int = 0
 
     @property
     def k(self) -> int:
@@ -121,25 +120,25 @@ def _parallel_tails(
     return destinations, [paths[i, 1 : int(remaining[i]) + 1].copy() for i in range(k)]
 
 
-def many_random_walks(
+def _run_many_walks(
     graph: Graph,
     sources: list[int],
     length: int,
+    rng: np.random.Generator,
+    net: Network,
     *,
-    seed=None,
     params: WalkParams | None = None,
     lam: int | None = None,
     eta: float = 1.0,
     lambda_constant: float = 1.0,
     record_paths: bool = False,
     report_to_source: bool = True,
-    network: Network | None = None,
 ) -> ManyWalksResult:
-    """Compute ``k = len(sources)`` independent ℓ-step walks.
+    """One-shot MANY-RANDOM-WALKS on a resolved (rng, network).
 
-    ``record_paths`` defaults off here (applications usually need only the
-    ``k`` endpoint samples; full trajectories for ``k`` long walks are
-    memory-heavy).
+    The legacy free-function body, unchanged — the golden-ledger suite
+    freezes its totals, so the :func:`many_random_walks` wrapper and the
+    engine's non-pooled batch path both funnel through it verbatim.
     """
     if not sources:
         raise WalkError("need at least one source")
@@ -149,8 +148,6 @@ def many_random_walks(
     if length < 1:
         raise WalkError(f"walk length must be >= 1, got {length}")
     k = len(sources)
-    rng = make_rng(seed)
-    net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
     tree_cache: dict[int, BfsTree] = {}
 
@@ -257,4 +254,44 @@ def many_random_walks(
         positions=trajectories,
         phase_rounds={name: st.rounds for name, st in net.ledger.phases.items()},
         get_more_walks_calls=total_gmw,
+    )
+
+
+def many_random_walks(
+    graph: Graph,
+    sources: list[int],
+    length: int,
+    *,
+    seed=None,
+    params: WalkParams | None = None,
+    lam: int | None = None,
+    eta: float = 1.0,
+    lambda_constant: float = 1.0,
+    record_paths: bool = False,
+    report_to_source: bool = True,
+    network: Network | None = None,
+) -> ManyWalksResult:
+    """Compute ``k = len(sources)`` independent ℓ-step walks.
+
+    ``record_paths`` defaults off here (applications usually need only the
+    ``k`` endpoint samples; full trajectories for ``k`` long walks are
+    memory-heavy).
+
+    Thin wrapper over a one-shot :class:`~repro.engine.core.WalkEngine`;
+    streams of batch queries on one graph should hold an engine and use
+    :meth:`~repro.engine.core.WalkEngine.walks` instead.
+    """
+    from repro.engine.core import WalkEngine
+
+    engine = WalkEngine(
+        graph, seed=seed, lambda_constant=lambda_constant, eta=eta, network=network
+    )
+    return engine.walks(
+        sources,
+        length,
+        pooled=False,
+        params=params,
+        lam=lam,
+        record_paths=record_paths,
+        report_to_source=report_to_source,
     )

@@ -82,26 +82,18 @@ def metropolis_walk(
     return path
 
 
-def naive_metropolis_walk(
+def _run_metropolis_walk(
     graph: Graph,
     source: int,
     length: int,
+    rng,
+    net: Network,
     *,
-    seed=None,
     target: np.ndarray | None = None,
-    network: Network | None = None,
 ) -> WalkResult:
-    """Distributed naive MH walk: 1 setup round + one round per *move*.
-
-    The setup round exchanges (degree, π-value) with neighbors — after that
-    every accept/reject decision is local.  Rejected proposals are
-    self-loops and cost no communication, so the round count is the number
-    of actual moves, not ℓ.
-    """
+    """One-shot distributed MH walk on a resolved (rng, network) — legacy body."""
     if length < 1:
         raise WalkError(f"walk length must be >= 1, got {length}")
-    rng = make_rng(seed)
-    net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
 
     with net.phase("mh-setup"):
@@ -123,3 +115,28 @@ def naive_metropolis_walk(
         positions=np.asarray(positions, dtype=np.int64),
         phase_rounds={k: v.rounds for k, v in net.ledger.phases.items()},
     )
+
+
+def naive_metropolis_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    *,
+    seed=None,
+    target: np.ndarray | None = None,
+    network: Network | None = None,
+) -> WalkResult:
+    """Distributed naive MH walk: 1 setup round + one round per *move*.
+
+    The setup round exchanges (degree, π-value) with neighbors — after that
+    every accept/reject decision is local.  Rejected proposals are
+    self-loops and cost no communication, so the round count is the number
+    of actual moves, not ℓ.
+
+    Thin wrapper over a one-shot :class:`~repro.engine.core.WalkEngine`
+    (``algorithm="metropolis"``).
+    """
+    from repro.engine.core import WalkEngine
+
+    engine = WalkEngine(graph, seed=seed, network=network)
+    return engine.walk(source, length, algorithm="metropolis", pooled=False, target=target)

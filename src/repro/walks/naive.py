@@ -25,7 +25,6 @@ from repro.congest.network import Network
 from repro.congest.protocol import Protocol, ProtocolAPI
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
-from repro.util.rng import make_rng
 from repro.walks.single_walk import WalkResult
 
 __all__ = ["naive_random_walk", "TokenWalkProtocol"]
@@ -67,29 +66,21 @@ class TokenWalkProtocol(Protocol):
         return self.destination is not None
 
 
-def naive_random_walk(
+def _run_naive_walk(
     graph: Graph,
     source: int,
     length: int,
+    rng,
+    net: Network,
     *,
-    seed=None,
     record_paths: bool = True,
     report_to_source: bool = False,
-    network: Network | None = None,
 ) -> WalkResult:
-    """Perform the ℓ-round naive walk; returns a :class:`WalkResult`.
-
-    ``report_to_source=True`` adds the paper's "sends its ID back (along
-    the same path)" step — another ℓ rounds — turning 1-RW-DoS into
-    1-RW-SoD.  Benches leave it off so the baseline is compared at its most
-    favorable ``O(ℓ)`` reading.
-    """
+    """One-shot naive token walk on a resolved (rng, network) — legacy body."""
     if not 0 <= source < graph.n:
         raise WalkError(f"source {source} out of range")
     if length < 1:
         raise WalkError(f"walk length must be >= 1, got {length}")
-    rng = make_rng(seed)
-    net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
 
     positions = graph.walk(source, length, rng)
@@ -108,4 +99,37 @@ def naive_random_walk(
         lam=length,
         positions=np.asarray(positions, dtype=np.int64) if record_paths else None,
         phase_rounds={k: v.rounds for k, v in net.ledger.phases.items()},
+    )
+
+
+def naive_random_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    *,
+    seed=None,
+    record_paths: bool = True,
+    report_to_source: bool = False,
+    network: Network | None = None,
+) -> WalkResult:
+    """Perform the ℓ-round naive walk; returns a :class:`WalkResult`.
+
+    ``report_to_source=True`` adds the paper's "sends its ID back (along
+    the same path)" step — another ℓ rounds — turning 1-RW-DoS into
+    1-RW-SoD.  Benches leave it off so the baseline is compared at its most
+    favorable ``O(ℓ)`` reading.
+
+    Thin wrapper over a one-shot :class:`~repro.engine.core.WalkEngine`
+    (``algorithm="naive"``).
+    """
+    from repro.engine.core import WalkEngine
+
+    engine = WalkEngine(graph, seed=seed, network=network)
+    return engine.walk(
+        source,
+        length,
+        algorithm="naive",
+        pooled=False,
+        record_paths=record_paths,
+        report_to_source=report_to_source,
     )

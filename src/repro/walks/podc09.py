@@ -24,7 +24,6 @@ from repro.congest.network import Network
 from repro.congest.primitives import BfsTree
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
-from repro.util.rng import make_rng
 from repro.walks.params import WalkParams, podc09_params
 from repro.walks.short_walks import perform_short_walks, token_counts
 from repro.walks.single_walk import WalkResult, estimate_diameter, stitch_walk
@@ -33,27 +32,25 @@ from repro.walks.store import WalkStore
 __all__ = ["podc09_random_walk"]
 
 
-def podc09_random_walk(
+def _run_podc09_walk(
     graph: Graph,
     source: int,
     length: int,
+    rng,
+    net: Network,
     *,
-    seed=None,
     params: WalkParams | None = None,
     lam: int | None = None,
     eta: float | None = None,
     lambda_constant: float = 1.0,
     record_paths: bool = True,
     report_to_source: bool = True,
-    network: Network | None = None,
 ) -> WalkResult:
-    """Run the PODC'09 algorithm; same contract as :func:`single_random_walk`."""
+    """One-shot PODC'09 baseline on a resolved (rng, network) — legacy body."""
     if not 0 <= source < graph.n:
         raise WalkError(f"source {source} out of range")
     if length < 1:
         raise WalkError(f"walk length must be >= 1, got {length}")
-    rng = make_rng(seed)
-    net = network if network is not None else Network(graph, seed=rng)
     rounds_before = net.rounds
     tree_cache: dict[int, BfsTree] = {}
 
@@ -112,4 +109,39 @@ def podc09_random_walk(
         phase_rounds={k: v.rounds for k, v in net.ledger.phases.items()},
         get_more_walks_calls=gmw_calls,
         tokens_prepared=tokens_prepared,
+    )
+
+
+def podc09_random_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    *,
+    seed=None,
+    params: WalkParams | None = None,
+    lam: int | None = None,
+    eta: float | None = None,
+    lambda_constant: float = 1.0,
+    record_paths: bool = True,
+    report_to_source: bool = True,
+    network: Network | None = None,
+) -> WalkResult:
+    """Run the PODC'09 algorithm; same contract as :func:`single_random_walk`.
+
+    Thin wrapper over a one-shot :class:`~repro.engine.core.WalkEngine`
+    (``algorithm="podc09"``).
+    """
+    from repro.engine.core import WalkEngine
+
+    engine = WalkEngine(graph, seed=seed, lambda_constant=lambda_constant, network=network)
+    return engine.walk(
+        source,
+        length,
+        algorithm="podc09",
+        pooled=False,
+        params=params,
+        lam=lam,
+        eta=eta,
+        record_paths=record_paths,
+        report_to_source=report_to_source,
     )

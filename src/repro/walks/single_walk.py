@@ -31,9 +31,9 @@ import numpy as np
 
 from repro.congest.network import Network
 from repro.congest.primitives import BfsTree, build_bfs_tree
+from repro.engine.model import ResultBase
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
-from repro.util.rng import make_rng
 from repro.walks.get_more_walks import get_more_walks
 from repro.walks.params import WalkParams, single_walk_params
 from repro.walks.sample_destination import sample_destination
@@ -44,13 +44,16 @@ __all__ = ["WalkResult", "single_random_walk", "stitch_walk", "estimate_diameter
 
 
 @dataclass
-class WalkResult:
+class WalkResult(ResultBase):
     """Outcome of one distributed walk computation.
 
-    ``positions`` holds the full ℓ+1-node trajectory when path recording was
-    on (the paper's "regenerating the entire walk" — every node can learn
-    its positions); ``None`` otherwise.  ``segments`` are the stitched
-    short-walk records in order, materialized lazily by the columnar
+    The shared cost fields (``mode``, ``rounds``, ``lam``,
+    ``phase_rounds``, ``get_more_walks_calls``) come from
+    :class:`~repro.engine.model.ResultBase`.  ``positions`` holds the full
+    ℓ+1-node trajectory when path recording was on (the paper's
+    "regenerating the entire walk" — every node can learn its positions);
+    ``None`` otherwise.  ``segments`` are the stitched short-walk records
+    in order, materialized lazily by the columnar
     :class:`~repro.walks.store.WalkStore` as each one was popped (only
     ``O(ℓ/λ)`` of the Θ(η·m) Phase-1 tokens ever become objects);
     ``connectors`` the nodes where stitches happened (Figure 2's stitch
@@ -60,14 +63,9 @@ class WalkResult:
     source: int
     length: int
     destination: int
-    mode: str
-    rounds: int
-    lam: int
     positions: np.ndarray | None = None
     segments: list[TokenRecord] = field(default_factory=list)
     connectors: list[int] = field(default_factory=list)
-    phase_rounds: dict[str, int] = field(default_factory=dict)
-    get_more_walks_calls: int = 0
     tokens_prepared: int = 0
 
     def verify_positions(self, graph: Graph) -> None:
@@ -114,6 +112,8 @@ def stitch_walk(
     record_paths: bool,
     tree_cache: dict[int, BfsTree] | None,
     defer_tail: bool = False,
+    gmw_phase: str = "get-more-walks",
+    refill_record_paths: bool | None = None,
 ) -> tuple[int, np.ndarray | None, list[TokenRecord], list[int], int, int]:
     """Phase 2 + tail, shared by this paper's algorithm and the PODC'09 baseline.
 
@@ -128,7 +128,17 @@ def stitch_walk(
     tails concurrently (they are independent walks, so running them as one
     parallel batch costs ``O(λ + k)`` instead of ``O(k·λ)`` — required for
     the Theorem 2.8 bound, whose Phase-2 accounting covers only stitching).
+
+    ``gmw_phase`` names the ledger phase refills charge to; the engine's
+    pooled mode uses ``"pool-refill"`` so the refill protocol's cost is
+    separately visible from one-shot GET-MORE-WALKS emergencies.
+    ``refill_record_paths`` (default: same as ``record_paths``) controls
+    whether refill tokens record their hop sequences — the pooled engine
+    pins it to the pool's policy so an endpoint-only query never pollutes a
+    path-recording pool with pathless tokens.
     """
+    if refill_record_paths is None:
+        refill_record_paths = record_paths
     completed = 0
     current = source
     segments: list[TokenRecord] = []
@@ -148,7 +158,8 @@ def stitch_walk(
                 lam,
                 rng,
                 randomized_lengths=randomized_lengths,
-                record_paths=record_paths,
+                record_paths=refill_record_paths,
+                phase=gmw_phase,
             )
             gmw_calls += 1
             record, tree = sample_destination(network, store, current, rng, tree_cache=tree_cache)
@@ -182,39 +193,31 @@ def stitch_walk(
     return current, positions, segments, connectors, gmw_calls, remaining
 
 
-def single_random_walk(
+def _run_single_walk(
     graph: Graph,
     source: int,
     length: int,
+    rng: np.random.Generator,
+    net: Network,
     *,
-    seed=None,
     params: WalkParams | None = None,
     lam: int | None = None,
     eta: float = 1.0,
     lambda_constant: float = 1.0,
-    capacity: int = 1,
     record_paths: bool = True,
     report_to_source: bool = True,
-    network: Network | None = None,
 ) -> WalkResult:
-    """Sample the endpoint of an ℓ-step random walk from ``source``.
+    """One-shot SINGLE-RANDOM-WALK execution on a resolved (rng, network).
 
-    Parameters mirror the paper: ``λ`` defaults to
-    ``lambda_constant·√(ℓ·D̂)`` using the distributed diameter estimate,
-    ``η = 1`` walk per unit of degree.  ``report_to_source=True`` also
-    routes the destination's ID back to the source (the 1-RW-SoD variant of
-    the problem statement; ``≤ D`` extra rounds), so the quoted round count
-    covers the full "source outputs destination" contract.
-
-    Pass an existing ``network`` to accumulate rounds across calls (the RST
-    application does this); otherwise a fresh engine is created.
+    This is the legacy free-function body, unchanged: the golden-ledger
+    suite freezes its round/message totals and sampled walks at fixed
+    seeds, so both the :func:`single_random_walk` wrapper and the
+    engine's non-pooled path funnel through it verbatim.
     """
     if not 0 <= source < graph.n:
         raise WalkError(f"source {source} out of range")
     if length < 1:
         raise WalkError(f"walk length must be >= 1, got {length}")
-    rng = make_rng(seed)
-    net = network if network is not None else Network(graph, capacity=capacity, seed=rng)
     rounds_before = net.rounds
     tree_cache: dict[int, BfsTree] = {}
 
@@ -288,4 +291,57 @@ def single_random_walk(
         phase_rounds={k: v.rounds for k, v in net.ledger.phases.items()},
         get_more_walks_calls=gmw_calls,
         tokens_prepared=tokens_prepared,
+    )
+
+
+def single_random_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    *,
+    seed=None,
+    params: WalkParams | None = None,
+    lam: int | None = None,
+    eta: float = 1.0,
+    lambda_constant: float = 1.0,
+    capacity: int = 1,
+    record_paths: bool = True,
+    report_to_source: bool = True,
+    network: Network | None = None,
+) -> WalkResult:
+    """Sample the endpoint of an ℓ-step random walk from ``source``.
+
+    Parameters mirror the paper: ``λ`` defaults to
+    ``lambda_constant·√(ℓ·D̂)`` using the distributed diameter estimate,
+    ``η = 1`` walk per unit of degree.  ``report_to_source=True`` also
+    routes the destination's ID back to the source (the 1-RW-SoD variant of
+    the problem statement; ``≤ D`` extra rounds), so the quoted round count
+    covers the full "source outputs destination" contract.
+
+    Pass an existing ``network`` to accumulate rounds across calls (the RST
+    application does this); otherwise a fresh engine is created.
+
+    This is a thin wrapper over a one-shot
+    :class:`~repro.engine.core.WalkEngine`; repeated queries on one graph
+    should hold an engine instead and let its persistent Phase-1 pool
+    amortize the Θ(η·m) token preparation.
+    """
+    from repro.engine.core import WalkEngine
+
+    engine = WalkEngine(
+        graph,
+        seed=seed,
+        capacity=capacity,
+        lambda_constant=lambda_constant,
+        eta=eta,
+        network=network,
+    )
+    return engine.walk(
+        source,
+        length,
+        pooled=False,
+        params=params,
+        lam=lam,
+        record_paths=record_paths,
+        report_to_source=report_to_source,
     )

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_graph_spec
-from repro.graphs import diameter
 
 
 class TestGraphSpecParser:
@@ -100,6 +101,62 @@ class TestCommands:
         code = main(["walk", "--graph", "path:4", "--length", "10", "--source", "99"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_walk_json_single(self, capsys):
+        code = main(["walk", "--graph", "torus:4x4", "--length", "100", "--seed", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        (entry,) = payload
+        assert entry["algorithm"] == "SINGLE-RANDOM-WALK"
+        assert entry["source"] == 0 and entry["length"] == 100
+        assert isinstance(entry["destination"], int)
+        assert entry["rounds"] > 0 and isinstance(entry["phase_rounds"], dict)
+
+    def test_walk_json_matches_table_run(self, capsys):
+        main(["walk", "--graph", "torus:4x4", "--length", "100", "--seed", "3", "--json"])
+        entry = json.loads(capsys.readouterr().out)[0]
+        code = main(["walk", "--graph", "torus:4x4", "--length", "100", "--seed", "3"])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert str(entry["destination"]) in table and str(entry["rounds"]) in table
+
+    def test_walk_json_all_algorithms(self, capsys):
+        code = main(
+            ["walk", "--graph", "hypercube:4", "--length", "200", "--algorithm", "all", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["algorithm"] for e in payload] == [
+            "SINGLE-RANDOM-WALK",
+            "PODC'09 baseline",
+            "naive token walk",
+        ]
+
+    def test_rst_json(self, capsys):
+        code = main(["rst", "--graph", "complete:5", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "rst"
+        assert len(payload["tree"]) == 4  # n-1 edges
+
+    def test_mixing_json(self, capsys):
+        code = main(
+            ["mixing", "--graph", "complete:8", "--seed", "2", "--samples", "150", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "mixing"
+        assert payload["estimate"] >= 1
+
+    def test_walk_metropolis_algorithm(self, capsys):
+        code = main(
+            ["walk", "--graph", "torus:4x4", "--length", "100", "--algorithm", "metropolis"]
+        )
+        assert code == 0
+        assert "Metropolis-Hastings" in capsys.readouterr().out
 
 
 class TestVersionFlag:

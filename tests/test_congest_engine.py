@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.congest import Message, Network, Protocol
 from repro.errors import ProtocolError
-from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+from repro.graphs import cycle_graph, path_graph, star_graph
 
 
 class TestDeliverStep:

@@ -3,8 +3,6 @@ verification of genuine walk trajectories, and example smoke tests."""
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.congest import Network, Protocol
 from repro.graphs import Graph, cycle_graph, torus_graph

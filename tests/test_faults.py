@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.congest import LossyNetwork, Network, ReliableTokenWalkProtocol, reliable_walk
+from repro.congest import LossyNetwork, ReliableTokenWalkProtocol, reliable_walk
 from repro.congest.faults import reliable_walk as reliable_walk_fn
 from repro.errors import ProtocolError
 from repro.graphs import cycle_graph, path_graph, torus_graph

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.apps import estimate_mixing_time, random_spanning_tree

@@ -1,0 +1,86 @@
+"""Lint gate inside tier-1.
+
+Two layers:
+
+* ``ruff check`` with the repo's ``ruff.toml`` — runs when ruff is
+  installed (skipped otherwise, so offline/minimal environments still pass
+  the gate);
+* a dependency-free AST dead-import check that always runs: every name
+  bound by a top-level import must be referenced somewhere outside the
+  import statement itself (package ``__init__`` re-export modules are
+  exempt — their imports exist to populate ``__all__``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_DIRS = ("src", "tests", "benchmarks", "examples")
+
+
+def _iter_py_files():
+    for d in CHECKED_DIRS:
+        yield from sorted((REPO_ROOT / d).rglob("*.py"))
+
+
+def test_ruff_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed in this environment")
+    proc = subprocess.run(
+        ["ruff", "check", *CHECKED_DIRS],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"ruff check failed:\n{proc.stdout}\n{proc.stderr}"
+
+
+def _unused_imports(path: Path) -> list[str]:
+    src = path.read_text()
+    tree = ast.parse(src)
+    lines = src.splitlines()
+    import_spans: list[tuple[int, int]] = []
+    bound: list[tuple[str, int]] = []  # (name, first import line)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            import_spans.append((node.lineno, node.end_lineno or node.lineno))
+            for alias in node.names:
+                bound.append((alias.asname or alias.name.split(".")[0], node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            import_spans.append((node.lineno, node.end_lineno or node.lineno))
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.append((alias.asname or alias.name, node.lineno))
+
+    def inside_import(lineno: int) -> bool:
+        return any(lo <= lineno <= hi for lo, hi in import_spans)
+
+    unused = []
+    for name, lineno in bound:
+        pattern = re.compile(r"\b" + re.escape(name) + r"\b")
+        used = any(
+            pattern.search(line)
+            for i, line in enumerate(lines, 1)
+            if not inside_import(i)
+        )
+        if not used:
+            unused.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: unused import {name!r}")
+    return unused
+
+
+def test_no_dead_top_level_imports():
+    problems: list[str] = []
+    for path in _iter_py_files():
+        if path.name == "__init__.py":
+            continue  # re-export modules: imports exist to populate __all__
+        problems.extend(_unused_imports(path))
+    assert not problems, "dead imports found:\n" + "\n".join(problems)

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import WalkError
-from repro.graphs import complete_graph, cycle_graph, hypercube_graph, torus_graph
+from repro.graphs import complete_graph, cycle_graph, hypercube_graph
 from repro.markov import WalkSpectrum
 from repro.util.stats import chi_square_goodness_of_fit
 from repro.walks import many_random_walks, many_walks_params

@@ -8,7 +8,6 @@ families with very different mixing behaviour.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -22,7 +21,7 @@ from repro.graphs import (
     random_regular_graph,
     torus_graph,
 )
-from repro.markov import MIXING_EPSILON, WalkSpectrum, exact_mixing_time
+from repro.markov import WalkSpectrum, exact_mixing_time
 
 
 MIXING_CASES = [

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -12,7 +11,6 @@ from repro.graphs import (
     complete_graph,
     cycle_graph,
     path_graph,
-    pseudo_diameter,
     round_bound,
 )
 from repro.lowerbound import (

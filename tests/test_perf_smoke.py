@@ -57,6 +57,20 @@ class TestBenchHarnessSmoke:
         else:  # pragma: no cover - schema violation
             pytest.fail("no n=10k row in committed BENCH_HOTPATHS.json")
 
+    def test_committed_engine_reuse_section(self):
+        # bench_engine_reuse.py appends this section; the committed numbers
+        # must show the session API actually amortizing: one Phase-1
+        # preparation for the whole query stream, and a wall-clock *and*
+        # simulated-rounds win over per-query fresh calls.  (Static check on
+        # the committed record — live wall-clock assertions are slow-tier.)
+        results = json.loads(bench.RESULT_PATH.read_text())
+        row = results.get("engine_reuse")
+        assert row is not None, "run benchmarks/bench_engine_reuse.py to regenerate"
+        assert row["queries"] >= 100
+        assert row["full_preparations"] == 1
+        assert row["wallclock_speedup"] > 1.0
+        assert row["rounds_speedup"] > 1.0
+
 
 @pytest.mark.slow
 def test_full_acceptance_sweep():

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import WalkError
-from repro.graphs import complete_graph, cycle_graph, hypercube_graph, torus_graph
+from repro.graphs import complete_graph, hypercube_graph
 from repro.markov import WalkSpectrum
 from repro.util.stats import chi_square_goodness_of_fit
 from repro.walks import podc09_params, podc09_random_walk

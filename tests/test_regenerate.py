@@ -7,7 +7,7 @@ import pytest
 
 from repro.congest import Network
 from repro.errors import WalkError
-from repro.graphs import hypercube_graph, torus_graph
+from repro.graphs import hypercube_graph
 from repro.walks import naive_random_walk, positions_by_node, regenerate_walk, single_random_walk
 
 

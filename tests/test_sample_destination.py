@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.congest import Network
 from repro.graphs import eccentricity, grid_graph, path_graph, torus_graph

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 
 import pytest
@@ -12,9 +11,7 @@ from repro.apps.wilson import cover_time_of
 from repro.errors import ConvergenceError, GraphError
 from repro.graphs import (
     complete_graph,
-    cycle_graph,
     lollipop_graph,
-    grid_graph,
     torus_graph,
     tree_probabilities,
 )

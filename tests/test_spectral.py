@@ -4,12 +4,10 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError
 from repro.graphs import (
-    Graph,
     barbell_graph,
     complete_graph,
     cycle_graph,
@@ -17,7 +15,6 @@ from repro.graphs import (
     torus_graph,
 )
 from repro.markov import (
-    WalkSpectrum,
     cheeger_bounds,
     conductance_bounds_from_mixing,
     conductance_exact,
