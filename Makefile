@@ -4,7 +4,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks
 
 test:
 	$(PY) -m pytest -x -q
@@ -25,3 +25,6 @@ bench-hotpaths:
 
 bench-engine-reuse:
 	$(PY) benchmarks/bench_engine_reuse.py
+
+bench-batch-walks:
+	$(PY) benchmarks/bench_many_walks.py

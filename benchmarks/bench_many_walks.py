@@ -4,19 +4,93 @@ Sweeps ``k`` at a fixed walk length and reports measured rounds against
 both branches of the theorem's min, confirming (a) sub-linear growth in
 ``k`` (batching beats k independent runs), (b) the regime switch to the
 naive-parallel branch once ``√(kℓD) + k`` exceeds ``k + ℓ``.
+
+The ``batch_k_walks`` sweep extends this toward the k·ℓ regimes of
+arXiv:1201.1363: on the n=10k random regular graph it serves one pooled
+k-walk request per k ∈ {16, 64, 256} twice — with the engine's serial
+per-source stitching loop (the PR-2 shape, ``batch=False``) and with the
+interleaved batch regime (one SAMPLE-DESTINATION round trip serves every
+walk parked at a connector, pipelined on a shared tree) — and records the
+simulated-round ratio in ``BENCH_HOTPATHS.json``::
+
+    PYTHONPATH=src python benchmarks/bench_many_walks.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_many_walks.py --quick   # tiny config
+
+``tests/test_perf_smoke.py`` keeps a fast live guard (batch strictly beats
+serial at k=64) plus a static check on the committed section in tier-1.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import sys
+from pathlib import Path
 
-
-from repro.graphs import diameter, hypercube_graph
+from repro.engine import WalkEngine
+from repro.graphs import diameter, hypercube_graph, random_regular_graph
 from repro.util.tables import render_table
 from repro.walks import many_random_walks, single_random_walk
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_HOTPATHS.json"
+
 LENGTH = 24000
 KS = [1, 2, 4, 8]
+
+BATCH_N = 10_000
+BATCH_DEGREE = 4
+BATCH_LENGTH = 512
+BATCH_KS = [16, 64, 256]
+BATCH_SEED = 1201
+QUICK_BATCH = {"n": 256, "degree": 4, "length": 256, "ks": [4, 16], "seed": 1201}
+
+
+def bench_batch_k_walks(
+    n: int = BATCH_N,
+    degree: int = BATCH_DEGREE,
+    length: int = BATCH_LENGTH,
+    ks: list[int] | None = None,
+    seed: int = BATCH_SEED,
+) -> dict:
+    """Serial-loop vs batch-stitched simulated rounds on one k-walk request.
+
+    Both engines prepare identical pools first (same seed, same λ policy),
+    so the recorded per-request rounds isolate the serving regime: the
+    serial per-source loop pays a full SAMPLE-DESTINATION round trip per
+    segment per walk, the batch regime pipelines every walk parked at a
+    connector through shared-tree sweeps.
+    """
+    graph = random_regular_graph(n, degree, seed)
+    rows = []
+    for k in ks if ks is not None else BATCH_KS:
+        sources = [(i * 37) % graph.n for i in range(k)]
+        serial_engine = WalkEngine(graph, seed=seed, record_paths=False)
+        serial_engine.prepare(length_hint=length)
+        serial = serial_engine.walks(sources, length, batch=False)
+        batch_engine = WalkEngine(graph, seed=seed, record_paths=False)
+        batch_engine.prepare(length_hint=length)
+        batch = batch_engine.walks(sources, length)
+        assert serial.mode == "stitched" and batch.mode == "batch-stitched"
+        rows.append(
+            {
+                "k": k,
+                "length": length,
+                "lam": batch.lam,
+                "serial_rounds": serial.rounds,
+                "batch_rounds": batch.rounds,
+                "rounds_speedup": serial.rounds / batch.rounds,
+                "serial_report_rounds": serial.phase_rounds.get("report", 0),
+                "batch_report_rounds": batch.phase_rounds.get("report", 0),
+            }
+        )
+    return {
+        "schema": "bench_batch_k_walks/v1",
+        "n": graph.n,
+        "degree": degree,
+        "seed": seed,
+        "rows": rows,
+    }
 
 
 def test_e2_k_scaling(benchmark, reporter):
@@ -86,3 +160,44 @@ def test_e2_regime_switch(benchmark, reporter):
         rounds=3,
         iterations=1,
     )
+
+
+def test_batch_regime_rounds(reporter):
+    """Batch stitching beats the serial loop for every k (small config)."""
+    section = bench_batch_k_walks(**QUICK_BATCH)
+    rows = section["rows"]
+    table = render_table(
+        ["k", "λ", "serial rounds", "batch rounds", "speedup"],
+        [
+            (r["k"], r["lam"], r["serial_rounds"], r["batch_rounds"], f"{r['rounds_speedup']:.2f}x")
+            for r in rows
+        ],
+        title=f"batch vs serial stitching, n={section['n']} regular({section['degree']})",
+    )
+    reporter.emit("E2_many_walks", table)
+    for r in rows:
+        assert r["batch_rounds"] < r["serial_rounds"], r
+        # Satellite invariant: both regimes charge the identical pipelined
+        # O(height + k) report convergecast.
+        assert r["batch_report_rounds"] == r["serial_report_rounds"], r
+
+
+def main(argv: list[str]) -> int:
+    section = (
+        bench_batch_k_walks(**QUICK_BATCH) if "--quick" in argv else bench_batch_k_walks()
+    )
+    results = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
+    results["batch_k_walks"] = section
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"batch vs serial k-walk serving on n={section['n']} regular({section['degree']}):")
+    for r in section["rows"]:
+        print(
+            f"  k={r['k']:>4}  λ={r['lam']:>4}  serial {r['serial_rounds']:>8} rounds  "
+            f"batch {r['batch_rounds']:>8} rounds  ({r['rounds_speedup']:.2f}x)"
+        )
+    print(f"\nwrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

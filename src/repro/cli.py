@@ -7,6 +7,7 @@ Examples
     python -m repro walk --graph torus:8x8 --length 4096 --seed 7
     python -m repro walk --graph hypercube:6 --length 8000 --algorithm all
     python -m repro walk --graph torus:8x8 --length 4096 --json
+    python -m repro walks --graph regular:10000:4 --k 64 --length 512
     python -m repro rst --graph grid:6x6 --seed 3
     python -m repro mixing --graph barbell:8:1 --seed 11
     python -m repro lowerbound --n 512
@@ -154,6 +155,41 @@ def _cmd_walk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_walks(args: argparse.Namespace) -> int:
+    from repro.engine import WalkEngine
+
+    graph = parse_graph_spec(args.graph)
+    sources = [(args.source + i * args.stride) % graph.n for i in range(args.k)]
+    engine = WalkEngine(graph, seed=args.seed, record_paths=False)
+    res = engine.walks(sources, args.length, batch=not args.serial)
+    stats = engine.stats()
+    if args.json:
+        print(json.dumps({**res.to_dict(), "stats": stats.to_dict()}, indent=2))
+        return 0
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ("mode", res.mode),
+                ("k", res.k),
+                ("length", res.length),
+                ("λ", res.lam),
+                ("rounds", res.rounds),
+                ("refills (reactive)", res.get_more_walks_calls),
+                ("pool unused", stats.pool_unused),
+                ("shards", stats.num_shards),
+                ("shard unused min/max", f"{stats.shard_unused_min}/{stats.shard_unused_max}"),
+                ("shards below watermark", stats.shards_below_watermark),
+                ("maintenance sweeps", stats.maintenance_sweeps),
+            ],
+            title=f"{args.k} pooled {args.length}-step walks on {graph.name} "
+            f"(n={graph.n}, m={graph.m})",
+        )
+    )
+    print("\nDestinations:", " ".join(str(d) for d in res.destinations))
+    return 0
+
+
 def _cmd_rst(args: argparse.Namespace) -> int:
     from repro.engine import WalkEngine
 
@@ -246,6 +282,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the result dataclass(es) as machine-readable JSON",
     )
     walk.set_defaults(fn=_cmd_walk)
+
+    walks = sub.add_parser(
+        "walks", help="serve a pooled k-walk batch from one engine session"
+    )
+    walks.add_argument("--graph", required=True, help="graph spec, e.g. regular:10000:4")
+    walks.add_argument("--length", type=int, required=True)
+    walks.add_argument("--k", type=int, default=16, help="number of walks in the batch")
+    walks.add_argument("--source", type=int, default=0, help="first source node")
+    walks.add_argument(
+        "--stride", type=int, default=37, help="source spacing: source + i*stride mod n"
+    )
+    walks.add_argument("--seed", type=int, default=0)
+    walks.add_argument(
+        "--serial",
+        action="store_true",
+        help="use the serial per-source stitching loop instead of batch sweeps",
+    )
+    walks.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result plus engine stats (shards, watermarks) as JSON",
+    )
+    walks.set_defaults(fn=_cmd_walks)
 
     rst = sub.add_parser("rst", help="sample a uniform random spanning tree")
     rst.add_argument("--graph", required=True)

@@ -94,6 +94,22 @@ class RoundLedger:
         stats = self.phases.get(name)
         return stats.rounds if stats else 0
 
+    def phase_total(self, prefix: str) -> int:
+        """Rounds of a phase *family*: ``prefix`` plus any ``prefix/sub``.
+
+        Sub-phases are plain phase names spelled ``"family/detail"`` (e.g.
+        ``"pool-refill"`` for reactive dry-connector refills vs.
+        ``"pool-refill/maintain"`` for background watermark sweeps); this
+        sums the family so callers asking "what did refilling cost overall"
+        need not know the attribution split.
+        """
+        marker = prefix + "/"
+        return sum(
+            stats.rounds
+            for name, stats in self.phases.items()
+            if name == prefix or name.startswith(marker)
+        )
+
     def capture(self) -> LedgerSnapshot:
         """Freeze the cumulative totals (for later :meth:`delta_since`)."""
         return LedgerSnapshot(

@@ -125,6 +125,23 @@ class Network:
     # ------------------------------------------------------------------
     # Batch-step execution
     # ------------------------------------------------------------------
+    def _as_slot_array(self, slots: np.ndarray | Iterable[int]) -> np.ndarray:
+        """Coerce to an int64 slot array and validate the CSR slot range."""
+        arr = np.asarray(list(slots) if not isinstance(slots, np.ndarray) else slots, dtype=np.int64)
+        if arr.size and (np.any(arr < 0) or np.any(arr >= self.graph.n_slots)):
+            raise ProtocolError("slot index out of range")
+        return arr
+
+    def _check_words(self, words: int) -> None:
+        if words > self.max_words:
+            raise ProtocolError(f"message of {words} words exceeds the {self.max_words}-word cap")
+
+    def _charge_iteration(self, n_messages: int, congestion: int) -> int:
+        """Charge one batch iteration: ``max(1, ceil(congestion/capacity))``."""
+        rounds = max(1, -(-congestion // self.capacity))  # ceil division
+        self.ledger.charge(rounds, messages=n_messages, congestion=congestion)
+        return rounds
+
     def deliver_step(
         self,
         slots: np.ndarray | Iterable[int],
@@ -144,13 +161,10 @@ class Network:
 
         Returns the number of rounds charged.
         """
-        slot_arr = np.asarray(list(slots) if not isinstance(slots, np.ndarray) else slots, dtype=np.int64)
+        slot_arr = self._as_slot_array(slots)
         if slot_arr.size == 0:
             return 0
-        if np.any(slot_arr < 0) or np.any(slot_arr >= self.graph.n_slots):
-            raise ProtocolError("slot index out of range")
-        if words > self.max_words:
-            raise ProtocolError(f"message of {words} words exceeds the {self.max_words}-word cap")
+        self._check_words(words)
         counts = np.bincount(slot_arr, minlength=0)
         if aggregate:
             n_messages = int(np.count_nonzero(counts))
@@ -158,9 +172,41 @@ class Network:
         else:
             n_messages = int(slot_arr.size)
             congestion = int(counts.max())
-        rounds = max(1, -(-congestion // self.capacity))  # ceil division
-        self.ledger.charge(rounds, messages=n_messages, congestion=congestion)
-        return rounds
+        return self._charge_iteration(n_messages, congestion)
+
+    def deliver_step_grouped(
+        self,
+        slots: np.ndarray | Iterable[int],
+        groups: np.ndarray | Iterable[int],
+        *,
+        words: int = 1,
+    ) -> int:
+        """Charge one iteration whose messages aggregate per (edge, group).
+
+        The multi-source generalization of ``deliver_step(aggregate=True)``:
+        ``groups[i]`` names the aggregation class of message ``i`` (for
+        batched GET-MORE-WALKS, the walk's source ID).  Tokens of the *same*
+        group crossing the same directed edge collapse into one
+        *(group payload, count)* message — the paper's count-aggregation
+        trick — while tokens of *different* groups stay distinct messages,
+        so the per-edge load is the number of distinct groups on that edge.
+        With a single group this charges exactly what
+        ``deliver_step(aggregate=True)`` does.
+
+        Returns the number of rounds charged.
+        """
+        slot_arr = self._as_slot_array(slots)
+        group_arr = np.asarray(list(groups) if not isinstance(groups, np.ndarray) else groups, dtype=np.int64)
+        if slot_arr.shape != group_arr.shape:
+            raise ProtocolError("slots and groups must have equal length")
+        if slot_arr.size == 0:
+            return 0
+        self._check_words(words)
+        span = int(group_arr.max()) - int(group_arr.min()) + 1
+        keys = slot_arr * span + (group_arr - int(group_arr.min()))
+        pair_slots = np.unique(keys) // span
+        _, per_edge = np.unique(pair_slots, return_counts=True)
+        return self._charge_iteration(int(pair_slots.size), int(per_edge.max()))
 
     def deliver_pairs(
         self,
@@ -183,8 +229,7 @@ class Network:
             raise ProtocolError("sources and targets must have equal length")
         if src.size == 0:
             return 0
-        if words > self.max_words:
-            raise ProtocolError(f"message of {words} words exceeds the {self.max_words}-word cap")
+        self._check_words(words)
         keys = src * self.graph.n + dst
         _, counts = np.unique(keys, return_counts=True)
         if aggregate:
@@ -193,9 +238,7 @@ class Network:
         else:
             n_messages = int(src.size)
             congestion = int(counts.max())
-        rounds = max(1, -(-congestion // self.capacity))
-        self.ledger.charge(rounds, messages=n_messages, congestion=congestion)
-        return rounds
+        return self._charge_iteration(n_messages, congestion)
 
     def deliver_sequential(self, hop_count: int, *, messages_per_hop: int = 1) -> int:
         """Charge a token travelling ``hop_count`` hops, one hop per round.

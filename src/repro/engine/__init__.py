@@ -22,10 +22,14 @@ The package is split so the dependency arrows stay acyclic:
 """
 
 from repro.engine.model import ALGORITHMS, EngineStats, ResultBase, WalkRequest
+from repro.engine.pool import MaintenanceReport, PoolManager, PoolShard
 
 __all__ = [
     "ALGORITHMS",
     "EngineStats",
+    "MaintenanceReport",
+    "PoolManager",
+    "PoolShard",
     "ResultBase",
     "WalkRequest",
     "WalkEngine",

@@ -40,11 +40,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.network import Network
-from repro.congest.primitives import BfsTree
+from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.engine.model import EngineStats, WalkRequest
+from repro.engine.pool import MaintenanceReport, PoolManager
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
 from repro.util.rng import make_rng
+from repro.walks.get_more_walks import get_more_walks_batch
 from repro.walks.many_walks import (
     ManyWalksResult,
     _parallel_naive,
@@ -65,7 +67,7 @@ from repro.walks.single_walk import (
 )
 from repro.walks.store import WalkStore
 
-__all__ = ["Phase1Pool", "WalkEngine"]
+__all__ = ["Phase1Pool", "PoolManager", "WalkEngine"]
 
 
 @dataclass
@@ -127,6 +129,16 @@ class WalkEngine:
         Use an existing network (sharing its ledger) instead of creating
         one — the legacy wrappers pass their ``network=`` argument through
         here.
+    num_shards / watermark_fraction:
+        :class:`~repro.engine.pool.PoolManager` policy — how many
+        per-source-bucket shards the pool is partitioned into (default
+        ``min(64, ⌈√n⌉)``) and where each shard's refill watermark sits
+        relative to its quota.
+    auto_maintain:
+        Run a background watermark sweep (:meth:`maintain`) after every
+        pooled request.  Its rounds are charged to the session ledger under
+        ``"pool-refill/maintain"`` but excluded from request deltas — it is
+        between-request work.  Disable to drive :meth:`maintain` manually.
     """
 
     def __init__(
@@ -140,6 +152,9 @@ class WalkEngine:
         eta: float = 1.0,
         record_paths: bool = True,
         network: Network | None = None,
+        num_shards: int | None = None,
+        watermark_fraction: float = 0.5,
+        auto_maintain: bool = True,
     ) -> None:
         self.graph = graph
         self.rng = make_rng(seed)
@@ -151,11 +166,16 @@ class WalkEngine:
         self.lambda_constant = lambda_constant
         self._default_eta = eta
         self._default_record_paths = record_paths
+        self._num_shards = num_shards
+        self._watermark_fraction = watermark_fraction
+        self.auto_maintain = auto_maintain
         self._tree_cache: dict[int, BfsTree] = {}
         self._pool: Phase1Pool | None = None
+        self._pool_manager: PoolManager | None = None
         self._queries = 0
         self._full_preparations = 0
         self._refills = 0
+        self._background_refill_tokens = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -164,6 +184,30 @@ class WalkEngine:
     def pool(self) -> Phase1Pool | None:
         """The current persistent pool (``None`` before any pooled work)."""
         return self._pool
+
+    @property
+    def pool_manager(self) -> PoolManager | None:
+        """Shard/watermark manager of the current pool (``None`` when cold)."""
+        return self._pool_manager
+
+    def maintain(self) -> MaintenanceReport:
+        """One background refill sweep: top up every shard below watermark.
+
+        Batches GET-MORE-WALKS for all depleted shards' sources into a
+        single interleaved sweep charged to ``"pool-refill/maintain"`` —
+        between-request work on the session ledger, never part of a request
+        delta.  With ``auto_maintain`` (the default) the engine calls this
+        after every pooled request; it is also the explicit idle-time hook.
+        A cold engine (no pool) returns an empty report.
+        """
+        manager = self._pool_manager
+        if manager is None:
+            return MaintenanceReport(
+                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+            )
+        report = manager.maintain(self.network, self.rng)
+        self._background_refill_tokens += report.tokens_added
+        return report
 
     def prepare(
         self,
@@ -216,6 +260,12 @@ class WalkEngine:
         )
         self._pool = Phase1Pool(
             store=store, lam=lam, eta=eta, record_paths=record_paths, diameter_estimate=d_est
+        )
+        self._pool_manager = PoolManager(
+            self._pool,
+            self.graph,
+            num_shards=self._num_shards,
+            watermark_fraction=self._watermark_fraction,
         )
         self._full_preparations += 1
         return self._pool
@@ -303,9 +353,15 @@ class WalkEngine:
         report_to_source: bool = True,
         lam: int | None = None,
         eta: float | None = None,
+        batch: bool | None = None,
         params: WalkParams | None = None,
     ) -> ManyWalksResult:
-        """Sample ``k = len(sources)`` independent ℓ-step walks; see :meth:`run`."""
+        """Sample ``k = len(sources)`` independent ℓ-step walks; see :meth:`run`.
+
+        ``batch`` picks the pooled stitching regime: ``None``/``True`` —
+        interleaved batch sweeps (mode ``"batch-stitched"``); ``False`` —
+        the serial per-source loop (mode ``"stitched"``).
+        """
         request = WalkRequest(
             sources=tuple(sources) if sources else (),
             length=length,
@@ -316,6 +372,7 @@ class WalkEngine:
             report_to_source=report_to_source,
             lam=lam,
             eta=eta,
+            batch=batch,
         )
         return self.run(request, params=params)
 
@@ -475,6 +532,9 @@ class WalkEngine:
         gmw_calls = out[4]
         pool.refills += gmw_calls
         self._refills += gmw_calls
+        if self._pool_manager is not None:
+            for record in out[2]:
+                self._pool_manager.record_served(record.source)
         return out
 
     def _serve_pooled_single(self, request: WalkRequest) -> WalkResult:
@@ -526,10 +586,13 @@ class WalkEngine:
             with net.phase("report"):
                 net.deliver_sequential(source_tree.depth[served.destination])
 
-        if pool is not None:
+        if pool is not None and served.mode == "stitched":
+            # Only queries actually served from tokens count against the
+            # pool; a lam >= length query routed to the naive branch above
+            # never touched it.
             pool.queries += 1
         delta = net.ledger.delta_since(snapshot)
-        return WalkResult(
+        result = WalkResult(
             source=source,
             length=length,
             destination=served.destination,
@@ -543,6 +606,11 @@ class WalkEngine:
             phase_rounds=dict(delta.phase_rounds),
             get_more_walks_calls=served.gmw_calls,
         )
+        if self.auto_maintain:
+            # Background watermark sweep *after* the request delta closed:
+            # its rounds land on the session ledger, not on this result.
+            self.maintain()
+        return result
 
     def _serve_pooled_many(self, request: WalkRequest) -> ManyWalksResult:
         sources, length = list(request.sources), request.length
@@ -565,42 +633,53 @@ class WalkEngine:
             )
             total_gmw = 0
             mode = "naive-parallel"
-            if request.report_to_source:
-                with net.phase("report"):
-                    net.ledger.charge(base_tree.height + k, messages=2 * k, congestion=k)
+            served_from_pool = False
         else:
             rp = self._resolve_record_paths(pool, request.record_paths, default=False)
-            pre_tails: list[tuple[int, int]] = []
-            stitched_chunks: list[np.ndarray | None] = []
-            total_gmw = 0
-            for source in sources:
-                current, positions, _segments, _connectors, gmw_calls, remaining = (
-                    self._stitch_pooled(pool, source, length, record_paths=rp, defer_tail=True)
+            use_batch = True if request.batch is None else request.batch
+            if use_batch:
+                destinations, trajectories, total_gmw = self._serve_batch_stitched(
+                    pool, sources, length, record_paths=rp, base_tree=base_tree
                 )
-                total_gmw += gmw_calls
-                pre_tails.append((current, remaining))
-                stitched_chunks.append(positions)
-            destinations, tail_paths = _parallel_tails(
-                net, pre_tails, self.rng, record_paths=rp
-            )
-            trajectories = None
-            if rp:
-                trajectories = []
-                for stitched, tail in zip(stitched_chunks, tail_paths):
-                    assert stitched is not None and tail is not None
-                    trajectories.append(np.concatenate([stitched, tail]))
-                    if len(trajectories[-1]) != length + 1:
-                        raise WalkError("stitched + tail trajectory has wrong length")
-            mode = "stitched"
-            if request.report_to_source:
-                with net.phase("report"):
-                    for destination in destinations:
-                        net.deliver_sequential(base_tree.depth[destination])
+                mode = "batch-stitched"
+            else:
+                pre_tails: list[tuple[int, int]] = []
+                stitched_chunks: list[np.ndarray | None] = []
+                total_gmw = 0
+                for source in sources:
+                    current, positions, _segments, _connectors, gmw_calls, remaining = (
+                        self._stitch_pooled(pool, source, length, record_paths=rp, defer_tail=True)
+                    )
+                    total_gmw += gmw_calls
+                    pre_tails.append((current, remaining))
+                    stitched_chunks.append(positions)
+                destinations, tail_paths = _parallel_tails(
+                    net, pre_tails, self.rng, record_paths=rp
+                )
+                trajectories = None
+                if rp:
+                    trajectories = []
+                    for stitched, tail in zip(stitched_chunks, tail_paths):
+                        assert stitched is not None and tail is not None
+                        trajectories.append(np.concatenate([stitched, tail]))
+                        if len(trajectories[-1]) != length + 1:
+                            raise WalkError("stitched + tail trajectory has wrong length")
+                mode = "stitched"
+            served_from_pool = True
 
-        if pool is not None:
+        if request.report_to_source:
+            # Destinations route their IDs to sources over the BFS tree; up
+            # to k messages may funnel through one tree edge, pipelined —
+            # O(height + k) rounds.  Identical formula on every branch (the
+            # stitched path used to charge Σ depth(dest) sequential hops, a
+            # strictly worse model of the same convergecast).
+            with net.phase("report"):
+                net.ledger.charge(base_tree.height + k, messages=2 * k, congestion=k)
+
+        if pool is not None and served_from_pool:
             pool.queries += 1
         delta = net.ledger.delta_since(snapshot)
-        return ManyWalksResult(
+        result = ManyWalksResult(
             sources=sources,
             length=length,
             destinations=destinations,
@@ -611,6 +690,162 @@ class WalkEngine:
             phase_rounds=dict(delta.phase_rounds),
             get_more_walks_calls=total_gmw,
         )
+        if self.auto_maintain:
+            self.maintain()
+        return result
+
+    def _serve_batch_stitched(
+        self,
+        pool: Phase1Pool,
+        sources: list[int],
+        length: int,
+        *,
+        record_paths: bool,
+        base_tree: BfsTree,
+    ) -> tuple[list[int], list[np.ndarray] | None, int]:
+        """Advance all k walks in interleaved sweeps over one shared tree.
+
+        The serial loop (§2.3: "stitch ... for s₁ then s₂, s₃, and so on")
+        pays a full SAMPLE-DESTINATION round trip *per segment per walk*.
+        The batch regime of arXiv:1201.1363 interleaves instead — per
+        sweep, every active walk advances one segment, and all sampling
+        traffic shares **one** BFS tree (rooted at ``sources[0]``, the tree
+        the setup BFS already built) with classic CONGEST pipelining:
+
+        * one tree (re-)flood per sweep (not per walk);
+        * the ``S`` sample draws of a sweep are ``S`` convergecast streams
+          pipelined on the shared tree — ``height + S − 1`` rounds, ditto
+          their delete broadcasts (one SAMPLE-DESTINATION round trip serves
+          every walk parked at a connector, the congestion argument);
+        * the ``S`` stitched tokens route connector → root → destination
+          concurrently, ``max hops + S − 1`` rounds.
+
+        Each draw is uniform over the connector's unused tokens, taken
+        *without replacement* within a sweep
+        (:meth:`~repro.walks.store.WalkStore.sample_uniform_token` — the
+        convergecast-merge law of Lemma A.2 computed centrally), so every
+        walk still consumes fresh independent short walks and the
+        concatenated law stays exactly ``P^ℓ``.  Connectors short of
+        tokens are refilled *batched* — one multi-source GET-MORE-WALKS
+        sweep per stitching sweep, charged to ``"pool-refill"``.
+
+        Returns ``(destinations, trajectories, gmw_calls)`` where
+        ``gmw_calls`` counts per-connector refill invocations (batched into
+        sweeps on the wire).
+        """
+        net = self.network
+        store = pool.store
+        lam = pool.lam
+        loop_margin = 2 * lam
+        gmw_count = max(1, length // lam)
+        k = len(sources)
+        manager = self._pool_manager
+        current = [int(s) for s in sources]
+        completed = [0] * k
+        chunks: list[list[np.ndarray]] | None = None
+        if record_paths:
+            chunks = [[np.array([s], dtype=np.int64)] for s in current]
+        total_gmw = 0
+        root = base_tree.root
+        depth = base_tree.depth
+        height = base_tree.height
+
+        active = [i for i in range(k) if completed[i] <= length - loop_margin]
+        while active:
+            # Walks parked at the same connector form one group; group and
+            # in-group order follow walk index, so fixed seeds replay.
+            groups: dict[int, list[int]] = {}
+            for i in active:
+                groups.setdefault(current[i], []).append(i)
+
+            # Refill every connector short of tokens in ONE batched
+            # GET-MORE-WALKS sweep (reactive: part of this request's bill).
+            deficits = [
+                (c, max(gmw_count, len(walks) - store.count_for_source(c)))
+                for c, walks in groups.items()
+                if store.count_for_source(c) < len(walks)
+            ]
+            if deficits:
+                refill_sources = np.array([c for c, _ in deficits], dtype=np.int64)
+                refill_counts = np.array([cnt for _, cnt in deficits], dtype=np.int64)
+                get_more_walks_batch(
+                    net,
+                    store,
+                    refill_sources,
+                    refill_counts,
+                    lam,
+                    self.rng,
+                    randomized_lengths=True,
+                    record_paths=pool.record_paths,
+                    phase="pool-refill",
+                )
+                total_gmw += len(deficits)
+                pool.refills += len(deficits)
+                self._refills += len(deficits)
+
+            # One shared-tree flood per sweep (the protocol's Sweep 1,
+            # amortized over every group instead of run per draw).
+            n_draws = len(active)
+            with net.phase("batch-sample"):
+                build_bfs_tree(net, root, cache=self._tree_cache)
+                # Convergecast messages: per draw, the ancestor closure of
+                # the connector's holder set (what charged_convergecast
+                # bills), streamed as pipelined stages on the shared tree.
+                cc_messages = 0
+                for c, walks in groups.items():
+                    closure: set[int] = set()
+                    for holder in store.holders_for_source(c):
+                        for hop in base_tree.path_to_root(holder):
+                            if hop in closure:
+                                break
+                            closure.add(hop)
+                    closure.discard(root)
+                    cc_messages += len(closure) * len(walks)
+                net.ledger.charge(height + n_draws - 1, messages=cc_messages, congestion=1)
+                # Delete directives: one broadcast per draw, pipelined.
+                net.ledger.charge(
+                    height + n_draws - 1, messages=n_draws * (base_tree.n - 1), congestion=1
+                )
+
+            # Draw without replacement and advance every active walk.
+            hops: list[int] = []
+            for c, walks in groups.items():
+                for i in walks:
+                    record = store.sample_uniform_token(c, self.rng)
+                    if record is None:
+                        raise WalkError("batched GET-MORE-WALKS produced no walks (engine bug)")
+                    if manager is not None:
+                        manager.record_served(record.source)
+                    if record_paths:
+                        if record.path is None:
+                            raise WalkError("record_paths=True requires Phase 1 to record paths")
+                        chunks[i].append(record.path[1:])
+                    completed[i] += record.length
+                    current[i] = record.destination
+                    hops.append(depth[c] + depth[record.destination])
+
+            # Route all stitched tokens concurrently: connector → root →
+            # destination along shared-tree edges, pipelined.
+            with net.phase("stitch-route"):
+                net.ledger.charge(
+                    max(hops) + n_draws - 1, messages=sum(hops), congestion=1
+                )
+
+            active = [i for i in range(k) if completed[i] <= length - loop_margin]
+
+        # All tails run concurrently, exactly as the serial path does.
+        pre_tails = [(current[i], length - completed[i]) for i in range(k)]
+        destinations, tail_paths = _parallel_tails(net, pre_tails, self.rng, record_paths=record_paths)
+        trajectories: list[np.ndarray] | None = None
+        if record_paths:
+            trajectories = []
+            assert chunks is not None
+            for walk_chunks, tail in zip(chunks, tail_paths):
+                assert tail is not None
+                trajectories.append(np.concatenate(walk_chunks + [tail]))
+                if len(trajectories[-1]) != length + 1:
+                    raise WalkError("batch-stitched trajectory has wrong length")
+        return destinations, trajectories, total_gmw
 
     # ------------------------------------------------------------------
     # Applications (shared network/ledger/RNG)
@@ -633,6 +868,9 @@ class WalkEngine:
 
     def regenerate(self, result: WalkResult, **kwargs) -> RegenerationResult:
         """Re-announce a recorded walk so every node learns its positions (§2.2)."""
+        # Session accounting is uniform across every serving entry point:
+        # regeneration is a query like mixing_time/spanning_tree are.
+        self._queries += 1
         return regenerate_walk(self.network, result, tree_cache=self._tree_cache, **kwargs)
 
     # ------------------------------------------------------------------
@@ -641,11 +879,24 @@ class WalkEngine:
     def stats(self) -> EngineStats:
         """Session telemetry: pool occupancy, amortization counters, ledger.
 
-        ``refills`` counts GET-MORE-WALKS invocations across the whole
-        session (surviving pool re-preparations); the token counters
-        describe the *current* pool's store.
+        ``refills`` counts *reactive* GET-MORE-WALKS invocations across the
+        whole session (surviving pool re-preparations); the token counters
+        describe the *current* pool's store.  The shard block
+        (``num_shards`` / ``shard_unused_*`` / ``shards_below_watermark`` /
+        ``maintenance_sweeps`` / ``background_refill_tokens``) comes from
+        the :class:`~repro.engine.pool.PoolManager`; background sweep
+        rounds appear in ``phase_rounds["pool-refill/maintain"]``.
         """
         pool = self._pool
+        manager = self._pool_manager
+        shard_unused = manager.shard_unused() if manager is not None else None
+        below = 0
+        if manager is not None and shard_unused is not None:
+            below = sum(
+                1
+                for shard in manager.shards
+                if shard_unused[shard.shard_id] < shard.low_watermark
+            )
         return EngineStats(
             queries=self._queries,
             full_preparations=self._full_preparations,
@@ -658,6 +909,12 @@ class WalkEngine:
             rounds=self.network.rounds,
             messages=self.network.messages_sent,
             phase_rounds={k: v.rounds for k, v in self.network.ledger.phases.items()},
+            num_shards=manager.num_shards if manager is not None else None,
+            shard_unused_min=int(shard_unused.min()) if shard_unused is not None else None,
+            shard_unused_max=int(shard_unused.max()) if shard_unused is not None else None,
+            shards_below_watermark=below,
+            maintenance_sweeps=manager.maintenance_sweeps if manager is not None else 0,
+            background_refill_tokens=self._background_refill_tokens,
         )
 
     def __repr__(self) -> str:

@@ -104,6 +104,13 @@ class WalkRequest:
     lam / eta:
         Parameter overrides; ``None`` defers to the engine/algorithm
         defaults (for ``"podc09"``, ``eta=None`` means Θ((ℓ/D)^{1/3})).
+    batch:
+        Batch-stitching knob for pooled ``many`` requests: ``None`` (the
+        default) lets the engine pick (interleaved batch stitching — all k
+        walks advance per sweep, one SAMPLE-DESTINATION round serving every
+        walk parked at a connector); ``False`` forces the serial per-source
+        stitching loop (the PR-2 shape, kept as the comparison baseline);
+        ``True`` forces batch.  Ignored by one-shot and single-walk paths.
     """
 
     sources: tuple[int, ...]
@@ -115,6 +122,7 @@ class WalkRequest:
     report_to_source: bool = True
     lam: int | None = None
     eta: float | None = None
+    batch: bool | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(int(s) for s in self.sources))
@@ -144,10 +152,21 @@ class EngineStats:
 
     ``full_preparations`` counts Θ(η·m)-token Phase-1 runs — the quantity
     pooled serving amortizes (a healthy query stream holds it at 1);
-    ``refills`` counts GET-MORE-WALKS invocations against the pool;
-    ``pool_unused`` is the current pool occupancy.  ``rounds`` /
-    ``messages`` / ``phase_rounds`` are the shared ledger's cumulative
-    totals across every request the engine has served.
+    ``refills`` counts *reactive* GET-MORE-WALKS invocations (a query hit a
+    dry connector mid-stitch); ``pool_unused`` is the current pool
+    occupancy.  ``rounds`` / ``messages`` / ``phase_rounds`` are the shared
+    ledger's cumulative totals across every request the engine has served.
+
+    The shard/watermark block describes the
+    :class:`~repro.engine.pool.PoolManager` (PR 3): ``num_shards`` shards
+    with per-shard quotas; ``shard_unused_min`` / ``shard_unused_max`` the
+    occupancy spread; ``shards_below_watermark`` how many shards currently
+    await a background sweep (0 right after auto-maintenance);
+    ``maintenance_sweeps`` / ``background_refill_tokens`` what the
+    background loop has done so far — its rounds appear in ``phase_rounds``
+    under ``"pool-refill/maintain"``, separate from reactive
+    ``"pool-refill"`` charges.  All shard fields are ``None``/0 before the
+    first pool is installed.
     """
 
     queries: int
@@ -161,6 +180,12 @@ class EngineStats:
     rounds: int
     messages: int
     phase_rounds: dict[str, int]
+    num_shards: int | None = None
+    shard_unused_min: int | None = None
+    shard_unused_max: int | None = None
+    shards_below_watermark: int = 0
+    maintenance_sweeps: int = 0
+    background_refill_tokens: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

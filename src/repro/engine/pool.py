@@ -1,0 +1,278 @@
+"""Sharded occupancy management for the persistent Phase-1 pool.
+
+The :class:`~repro.engine.core.WalkEngine`'s pool (PR 2) refilled purely
+*reactively*: a query stitching through a dry connector paid a GET-MORE-WALKS
+round trip mid-request, and one hot query source could drain the whole
+Θ(η·m) token population before quieter sources ever queried.  This module
+adds the two control loops arXiv:1201.1363's k-walk serving regime assumes:
+
+* **Shards** — the per-source token buckets are partitioned into
+  ``num_shards`` shards (source ``v`` belongs to shard ``v mod num_shards``).
+  Each shard owns an occupancy *quota* (its Phase-1 allocation,
+  ``Σ ⌈η·deg(v)⌉`` over its sources) and a *low watermark*; draining and
+  refill decisions are per-shard, so an adversarial stream hammering one
+  neighborhood exhausts only the shards it actually stitches through.
+* **Background refills** — :meth:`PoolManager.maintain` detects every shard
+  below its watermark and tops all of them up in **one** batched
+  GET-MORE-WALKS sweep (:func:`~repro.walks.get_more_walks.
+  get_more_walks_batch`): all depleted sources launch tokens simultaneously,
+  charged by per-edge distinct-source congestion rather than serially per
+  node.  The engine auto-triggers a sweep *between* requests, so its rounds
+  land on the session ledger under the ``"pool-refill/maintain"`` sub-phase
+  but never in any request's delta — background work, charged, not free.
+
+Refill targets are per-source: a depleted shard refills each member source
+back to its Phase-1 base allocation, which restores the shard to quota and
+keeps the token population degree-proportional (the shape Lemma 2.6's
+hitting argument sizes the pool for).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.congest.network import Network
+from repro.errors import WalkError
+from repro.walks.get_more_walks import get_more_walks_batch
+from repro.walks.short_walks import token_counts
+
+__all__ = ["MAINTAIN_PHASE", "MaintenanceReport", "PoolManager", "PoolShard"]
+
+#: Ledger sub-phase background refill sweeps charge to (reactive mid-request
+#: refills keep charging plain ``"pool-refill"``; ``RoundLedger.phase_total
+#: ("pool-refill")`` sums the family).
+MAINTAIN_PHASE = "pool-refill/maintain"
+
+
+def default_num_shards(n: int) -> int:
+    """Shard-count policy: ``min(64, ⌈√n⌉)``, at least 1.
+
+    √n shards keeps both the per-shard source count and the shard count
+    sublinear; the cap bounds watermark-scan work for huge graphs.
+    """
+    n = max(1, n)
+    return min(64, math.isqrt(n - 1) + 1)  # isqrt(n-1)+1 == ceil(sqrt(n))
+
+
+@dataclass
+class PoolShard:
+    """Occupancy bookkeeping for one shard of the Phase-1 pool.
+
+    ``quota`` is the shard's Phase-1 token allocation (the occupancy a
+    refill sweep restores); ``low_watermark`` the unused-token level below
+    which the shard is *depleted* and joins the next background sweep.
+    """
+
+    shard_id: int
+    num_sources: int
+    quota: int
+    low_watermark: int
+    refills: int = 0  # background sweeps that topped this shard up
+    tokens_added: int = 0  # tokens those sweeps launched for this shard
+    tokens_served: int = 0  # tokens stitching consumed out of this shard
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one :meth:`PoolManager.maintain` call.
+
+    ``swept`` is False when no shard sat below its watermark (the call was
+    a free occupancy check); ``rounds`` is the simulated cost of the batched
+    refill sweep, charged to :data:`MAINTAIN_PHASE`.
+    """
+
+    swept: bool
+    shards_refilled: tuple[int, ...]
+    sources_refilled: int
+    tokens_added: int
+    rounds: int
+
+
+class PoolManager:
+    """Per-shard quotas, watermarks, and batched background refills.
+
+    Parameters
+    ----------
+    pool:
+        The engine's live :class:`~repro.engine.core.Phase1Pool`; the
+        manager reads occupancy through its columnar store's per-source
+        counts and refills with the pool's own ``lam``/``record_paths``
+        policy (pools stay parameter-homogeneous).
+    graph:
+        Topology, for degrees (base allocations) and the shard map.
+    num_shards:
+        Shard count; default :func:`default_num_shards`.
+    watermark_fraction:
+        ``low_watermark = max(1, ⌈fraction · quota⌉)`` per shard.
+    """
+
+    def __init__(
+        self,
+        pool,
+        graph,
+        *,
+        num_shards: int | None = None,
+        watermark_fraction: float = 0.5,
+    ) -> None:
+        n = graph.n
+        if num_shards is None:
+            num_shards = default_num_shards(n)
+        if num_shards < 1:
+            raise WalkError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0.0 < watermark_fraction <= 1.0:
+            raise WalkError(
+                f"watermark_fraction must be in (0, 1], got {watermark_fraction}"
+            )
+        self.pool = pool
+        self.graph = graph
+        self.num_shards = int(min(num_shards, n))
+        self.watermark_fraction = float(watermark_fraction)
+        # Per-source Phase-1 base allocation — the refill target.
+        self._base_counts = token_counts(graph.degrees, pool.eta, degree_proportional=True)
+        shard_ids = np.arange(n, dtype=np.int64) % self.num_shards
+        quotas = np.bincount(
+            shard_ids, weights=self._base_counts.astype(np.float64), minlength=self.num_shards
+        ).astype(np.int64)
+        members = np.bincount(shard_ids, minlength=self.num_shards)
+        self.shards = [
+            PoolShard(
+                shard_id=s,
+                num_sources=int(members[s]),
+                quota=int(quotas[s]),
+                low_watermark=max(1, int(math.ceil(watermark_fraction * int(quotas[s])))),
+            )
+            for s in range(self.num_shards)
+        ]
+        self.maintenance_sweeps = 0
+        # O(1) early-out state for maintain(): after each occupancy scan we
+        # remember how many tokens had been consumed and the smallest
+        # headroom any shard had above its watermark.  Shard occupancy only
+        # *falls* through consumption, so until that many further tokens
+        # are consumed no shard can have crossed — the healthy steady state
+        # skips the O(n) scan entirely.
+        self._consumed_at_scan = -1
+        self._min_margin_at_scan = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy views
+    # ------------------------------------------------------------------
+    def shard_of(self, source: int) -> int:
+        return int(source) % self.num_shards
+
+    def shard_unused(self) -> np.ndarray:
+        """Unused-token count per shard, from the store's columnar counts."""
+        sources, counts = self.pool.store.source_count_arrays()
+        return np.bincount(
+            sources % self.num_shards,
+            weights=counts.astype(np.float64),
+            minlength=self.num_shards,
+        ).astype(np.int64)
+
+    def depleted_shards(self) -> list[int]:
+        """Shards currently below their low watermark."""
+        unused = self.shard_unused()
+        self._consumed_at_scan = self.pool.store.tokens_consumed
+        self._min_margin_at_scan = min(
+            int(unused[s.shard_id]) - s.low_watermark for s in self.shards
+        )
+        return [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
+
+    def _possibly_depleted(self) -> bool:
+        """Cheap necessary condition for any shard sitting below watermark.
+
+        Occupancy falls only via consumption, so if fewer tokens were
+        consumed since the last scan than the smallest shard headroom seen
+        then, every shard is still at or above its watermark.
+        """
+        if self._consumed_at_scan < 0 or self._min_margin_at_scan < 0:
+            return True
+        return (
+            self.pool.store.tokens_consumed - self._consumed_at_scan
+            >= max(1, self._min_margin_at_scan)
+        )
+
+    def record_served(self, token_source: int) -> None:
+        """Attribute one consumed token to its shard (stitching telemetry)."""
+        self.shards[self.shard_of(token_source)].tokens_served += 1
+
+    # ------------------------------------------------------------------
+    # Background refill
+    # ------------------------------------------------------------------
+    def refill_plan(self, shard_ids: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Per-source deficits restoring the given shards to quota.
+
+        Returns parallel ``(sources, counts)`` arrays (ascending source
+        order — deterministic for fixed-seed replay); a source appears only
+        if it currently holds fewer unused tokens than its Phase-1 base
+        allocation.
+        """
+        if not shard_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        n = self.graph.n
+        current = np.zeros(n, dtype=np.int64)
+        src, cnt = self.pool.store.source_count_arrays()
+        current[src] = cnt
+        member = np.isin(np.arange(n, dtype=np.int64) % self.num_shards, shard_ids)
+        deficit = np.where(member, self._base_counts - current, 0)
+        needy = np.nonzero(deficit > 0)[0]
+        return needy, deficit[needy]
+
+    def maintain(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        *,
+        phase: str = MAINTAIN_PHASE,
+    ) -> MaintenanceReport:
+        """One background sweep: batch-refill every depleted shard to quota.
+
+        A no-op (and zero rounds) when every shard sits at or above its
+        watermark — the engine can call this after every request without
+        paying anything in the healthy steady state (an O(1) consumed-token
+        check skips even the occupancy scan until enough tokens have been
+        consumed for some shard to possibly have crossed).
+        """
+        if not self._possibly_depleted():
+            return MaintenanceReport(
+                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+            )
+        depleted = self.depleted_shards()
+        if not depleted:
+            return MaintenanceReport(
+                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+            )
+        sources, counts = self.refill_plan(depleted)
+        if sources.size == 0:  # pragma: no cover - watermark < quota guarantees deficits
+            return MaintenanceReport(
+                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+            )
+        rounds = get_more_walks_batch(
+            network,
+            self.pool.store,
+            sources,
+            counts,
+            self.pool.lam,
+            rng,
+            randomized_lengths=True,
+            record_paths=self.pool.record_paths,
+            phase=phase,
+        )
+        added_per_shard = np.bincount(
+            sources % self.num_shards,
+            weights=counts.astype(np.float64),
+            minlength=self.num_shards,
+        ).astype(np.int64)
+        for s in depleted:
+            self.shards[s].refills += 1
+            self.shards[s].tokens_added += int(added_per_shard[s])
+        self.maintenance_sweeps += 1
+        return MaintenanceReport(
+            swept=True,
+            shards_refilled=tuple(depleted),
+            sources_refilled=int(sources.size),
+            tokens_added=int(counts.sum()),
+            rounds=rounds,
+        )

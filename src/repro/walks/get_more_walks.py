@@ -22,7 +22,7 @@ from repro.congest.network import Network
 from repro.errors import WalkError
 from repro.walks.store import WalkStore
 
-__all__ = ["get_more_walks"]
+__all__ = ["get_more_walks", "get_more_walks_batch"]
 
 
 def get_more_walks(
@@ -93,4 +93,88 @@ def get_more_walks(
     store.add_batch(
         np.full(count, source, dtype=np.int64), final_length, positions, paths=paths
     )
+    return network.rounds - rounds_before
+
+
+def get_more_walks_batch(
+    network: Network,
+    store: WalkStore,
+    sources: np.ndarray,
+    counts: np.ndarray,
+    lam: int,
+    rng: np.random.Generator,
+    *,
+    randomized_lengths: bool = True,
+    record_paths: bool = True,
+    phase: str = "get-more-walks",
+) -> int:
+    """Replenish *many* nodes' pools in one interleaved sweep; returns rounds.
+
+    ``sources[i]`` launches ``counts[i]`` fresh tokens; all tokens of all
+    sources advance simultaneously.  Count aggregation still works per
+    source — an edge carries one *(source ID, count)* message per distinct
+    source crossing it — so each iteration is charged by the worst per-edge
+    number of distinct sources (:meth:`~repro.congest.network.Network.
+    deliver_step_grouped`), never by raw token load.  With ``r`` depleted
+    sources this costs ``O(λ · max-overlap)`` rounds total instead of the
+    ``r·O(λ)`` of serial per-node GET-MORE-WALKS — the batched refill the
+    pool manager's background ``maintain()`` sweep relies on.
+
+    Length randomization is the same per-token reservoir extension as
+    :func:`get_more_walks` (stop w.p. ``1/(λ−i)`` at extension step ``i``),
+    so every token's length stays uniform on ``[λ, 2λ−1]`` regardless of
+    which source launched it.
+    """
+    src = np.ascontiguousarray(sources, dtype=np.int64)
+    cnt = np.ascontiguousarray(counts, dtype=np.int64)
+    if src.ndim != 1 or src.shape != cnt.shape:
+        raise WalkError("sources and counts must be 1-D arrays of equal length")
+    if np.any(cnt < 1):
+        raise WalkError("per-source refill counts must be >= 1")
+    if lam < 1:
+        raise WalkError(f"lambda must be >= 1, got {lam}")
+    total = int(cnt.sum())
+    if total == 0:
+        return 0
+    graph = network.graph
+
+    origins = np.repeat(src, cnt)
+    positions = origins.copy()
+    max_len = 2 * lam - 1 if randomized_lengths else lam
+    paths = None
+    if record_paths:
+        paths = np.empty((total, max_len + 1), dtype=np.int64)
+        paths[:, 0] = origins
+    final_length = np.full(total, lam, dtype=np.int64)
+
+    rounds_before = network.rounds
+    with network.phase(phase):
+        # Common prefix: λ hops, (source ID, count) aggregated per edge.
+        for step in range(1, lam + 1):
+            slots = graph.step_walk_slots(positions, rng)
+            network.deliver_step_grouped(slots, origins, words=2)
+            positions = graph.csr_target[slots]
+            if paths is not None:
+                paths[:, step] = positions
+
+        if randomized_lengths:
+            # Reservoir extension, identical per-token law to the
+            # single-source path; only the charging is grouped.
+            alive = np.ones(total, dtype=bool)
+            for i in range(lam):
+                stop_prob = 1.0 / (lam - i)
+                stops = alive & (rng.random(total) < stop_prob)
+                final_length[stops] = lam + i
+                alive &= ~stops
+                if not np.any(alive):
+                    break
+                idx = np.nonzero(alive)[0]
+                slots = graph.step_walk_slots(positions[idx], rng)
+                network.deliver_step_grouped(slots, origins[idx], words=2)
+                positions[idx] = graph.csr_target[slots]
+                if paths is not None:
+                    paths[:, lam + 1 + i] = positions
+            assert not np.any(alive), "reservoir extension must retire every token"
+
+    store.add_batch(origins, final_length, positions, paths=paths)
     return network.rounds - rounds_before

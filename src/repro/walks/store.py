@@ -313,6 +313,43 @@ class WalkStore:
         """Total unused tokens of ``source`` anywhere in the network."""
         return self._count_by_source.get(source, 0)
 
+    def source_count_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parallel ``(sources, unused_counts)`` arrays over every source.
+
+        The aggregate occupancy view shard managers bin into per-shard
+        totals (``np.bincount(sources % num_shards, weights=counts)``);
+        sources whose pool has fully drained report count 0 rather than
+        disappearing, so deficit computations see them.
+        """
+        k = len(self._count_by_source)
+        sources = np.fromiter(self._count_by_source.keys(), dtype=np.int64, count=k)
+        counts = np.fromiter(self._count_by_source.values(), dtype=np.int64, count=k)
+        return sources, counts
+
+    def sample_uniform_token(self, source: int, rng: np.random.Generator) -> TokenRecord | None:
+        """Pop one token of ``source``, uniform over all its unused tokens.
+
+        The *law* of SAMPLE-DESTINATION's weighted convergecast merge
+        (Lemma A.2: the root's survivor is uniform over all stored tokens of
+        the source) computed centrally: draw a uniform index over the
+        source's total count, locate it through the ordered holder buckets,
+        materialize and retire it.  Batch stitching uses this to draw
+        without replacement while charging the pipelined sweep cost itself;
+        returns ``None`` when the source has no unused tokens.
+        """
+        buckets = self._ensure_index(source)
+        total = self._count_by_source.get(source, 0)
+        if total <= 0:
+            return None
+        pick = int(rng.integers(0, total))
+        for holder, bucket in buckets.items():
+            if pick < len(bucket):
+                record = self._materialize(bucket[pick])
+                self.remove(record)
+                return record
+            pick -= len(bucket)
+        raise WalkError(f"holder index out of sync for source {source}")  # pragma: no cover
+
     def holders_for_source(self, source: int) -> dict[int, int]:
         """Map holder-node -> number of unused tokens of ``source`` there.
 

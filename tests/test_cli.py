@@ -92,6 +92,23 @@ class TestCommands:
         assert "PATH-VERIFICATION" in out
         assert "verified" in out
 
+    def test_walks_batch(self, capsys):
+        code = main(["walks", "--graph", "torus:8x8", "--k", "6", "--length", "256", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch-stitched" in out
+        assert "shards below watermark" in out
+        assert len(out.split("Destinations:")[1].split()) == 6
+
+    def test_walks_serial_flag(self, capsys):
+        code = main(
+            ["walks", "--graph", "torus:8x8", "--k", "4", "--length", "256", "--serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch-stitched" not in out
+        assert "stitched" in out
+
     def test_error_path(self, capsys):
         code = main(["walk", "--graph", "nosuch:5", "--length", "10"])
         assert code == 2
@@ -150,6 +167,19 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["mode"] == "mixing"
         assert payload["estimate"] >= 1
+
+    def test_walks_json_includes_shard_stats(self, capsys):
+        code = main(
+            ["walks", "--graph", "torus:8x8", "--k", "4", "--length", "256", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "batch-stitched"
+        assert len(payload["destinations"]) == 4
+        stats = payload["stats"]
+        assert stats["queries"] == 1
+        assert stats["num_shards"] >= 1
+        assert "shard_unused_min" in stats and "maintenance_sweeps" in stats
 
     def test_walk_metropolis_algorithm(self, capsys):
         code = main(

@@ -63,6 +63,56 @@ class TestDeliverStep:
             net.deliver_step([0], words=3)
 
 
+class TestDeliverStepGrouped:
+    def test_same_group_aggregates_like_aggregate_true(self):
+        g = star_graph(5)
+        net = Network(g)
+        slot = int(g.indptr[0])
+        rounds = net.deliver_step_grouped([slot] * 10, [7] * 10)
+        assert rounds == 1
+        assert net.messages_sent == 1  # one (source, count) message
+
+    def test_distinct_groups_congest_per_edge(self):
+        g = star_graph(5)
+        net = Network(g)
+        slot = int(g.indptr[0])
+        # Three distinct sources on one edge: three (source, count)
+        # messages regardless of token multiplicity.
+        rounds = net.deliver_step_grouped([slot] * 6, [1, 1, 2, 2, 3, 3])
+        assert rounds == 3
+        assert net.messages_sent == 3
+        assert net.ledger.max_congestion == 3
+
+    def test_groups_on_distinct_edges_one_round(self):
+        g = path_graph(4)
+        net = Network(g)
+        slots = list(range(g.n_slots))
+        assert net.deliver_step_grouped(slots, list(range(len(slots)))) == 1
+
+    def test_capacity_divides_group_congestion(self):
+        g = star_graph(5)
+        net = Network(g, capacity=2)
+        slot = int(g.indptr[0])
+        assert net.deliver_step_grouped([slot] * 3, [1, 2, 3]) == 2  # ceil(3/2)
+
+    def test_mismatched_shapes_rejected(self):
+        net = Network(path_graph(3))
+        with pytest.raises(ProtocolError, match="equal length"):
+            net.deliver_step_grouped([0, 1], [0])
+
+    def test_empty_is_free(self):
+        net = Network(path_graph(3))
+        assert net.deliver_step_grouped([], []) == 0
+        assert net.rounds == 0
+
+    def test_bad_slot_and_oversize_rejected(self):
+        net = Network(path_graph(3), max_words=2)
+        with pytest.raises(ProtocolError):
+            net.deliver_step_grouped([999], [0])
+        with pytest.raises(ProtocolError):
+            net.deliver_step_grouped([0], [0], words=3)
+
+
 class TestDeliverPairs:
     def test_pair_congestion(self):
         net = Network(path_graph(4))
@@ -152,6 +202,21 @@ class TestLedgerPhases:
         net = Network(path_graph(4))
         with pytest.raises(ValueError):
             net.ledger.charge(-1)
+
+    def test_phase_total_sums_family(self):
+        # "family" and "family/sub" phases sum under phase_total; unrelated
+        # names sharing the prefix as a substring do not.
+        net = Network(path_graph(4))
+        with net.phase("pool-refill"):
+            net.deliver_step([0])
+        with net.phase("pool-refill/maintain"):
+            net.deliver_step([0])
+            net.deliver_step([0])
+        with net.phase("pool-refillable"):
+            net.deliver_step([0])
+        assert net.ledger.phase_total("pool-refill") == 3
+        assert net.ledger.phase_total("pool-refill/maintain") == 2
+        assert net.ledger.phase_total("absent") == 0
 
 
 class _EchoProtocol(Protocol):

@@ -205,12 +205,20 @@ class TestPooledBatch:
         engine = WalkEngine(torus_8x8, seed=21, record_paths=False)
         res = engine.walks([0, 9, 33], 256)
         assert isinstance(res, ManyWalksResult)
-        assert res.mode == "stitched" and res.k == 3
+        assert res.mode == "batch-stitched" and res.k == 3
         assert len(res.destinations) == 3
         assert engine.stats().full_preparations == 1
         # A second batch reuses the same pool.
         engine.walks([5, 6], 256)
         assert engine.stats().full_preparations == 1
+
+    def test_serial_knob_keeps_per_source_loop(self, torus_8x8):
+        # batch=False pins the PR-2 serial per-source stitching loop (the
+        # comparison baseline the benches measure against).
+        engine = WalkEngine(torus_8x8, seed=21, record_paths=False)
+        res = engine.walks([0, 9, 33], 256, batch=False)
+        assert res.mode == "stitched"
+        assert len(res.destinations) == 3
 
     def test_batch_trajectories(self, torus_8x8):
         engine = WalkEngine(torus_8x8, seed=22, record_paths=True)
@@ -218,6 +226,68 @@ class TestPooledBatch:
         assert res.positions is not None
         for traj, dest in zip(res.positions, res.destinations):
             assert len(traj) == 201 and traj[-1] == dest
+        # Every batch-stitched trajectory is a genuine walk on the graph.
+        for traj, src in zip(res.positions, res.sources):
+            assert traj[0] == src
+            for a, b in zip(traj[:-1], traj[1:]):
+                assert torus_8x8.has_edge(int(a), int(b))
+
+
+class TestAccountingFixes:
+    """Regression tests for the PR-3 ledger/telemetry bugfixes."""
+
+    def test_report_formula_identical_across_batch_branches(self, torus_8x8):
+        # Both _serve_pooled_many branches must charge the pipelined
+        # O(height + k) report convergecast.  The stitched path used to
+        # charge deliver_sequential(depth[dest]) per destination — Σ depths,
+        # measured 43 rounds for k=16 where naive-parallel charged
+        # height + k = 21 for the very same report traffic.
+        k = 16
+        sources = [(i * 5) % torus_8x8.n for i in range(k)]
+
+        stitched = WalkEngine(torus_8x8, seed=41, record_paths=False)
+        res_stitched = stitched.walks(sources, 256)
+        assert res_stitched.mode == "batch-stitched"
+        height_s = stitched._tree_cache[sources[0]].height
+        assert res_stitched.phase_rounds["report"] == height_s + k
+
+        serial = WalkEngine(torus_8x8, seed=41, record_paths=False)
+        res_serial = serial.walks(sources, 256, batch=False)
+        assert res_serial.mode == "stitched"
+        assert res_serial.phase_rounds["report"] == height_s + k
+
+        naive = WalkEngine(torus_8x8, seed=41, record_paths=False)
+        res_naive = naive.walks(sources, 2)  # λ ≥ ℓ → naive-parallel branch
+        assert res_naive.mode == "naive-parallel"
+        height_n = naive._tree_cache[sources[0]].height
+        assert res_naive.phase_rounds["report"] == height_n + k
+        # Identical formula (the trees are the same root on the same graph).
+        assert height_n == height_s
+
+    def test_pool_queries_ignores_bypassing_queries(self, torus_8x8):
+        # pool.queries must count only queries actually served from tokens;
+        # a λ ≥ ℓ query routed to the naive branch never touched the pool.
+        engine = WalkEngine(torus_8x8, seed=2, record_paths=False)
+        engine.prepare(length_hint=256)
+        assert engine.pool.queries == 0
+        res = engine.walk(0, 5)
+        assert res.mode == "naive"
+        assert engine.pool.queries == 0
+        engine.walk(0, 256)
+        assert engine.pool.queries == 1
+        engine.walks([0, 9], 4)  # naive-parallel: bypasses the pool too
+        assert engine.pool.queries == 1
+        engine.walks([0, 9], 256)
+        assert engine.pool.queries == 2
+
+    def test_regenerate_counts_as_session_query(self, torus_8x8):
+        # mixing_time/spanning_tree increment stats().queries; regenerate()
+        # silently did not, undercounting session activity.
+        engine = WalkEngine(torus_8x8, seed=19)
+        res = engine.walk(0, 128, record_paths=True)
+        assert engine.stats().queries == 1
+        engine.regenerate(res)
+        assert engine.stats().queries == 2
 
 
 class TestRequestModel:

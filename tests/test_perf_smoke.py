@@ -19,6 +19,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
+import bench_many_walks  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
 
 
@@ -56,6 +57,38 @@ class TestBenchHarnessSmoke:
                 break
         else:  # pragma: no cover - schema violation
             pytest.fail("no n=10k row in committed BENCH_HOTPATHS.json")
+
+    def test_batch_stitching_beats_serial_loop(self):
+        # Live tier-1 guard for the PR-3 batch regime: at k=64 the
+        # interleaved batch sweeps must use strictly fewer *simulated*
+        # rounds than the serial per-source loop.  Simulated rounds are
+        # deterministic, so this can sit in the fast gate without any
+        # wall-clock flake risk (a small graph keeps it quick).
+        section = bench_many_walks.bench_batch_k_walks(
+            n=256, degree=4, length=256, ks=[64], seed=1201
+        )
+        row = section["rows"][0]
+        assert row["k"] == 64
+        assert row["batch_rounds"] < row["serial_rounds"], row
+        assert row["batch_report_rounds"] == row["serial_report_rounds"], row
+
+    def test_committed_batch_k_walks_section(self):
+        # The committed n=10k sweep (benchmarks/bench_many_walks.py) must
+        # show the batch regime winning at every recorded k — in
+        # particular the k=64 acceptance row — and both regimes charging
+        # the identical pipelined report formula.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("batch_k_walks")
+        assert section is not None, "run benchmarks/bench_many_walks.py to regenerate"
+        assert section["schema"] == "bench_batch_k_walks/v1"
+        assert section["n"] == 10_000
+        ks = {row["k"] for row in section["rows"]}
+        assert {16, 64, 256} <= ks
+        for row in section["rows"]:
+            assert row["batch_rounds"] < row["serial_rounds"], row
+            assert row["batch_report_rounds"] == row["serial_report_rounds"], row
+            if row["k"] == 64:
+                assert row["rounds_speedup"] > 2.0, row
 
     def test_committed_engine_reuse_section(self):
         # bench_engine_reuse.py appends this section; the committed numbers

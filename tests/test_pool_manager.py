@@ -1,0 +1,309 @@
+"""Tests for the sharded pool manager and the batch k-walk serving regime.
+
+The load-bearing claims of PR 3:
+
+* **Shard partitioning is exact bookkeeping** — shard quotas sum to the
+  Phase-1 allocation, occupancy views sum to the store's unused total, and
+  consumed tokens are attributed to the right shard.
+* **Background refills restore watermarks** — ``maintain()`` detects every
+  shard below its low watermark and tops all of them up in one batched
+  GET-MORE-WALKS sweep charged to the ``"pool-refill/maintain"`` sub-phase;
+  request deltas never include it, yet the session ledger balances exactly
+  (requests + maintenance = total).
+* **Adversarial fairness** — a hot source issuing 10× everyone else's
+  queries cannot leave any shard below its refill watermark: the
+  between-request sweeps rebuild whatever the hot stream drains.
+* **Batch stitching is exact and cheaper** — interleaved batch sweeps
+  produce endpoints distributed exactly as ``P^ℓ`` (chi-square, the PR-2
+  harness) while charging strictly fewer simulated rounds than the serial
+  per-source loop.
+* **Batched GET-MORE-WALKS degenerates correctly** — with a single source
+  it produces the identical tokens and charges the identical rounds as the
+  legacy single-source refill at the same RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.engine import MaintenanceReport, WalkEngine
+from repro.engine.pool import default_num_shards
+from repro.errors import WalkError
+from repro.graphs import complete_graph, torus_graph
+from repro.markov import WalkSpectrum
+from repro.util.rng import make_rng
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import get_more_walks
+from repro.walks.get_more_walks import get_more_walks_batch
+from repro.walks.store import WalkStore
+
+
+class TestShardPartitioning:
+    def test_quotas_sum_to_phase1_allocation(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=1, record_paths=False)
+        engine.prepare(length_hint=256)
+        manager = engine.pool_manager
+        assert manager is not None
+        assert sum(s.quota for s in manager.shards) == engine.pool.store.tokens_created
+        assert sum(s.num_sources for s in manager.shards) == torus_8x8.n
+        for shard in manager.shards:
+            assert 1 <= shard.low_watermark <= shard.quota
+
+    def test_occupancy_views_track_store(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=3, record_paths=False)
+        engine.prepare(length_hint=256)
+        manager = engine.pool_manager
+        assert int(manager.shard_unused().sum()) == engine.pool.unused
+        engine.walk(0, 256)
+        assert int(manager.shard_unused().sum()) == engine.pool.unused
+        consumed = sum(s.tokens_served for s in manager.shards)
+        assert consumed == engine.pool.store.tokens_consumed
+
+    def test_shard_of_is_mod_map(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=1, record_paths=False)
+        engine.prepare(length_hint=256)
+        manager = engine.pool_manager
+        for v in range(torus_8x8.n):
+            assert manager.shard_of(v) == v % manager.num_shards
+
+    def test_default_shard_count_policy(self):
+        assert default_num_shards(1) == 1
+        assert default_num_shards(10) == 4  # ceil(sqrt(10)), not floor
+        assert default_num_shards(50) == 8
+        assert default_num_shards(64) == 8
+        assert default_num_shards(10_000) == 64  # capped
+        engine = WalkEngine(torus_graph(8, 8), seed=1, num_shards=4, record_paths=False)
+        engine.prepare(length_hint=256)
+        assert engine.pool_manager.num_shards == 4
+
+    def test_manager_rejects_bad_policy(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=1, num_shards=0, record_paths=False)
+        with pytest.raises(WalkError, match="num_shards"):
+            engine.prepare(length_hint=256)
+        engine = WalkEngine(torus_8x8, seed=1, watermark_fraction=1.5, record_paths=False)
+        with pytest.raises(WalkError, match="watermark_fraction"):
+            engine.prepare(length_hint=256)
+
+
+class TestBackgroundRefills:
+    def test_maintain_noop_on_full_pool(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=5, record_paths=False)
+        engine.prepare(length_hint=256)
+        report = engine.maintain()
+        assert isinstance(report, MaintenanceReport)
+        assert not report.swept and report.rounds == 0 and report.tokens_added == 0
+        assert "pool-refill/maintain" not in engine.stats().phase_rounds
+
+    def test_maintain_cold_engine_is_empty_report(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=5)
+        report = engine.maintain()
+        assert not report.swept and report.shards_refilled == ()
+
+    def test_sweep_restores_depleted_shards(self, torus_8x8):
+        engine = WalkEngine(
+            torus_8x8, seed=7, record_paths=False, auto_maintain=False
+        )
+        engine.prepare(length_hint=256)
+        manager = engine.pool_manager
+        # Drain until at least one shard sits below its watermark.
+        i = 0
+        while not manager.depleted_shards():
+            engine.walk(i % torus_8x8.n, 256)
+            i += 1
+            assert i < 200, "stream never depleted any shard"
+        depleted = manager.depleted_shards()
+        report = engine.maintain()
+        assert report.swept and set(report.shards_refilled) == set(depleted)
+        assert report.tokens_added > 0 and report.rounds > 0
+        unused = manager.shard_unused()
+        for shard in manager.shards:
+            assert unused[shard.shard_id] >= shard.low_watermark
+        # Charged to the maintain sub-phase, visible via the family total.
+        stats = engine.stats()
+        assert stats.phase_rounds.get("pool-refill/maintain", 0) == report.rounds
+        assert engine.network.ledger.phase_total("pool-refill") >= report.rounds
+        assert stats.maintenance_sweeps == 1
+        assert stats.background_refill_tokens == report.tokens_added
+
+    def test_request_deltas_plus_maintenance_balance_ledger(self):
+        # Background sweeps are charged *between* requests: no request delta
+        # contains them, and requests + maintenance = the session total.
+        g = torus_graph(6, 6)
+        engine = WalkEngine(g, seed=17, record_paths=False)
+        total = sum(engine.walk(i % g.n, 300).rounds for i in range(30))
+        stats = engine.stats()
+        assert stats.maintenance_sweeps > 0  # the drained pool did get swept
+        maintain_rounds = stats.phase_rounds["pool-refill/maintain"]
+        assert total + maintain_rounds == engine.network.rounds
+
+    def test_auto_maintain_off_means_no_background_phase(self):
+        g = torus_graph(6, 6)
+        engine = WalkEngine(g, seed=17, record_paths=False, auto_maintain=False)
+        total = sum(engine.walk(i % g.n, 300).rounds for i in range(30))
+        assert "pool-refill/maintain" not in engine.stats().phase_rounds
+        assert total == engine.network.rounds
+
+
+class TestAdversarialFairness:
+    def test_hot_source_cannot_starve_other_shards(self, torus_8x8):
+        # One hot source issues 10x everyone else's queries.  Per-shard
+        # watermarks plus between-request sweeps must keep EVERY shard at or
+        # above its refill watermark at stream end — the hot stream's drain
+        # is rebuilt before it can exhaust the population.
+        engine = WalkEngine(torus_8x8, seed=23, num_shards=8, record_paths=False)
+        cold = 1
+        for i in range(110):
+            if i % 11 == 0:
+                source = cold = (cold + 7) % torus_8x8.n  # background traffic
+            else:
+                source = 0  # the hot source
+            engine.walk(source, 256)
+        stats = engine.stats()
+        assert stats.full_preparations == 1  # never re-prepared under attack
+        assert stats.maintenance_sweeps > 0
+        assert stats.shards_below_watermark == 0
+        manager = engine.pool_manager
+        unused = manager.shard_unused()
+        for shard in manager.shards:
+            assert unused[shard.shard_id] >= shard.low_watermark, (
+                f"shard {shard.shard_id} starved: {unused[shard.shard_id]} < "
+                f"{shard.low_watermark}"
+            )
+        # Refill batching was fair: sweeps touched many shards, not just the
+        # hot source's own.
+        refilled = {s.shard_id for s in manager.shards if s.refills > 0}
+        assert len(refilled) > 1
+
+
+class TestBatchStitching:
+    def test_batch_endpoint_distribution_chi_square(self):
+        # 40 successive k=10 batch queries on ONE engine: batch-stitched
+        # endpoints must follow the exact P^l law (every draw is an unused,
+        # independently generated short walk — Lemma A.2's uniform law,
+        # taken without replacement within a sweep).
+        g = complete_graph(6)
+        length = 40
+        dist = WalkSpectrum(g).distribution(0, length)
+        engine = WalkEngine(g, seed=4321, record_paths=False)
+        endpoints: list[int] = []
+        for _ in range(40):
+            res = engine.walks([0] * 10, length)
+            assert res.mode == "batch-stitched"
+            endpoints.extend(res.destinations)
+        assert engine.stats().full_preparations == 1
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
+
+    def test_batch_beats_serial_rounds(self, torus_8x8):
+        # The acceptance shape at test scale: identical request, strictly
+        # fewer simulated rounds from interleaved sweeps than from the
+        # serial per-source loop.
+        k = 16
+        sources = [(i * 5) % torus_8x8.n for i in range(k)]
+        batch_engine = WalkEngine(torus_8x8, seed=9, record_paths=False)
+        serial_engine = WalkEngine(torus_8x8, seed=9, record_paths=False)
+        batch = batch_engine.walks(sources, 256)
+        serial = serial_engine.walks(sources, 256, batch=False)
+        assert batch.mode == "batch-stitched" and serial.mode == "stitched"
+        assert batch.rounds < serial.rounds
+
+    def test_batch_consumes_without_replacement(self, torus_8x8):
+        engine = WalkEngine(torus_8x8, seed=31, record_paths=False)
+        before = 0
+        for _ in range(5):
+            engine.walks([0, 1, 2, 3], 256)
+            store = engine.pool.store
+            assert store.tokens_consumed > before  # sweeps actually pop
+            before = store.tokens_consumed
+            assert store.tokens_created - store.tokens_consumed == store.total_unused()
+
+    def test_batch_replays_identically_at_fixed_seed(self, torus_8x8):
+        def stream(seed):
+            engine = WalkEngine(torus_8x8, seed=seed, record_paths=False)
+            out = []
+            for i in range(4):
+                res = engine.walks([i, i + 9, i + 20], 256)
+                out.append((tuple(res.destinations), res.rounds))
+            return out, engine.network.rounds
+
+        a, a_rounds = stream(13)
+        b, b_rounds = stream(13)
+        assert a == b and a_rounds == b_rounds
+        c, _ = stream(14)
+        assert a != c
+
+
+class TestBatchedGetMoreWalks:
+    def test_single_source_matches_legacy_refill(self, torus_8x8):
+        # One source: the batched entry must degenerate to the legacy
+        # single-source protocol — identical tokens AND identical charge.
+        net_a = Network(torus_8x8, seed=0)
+        net_b = Network(torus_8x8, seed=0)
+        store_a, store_b = WalkStore(), WalkStore()
+        rounds_a = get_more_walks(net_a, store_a, 5, 6, 8, make_rng(99))
+        rounds_b = get_more_walks_batch(
+            net_b, store_b, np.array([5]), np.array([6]), 8, make_rng(99)
+        )
+        assert rounds_a == rounds_b
+        assert net_a.rounds == net_b.rounds
+        assert net_a.messages_sent == net_b.messages_sent
+        toks_a = sorted((t.source, t.length, t.destination) for t in store_a.iter_all())
+        toks_b = sorted((t.source, t.length, t.destination) for t in store_b.iter_all())
+        assert toks_a == toks_b
+
+    def test_multi_source_single_sweep_beats_serial_refills(self, torus_8x8):
+        sources = np.array([0, 9, 33, 48], dtype=np.int64)
+        counts = np.array([4, 4, 4, 4], dtype=np.int64)
+        net_batch = Network(torus_8x8, seed=0)
+        store_batch = WalkStore()
+        rounds_batch = get_more_walks_batch(
+            net_batch, store_batch, sources, counts, 8, make_rng(7)
+        )
+        net_serial = Network(torus_8x8, seed=0)
+        store_serial = WalkStore()
+        rng = make_rng(7)
+        rounds_serial = sum(
+            get_more_walks(net_serial, store_serial, int(s), int(c), 8, rng)
+            for s, c in zip(sources, counts)
+        )
+        assert store_batch.total_unused() == store_serial.total_unused() == int(counts.sum())
+        assert rounds_batch < rounds_serial
+        # Token lengths stay uniform on [lam, 2*lam-1] per source.
+        for tok in store_batch.iter_all():
+            assert 8 <= tok.length <= 15
+
+    def test_batch_validates_inputs(self, torus_8x8):
+        net = Network(torus_8x8, seed=0)
+        with pytest.raises(WalkError, match="equal length"):
+            get_more_walks_batch(net, WalkStore(), np.array([0, 1]), np.array([1]), 4, make_rng(0))
+        with pytest.raises(WalkError, match=">= 1"):
+            get_more_walks_batch(net, WalkStore(), np.array([0]), np.array([0]), 4, make_rng(0))
+
+
+class TestUniformTokenDraw:
+    def test_draw_law_is_uniform_over_unused(self, torus_8x8):
+        # sample_uniform_token must implement Lemma A.2's law: uniform over
+        # every unused token of the source, regardless of holder layout.
+        net = Network(torus_8x8, seed=0)
+        store = WalkStore()
+        get_more_walks(net, store, 3, 12, 4, make_rng(5))
+        ids = [t.token_id for t in store.iter_all()]
+        rng = make_rng(11)
+        counts = dict.fromkeys(ids, 0)
+        trials = 3000
+        for _ in range(trials):
+            probe = WalkStore()
+            # Rebuild an identical pool cheaply: same records re-added.
+            for t in store.iter_all():
+                probe.add(t)
+            rec = probe.sample_uniform_token(3, rng)
+            counts[rec.token_id] += 1
+        expected = {tid: 1.0 / len(ids) for tid in ids}
+        assert not chi_square_goodness_of_fit(counts, expected).rejects_at(1e-4)
+
+    def test_draw_on_empty_source_returns_none(self):
+        store = WalkStore()
+        assert store.sample_uniform_token(0, make_rng(0)) is None
