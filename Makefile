@@ -4,7 +4,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve
 
 test:
 	$(PY) -m pytest -x -q
@@ -28,3 +28,6 @@ bench-engine-reuse:
 
 bench-batch-walks:
 	$(PY) benchmarks/bench_many_walks.py
+
+bench-serve:
+	$(PY) benchmarks/bench_serve.py

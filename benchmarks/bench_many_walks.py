@@ -93,6 +93,65 @@ def bench_batch_k_walks(
     }
 
 
+def bench_lambda_retune(
+    n: int = BATCH_N,
+    degree: int = BATCH_DEGREE,
+    length: int = BATCH_LENGTH,
+    ks: list[int] | None = None,
+    seed: int = BATCH_SEED,
+) -> dict:
+    """Before/after the k-enlarged λ policy on pooled batch requests.
+
+    *Before*: the pool is prepared with the single-walk ``Θ(√(ℓD))`` λ
+    (``prepare(length_hint=ℓ)`` — the PR-3 behavior, blind to k), then one
+    k-walk batch request is served.  *After*: a cold engine auto-prepares
+    on the same batch request, which now picks λ from Theorem 2.8's
+    ``Θ(√(kℓD) + k)``.  Longer segments mean fewer SAMPLE-DESTINATION
+    sweep generations per walk, so the request's simulated rounds drop as
+    k grows; the extra Phase-1 cost of the longer λ is reported alongside
+    (it is paid once per session, the request win repeats per batch).
+    """
+    graph = random_regular_graph(n, degree, seed)
+    rows = []
+    for k in ks if ks is not None else BATCH_KS:
+        sources = [(i * 37) % graph.n for i in range(k)]
+
+        before_engine = WalkEngine(graph, seed=seed, record_paths=False)
+        before_engine.prepare(length_hint=length)
+        before_prep = before_engine.network.rounds
+        before = before_engine.walks(sources, length)
+
+        # Cold engine: auto-preparation (and its Phase 1) lands inside the
+        # first request's delta; subtract it so both columns compare pure
+        # serving rounds, and report the prep costs side by side.
+        after_engine = WalkEngine(graph, seed=seed, record_paths=False)
+        after = after_engine.walks(sources, length)
+        after_prep = after.phase_rounds.get("phase1", 0)
+        after_rounds = after.rounds - after_prep
+
+        rows.append(
+            {
+                "k": k,
+                "length": length,
+                "lam_before": before.lam,
+                "lam_after": after.lam,
+                "mode_after": after.mode,
+                "request_rounds_before": before.rounds,
+                "request_rounds_after": after_rounds,
+                "rounds_speedup": before.rounds / after_rounds,
+                "prep_rounds_before": before_prep,
+                "prep_rounds_after": after_prep,
+            }
+        )
+    return {
+        "schema": "bench_lambda_retune/v1",
+        "n": graph.n,
+        "degree": degree,
+        "seed": seed,
+        "rows": rows,
+    }
+
+
 def test_e2_k_scaling(benchmark, reporter):
     graph = hypercube_graph(7)
     d = diameter(graph)
@@ -183,17 +242,25 @@ def test_batch_regime_rounds(reporter):
 
 
 def main(argv: list[str]) -> int:
-    section = (
-        bench_batch_k_walks(**QUICK_BATCH) if "--quick" in argv else bench_batch_k_walks()
-    )
+    quick = "--quick" in argv
+    section = bench_batch_k_walks(**QUICK_BATCH) if quick else bench_batch_k_walks()
+    retune = bench_lambda_retune(**QUICK_BATCH) if quick else bench_lambda_retune()
     results = json.loads(RESULT_PATH.read_text()) if RESULT_PATH.exists() else {}
     results["batch_k_walks"] = section
+    results["batch_lambda_retune"] = retune
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"batch vs serial k-walk serving on n={section['n']} regular({section['degree']}):")
     for r in section["rows"]:
         print(
             f"  k={r['k']:>4}  λ={r['lam']:>4}  serial {r['serial_rounds']:>8} rounds  "
             f"batch {r['batch_rounds']:>8} rounds  ({r['rounds_speedup']:.2f}x)"
+        )
+    print("\nλ re-tune for pooled batches (single-walk λ → k-enlarged λ):")
+    for r in retune["rows"]:
+        print(
+            f"  k={r['k']:>4}  λ {r['lam_before']:>4} → {r['lam_after']:>4}  request "
+            f"{r['request_rounds_before']:>8} → {r['request_rounds_after']:>8} rounds  "
+            f"({r['rounds_speedup']:.2f}x)  prep {r['prep_rounds_before']} → {r['prep_rounds_after']}"
         )
     print(f"\nwrote {RESULT_PATH}")
     return 0

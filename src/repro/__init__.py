@@ -17,6 +17,8 @@ as thin wrappers over a one-shot engine.  Package tour (see README):
 
 * :mod:`repro.engine`    — the ``WalkEngine`` session API and the unified
   request/result model
+* :mod:`repro.serve`     — the round-driven request scheduler (admission
+  control, deadlines, merged cohort serving) and synthetic workloads
 * :mod:`repro.graphs`    — graph substrate and generators
 * :mod:`repro.congest`   — the CONGEST-model simulator
 * :mod:`repro.markov`    — exact Markov-chain ground truth

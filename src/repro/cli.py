@@ -8,6 +8,7 @@ Examples
     python -m repro walk --graph hypercube:6 --length 8000 --algorithm all
     python -m repro walk --graph torus:8x8 --length 4096 --json
     python -m repro walks --graph regular:10000:4 --k 64 --length 512
+    python -m repro serve --graph regular:2000:4 --rate 3 --ticks 12 --json
     python -m repro rst --graph grid:6x6 --seed 3
     python -m repro mixing --graph barbell:8:1 --seed 11
     python -m repro lowerbound --n 512
@@ -190,6 +191,66 @@ def _cmd_walks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import WalkEngine
+    from repro.serve import TrafficSpec, run_closed_loop, run_open_loop
+    from repro.util.rng import make_rng
+
+    graph = parse_graph_spec(args.graph)
+    engine = WalkEngine(graph, seed=args.seed, record_paths=False, auto_maintain=False)
+    scheduler = engine.scheduler(
+        max_batch_requests=args.batch,
+        max_queue_depth=args.queue_depth,
+        maintain_round_budget=args.maintain_budget,
+        default_deadline=args.deadline,
+    )
+    spec = TrafficSpec(
+        n=graph.n,
+        lengths=tuple(args.length),
+        ks=tuple(args.k),
+        hot_fraction=args.hot_fraction,
+    )
+    rng = make_rng(args.seed + 1)
+    if args.loop == "open":
+        run_open_loop(scheduler, spec, rng, rate=args.rate, ticks=args.ticks)
+    else:
+        run_closed_loop(
+            scheduler, spec, rng, concurrency=args.concurrency, total=args.requests
+        )
+    stats = scheduler.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {"scheduler": stats.to_dict(), "engine": engine.stats().to_dict()}, indent=2
+            )
+        )
+        return 0
+    rows = [
+        ("loop", args.loop),
+        ("submitted", stats.submitted),
+        ("admitted", stats.admitted),
+        ("rejected", f"{stats.rejected} {stats.rejects_by_reason or ''}".strip()),
+        ("completed", stats.completed),
+        ("deadline misses", stats.deadline_misses),
+        ("walks served", stats.walks_served),
+        ("scheduling rounds (ticks)", stats.ticks),
+        ("cohorts", stats.cohorts),
+        ("p50/p99 rounds per request", f"{stats.p50_rounds_per_request:.0f}/{stats.p99_rounds_per_request:.0f}"),
+        ("p50/p99 latency (rounds)", f"{stats.p50_latency_rounds:.0f}/{stats.p99_latency_rounds:.0f}"),
+        ("serve-family rounds", stats.serve_rounds),
+        ("maintain rounds", stats.maintain_rounds),
+        ("session rounds total", engine.network.rounds),
+    ]
+    print(
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title=f"scheduled serving on {graph.name} (n={graph.n}, m={graph.m})",
+        )
+    )
+    return 0
+
+
 def _cmd_rst(args: argparse.Namespace) -> int:
     from repro.engine import WalkEngine
 
@@ -305,6 +366,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the result plus engine stats (shards, watermarks) as JSON",
     )
     walks.set_defaults(fn=_cmd_walks)
+
+    serve = sub.add_parser(
+        "serve", help="run a synthetic request stream through the WalkScheduler"
+    )
+    serve.add_argument("--graph", required=True, help="graph spec, e.g. regular:2000:4")
+    serve.add_argument(
+        "--loop", choices=["open", "closed"], default="open", help="traffic discipline"
+    )
+    serve.add_argument(
+        "--length",
+        type=int,
+        nargs="+",
+        default=[256],
+        help="walk-length menu (uniform draw per request)",
+    )
+    serve.add_argument(
+        "--k", type=int, nargs="+", default=[4], help="batch-width menu per request"
+    )
+    serve.add_argument("--rate", type=float, default=2.0, help="open loop: arrivals per tick")
+    serve.add_argument("--ticks", type=int, default=16, help="open loop: arrival ticks")
+    serve.add_argument(
+        "--concurrency", type=int, default=8, help="closed loop: outstanding requests"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=32, help="closed loop: total requests"
+    )
+    serve.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests pinned to the hot source (node 0)",
+    )
+    serve.add_argument("--deadline", type=int, default=None, help="round budget per request")
+    serve.add_argument(
+        "--maintain-budget",
+        type=int,
+        default=None,
+        help="per-tick round budget for the deadline-driven maintain sweep",
+    )
+    serve.add_argument("--batch", type=int, default=8, help="max requests per cohort")
+    serve.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit scheduler + engine telemetry as machine-readable JSON",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     rst = sub.add_parser("rst", help="sample a uniform random spanning tree")
     rst.add_argument("--graph", required=True)

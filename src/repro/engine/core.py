@@ -55,7 +55,7 @@ from repro.walks.many_walks import (
 )
 from repro.walks.metropolis import _run_metropolis_walk
 from repro.walks.naive import _run_naive_walk
-from repro.walks.params import WalkParams, single_walk_params
+from repro.walks.params import WalkParams, many_walks_params, single_walk_params
 from repro.walks.podc09 import _run_podc09_walk
 from repro.walks.regenerate import RegenerationResult, regenerate_walk
 from repro.walks.short_walks import perform_short_walks, token_counts
@@ -94,6 +94,30 @@ class Phase1Pool:
     def unused(self) -> int:
         """Current pool occupancy (tokens not yet consumed)."""
         return self.store.total_unused()
+
+
+@dataclass
+class _WalkSlot:
+    """One in-flight walk inside an interleaved stitching sweep.
+
+    The unit of work both the engine's batch path and the serving
+    scheduler's merged cohorts advance: ``current``/``completed`` track the
+    walk frontier, ``chunks`` accumulates trajectory fragments when
+    ``record`` is set, and ``draws`` counts the pool tokens this walk
+    consumed (how the caller knows whether the walk ever touched the pool).
+    """
+
+    source: int
+    length: int
+    record: bool
+    current: int
+    completed: int = 0
+    chunks: list[np.ndarray] | None = None
+    draws: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.length - self.completed
 
 
 @dataclass
@@ -176,6 +200,7 @@ class WalkEngine:
         self._full_preparations = 0
         self._refills = 0
         self._background_refill_tokens = 0
+        self._scheduler = None  # attached repro.serve.WalkScheduler, if any
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -190,8 +215,8 @@ class WalkEngine:
         """Shard/watermark manager of the current pool (``None`` when cold)."""
         return self._pool_manager
 
-    def maintain(self) -> MaintenanceReport:
-        """One background refill sweep: top up every shard below watermark.
+    def maintain(self, *, round_budget: int | None = None) -> MaintenanceReport:
+        """One background refill sweep: top up shards below watermark.
 
         Batches GET-MORE-WALKS for all depleted shards' sources into a
         single interleaved sweep charged to ``"pool-refill/maintain"`` —
@@ -199,15 +224,38 @@ class WalkEngine:
         delta.  With ``auto_maintain`` (the default) the engine calls this
         after every pooled request; it is also the explicit idle-time hook.
         A cold engine (no pool) returns an empty report.
+
+        ``round_budget`` switches to the deadline-driven policy the serving
+        scheduler ticks with: depleted shards refill emptiest/most-demanded
+        first, and shards whose estimated sweep cost exceeds the budget are
+        deferred to a later call (see
+        :meth:`~repro.engine.pool.PoolManager.maintain`).
         """
         manager = self._pool_manager
         if manager is None:
             return MaintenanceReport(
                 swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
             )
-        report = manager.maintain(self.network, self.rng)
+        report = manager.maintain(self.network, self.rng, round_budget=round_budget)
         self._background_refill_tokens += report.tokens_added
         return report
+
+    def scheduler(self, **policy):
+        """Attach a :class:`~repro.serve.WalkScheduler` to this session.
+
+        The scheduler is the round-driven serving layer (PR 4): submitted
+        requests pass per-shard admission control, wait in a
+        priority/deadline queue, and are serviced in merged interleaved
+        sweeps — many concurrent requests sharing each BFS flood and
+        SAMPLE-DESTINATION pipeline.  Keyword arguments are
+        :class:`~repro.serve.ServePolicy` fields (``max_batch_requests``,
+        ``maintain_round_budget``, ``default_deadline``, ...).  The engine
+        keeps a reference so :meth:`stats` can surface the scheduler's
+        telemetry; attaching a new scheduler replaces it.
+        """
+        from repro.serve import WalkScheduler
+
+        return WalkScheduler(self, **policy)
 
     def prepare(
         self,
@@ -277,6 +325,7 @@ class WalkEngine:
         eta: float | None,
         record_paths: bool | None,
         d_est: int,
+        k: int = 1,
     ) -> tuple[Phase1Pool | None, int]:
         """Resolve the pool a query serves from; returns ``(pool, λ)``.
 
@@ -287,6 +336,16 @@ class WalkEngine:
         ``λ ≥ ℓ`` — the query will run naively without touching the pool,
         so a cold engine must *not* pay Θ(η·m) Phase-1 preparation for it
         (the ``use_naive`` policy the one-shot path honors).
+
+        ``k`` is the batch width of the triggering request.  A *cold* pool
+        auto-prepared by a ``k > 1`` batch picks λ from the k-enlarged
+        ``Θ(√(kℓD) + k)`` policy of Theorem 2.8 (longer segments: a batch
+        sweeping k walks concurrently amortizes Phase 1 but pays one
+        SAMPLE-DESTINATION generation per ``λ`` steps of each walk, so λ
+        should grow with k — the arXiv:1201.1363 regime).  A live
+        compatible pool always wins over re-tuning: pooled serving
+        amortizes Phase 1 across the query stream, and mid-stream
+        re-preparation would throw away every surviving token.
 
         An auto-prepared pool records paths when the engine default *or*
         the triggering request wants them: pool policy is a session
@@ -303,10 +362,15 @@ class WalkEngine:
         ):
             return pool, pool.lam
         if lam is None:
-            candidate = single_walk_params(
-                length, d_est, constant=self.lambda_constant, eta=eta_val, n=self.graph.n
-            )
-            if candidate.use_naive:
+            if k > 1:
+                candidate = many_walks_params(
+                    k, length, d_est, constant=self.lambda_constant, eta=eta_val, n=self.graph.n
+                )
+            else:
+                candidate = single_walk_params(
+                    length, d_est, constant=self.lambda_constant, eta=eta_val, n=self.graph.n
+                )
+            if candidate.use_naive or candidate.lam >= length:
                 return None, candidate.lam
             lam = candidate.lam
         return self._install_pool(int(lam), eta_val, rp, d_est), int(lam)
@@ -621,7 +685,7 @@ class WalkEngine:
         k = len(sources)
         d_est, base_tree = estimate_diameter(net, sources[0], self._tree_cache)
         pool, lam_val = self._pool_for_request(
-            length, request.lam, request.eta, request.record_paths, d_est
+            length, request.lam, request.eta, request.record_paths, d_est, k=k
         )
         # Batch queries default to endpoint-only (the legacy many-walks
         # contract); trajectories must be requested explicitly.
@@ -734,34 +798,87 @@ class WalkEngine:
         sweeps on the wire).
         """
         net = self.network
+        slots = [
+            _WalkSlot(
+                source=int(s),
+                length=length,
+                record=record_paths,
+                current=int(s),
+                chunks=[np.array([s], dtype=np.int64)] if record_paths else None,
+            )
+            for s in sources
+        ]
+        total_gmw = self._advance_interleaved(pool, slots, base_tree=base_tree)
+
+        # All tails run concurrently, exactly as the serial path does.
+        pre_tails = [(slot.current, slot.remaining) for slot in slots]
+        destinations, tail_paths = _parallel_tails(net, pre_tails, self.rng, record_paths=record_paths)
+        trajectories: list[np.ndarray] | None = None
+        if record_paths:
+            trajectories = []
+            for slot, tail in zip(slots, tail_paths):
+                assert tail is not None and slot.chunks is not None
+                trajectories.append(np.concatenate(slot.chunks + [tail]))
+                if len(trajectories[-1]) != length + 1:
+                    raise WalkError("batch-stitched trajectory has wrong length")
+        return destinations, trajectories, total_gmw
+
+    def _advance_interleaved(
+        self,
+        pool: Phase1Pool,
+        slots: list[_WalkSlot],
+        *,
+        base_tree: BfsTree,
+        sample_phase: str = "batch-sample",
+        route_phase: str = "stitch-route",
+        refill_phase: str = "pool-refill",
+    ) -> int:
+        """Advance every slot to its pre-tail frontier in interleaved sweeps.
+
+        The sweep engine shared by :meth:`_serve_batch_stitched` (one k-walk
+        request, default phase names — behavior and charges identical to the
+        PR-3 loop) and the :mod:`repro.serve` scheduler (many concurrent
+        requests merged into one slot list, billed to ``"serve/..."``
+        phases).  Per sweep every active slot advances one token; slots
+        parked at the same connector share one SAMPLE-DESTINATION round trip
+        on ``base_tree`` with classic CONGEST pipelining, dry connectors are
+        refilled in one batched GET-MORE-WALKS charged to ``refill_phase``,
+        and every draw is uniform over the connector's unused tokens without
+        replacement (Lemma A.2), so each walk still consumes fresh
+        independent short walks.  Slots may carry *different* lengths — a
+        slot leaves the active set once it is within the loop margin of its
+        own target.  Mutates ``slots`` in place; returns the number of
+        per-connector refill invocations.
+        """
+        net = self.network
         store = pool.store
         lam = pool.lam
         loop_margin = 2 * lam
-        gmw_count = max(1, length // lam)
-        k = len(sources)
+        k = len(slots)
         manager = self._pool_manager
-        current = [int(s) for s in sources]
-        completed = [0] * k
-        chunks: list[list[np.ndarray]] | None = None
-        if record_paths:
-            chunks = [[np.array([s], dtype=np.int64)] for s in current]
         total_gmw = 0
         root = base_tree.root
         depth = base_tree.depth
         height = base_tree.height
 
-        active = [i for i in range(k) if completed[i] <= length - loop_margin]
+        active = [i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin]
         while active:
             # Walks parked at the same connector form one group; group and
             # in-group order follow walk index, so fixed seeds replay.
             groups: dict[int, list[int]] = {}
             for i in active:
-                groups.setdefault(current[i], []).append(i)
+                groups.setdefault(slots[i].current, []).append(i)
 
             # Refill every connector short of tokens in ONE batched
             # GET-MORE-WALKS sweep (reactive: part of this request's bill).
             deficits = [
-                (c, max(gmw_count, len(walks) - store.count_for_source(c)))
+                (
+                    c,
+                    max(
+                        max(max(1, slots[i].length // lam) for i in walks),
+                        len(walks) - store.count_for_source(c),
+                    ),
+                )
                 for c, walks in groups.items()
                 if store.count_for_source(c) < len(walks)
             ]
@@ -777,7 +894,7 @@ class WalkEngine:
                     self.rng,
                     randomized_lengths=True,
                     record_paths=pool.record_paths,
-                    phase="pool-refill",
+                    phase=refill_phase,
                 )
                 total_gmw += len(deficits)
                 pool.refills += len(deficits)
@@ -786,7 +903,7 @@ class WalkEngine:
             # One shared-tree flood per sweep (the protocol's Sweep 1,
             # amortized over every group instead of run per draw).
             n_draws = len(active)
-            with net.phase("batch-sample"):
+            with net.phase(sample_phase):
                 build_bfs_tree(net, root, cache=self._tree_cache)
                 # Convergecast messages: per draw, the ancestor closure of
                 # the connector's holder set (what charged_convergecast
@@ -816,36 +933,25 @@ class WalkEngine:
                         raise WalkError("batched GET-MORE-WALKS produced no walks (engine bug)")
                     if manager is not None:
                         manager.record_served(record.source)
-                    if record_paths:
+                    slot = slots[i]
+                    slot.draws += 1
+                    if slot.record:
                         if record.path is None:
                             raise WalkError("record_paths=True requires Phase 1 to record paths")
-                        chunks[i].append(record.path[1:])
-                    completed[i] += record.length
-                    current[i] = record.destination
+                        slot.chunks.append(record.path[1:])
+                    slot.completed += record.length
+                    slot.current = record.destination
                     hops.append(depth[c] + depth[record.destination])
 
             # Route all stitched tokens concurrently: connector → root →
             # destination along shared-tree edges, pipelined.
-            with net.phase("stitch-route"):
+            with net.phase(route_phase):
                 net.ledger.charge(
                     max(hops) + n_draws - 1, messages=sum(hops), congestion=1
                 )
 
-            active = [i for i in range(k) if completed[i] <= length - loop_margin]
-
-        # All tails run concurrently, exactly as the serial path does.
-        pre_tails = [(current[i], length - completed[i]) for i in range(k)]
-        destinations, tail_paths = _parallel_tails(net, pre_tails, self.rng, record_paths=record_paths)
-        trajectories: list[np.ndarray] | None = None
-        if record_paths:
-            trajectories = []
-            assert chunks is not None
-            for walk_chunks, tail in zip(chunks, tail_paths):
-                assert tail is not None
-                trajectories.append(np.concatenate(walk_chunks + [tail]))
-                if len(trajectories[-1]) != length + 1:
-                    raise WalkError("batch-stitched trajectory has wrong length")
-        return destinations, trajectories, total_gmw
+            active = [i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin]
+        return total_gmw
 
     # ------------------------------------------------------------------
     # Applications (shared network/ledger/RNG)
@@ -915,6 +1021,14 @@ class WalkEngine:
             shards_below_watermark=below,
             maintenance_sweeps=manager.maintenance_sweeps if manager is not None else 0,
             background_refill_tokens=self._background_refill_tokens,
+            shard_refill_counts=(
+                [s.refills for s in manager.shards] if manager is not None else None
+            ),
+            shard_refill_tokens=(
+                [s.tokens_added for s in manager.shards] if manager is not None else None
+            ),
+            outstanding_deficit=manager.outstanding_deficit() if manager is not None else 0,
+            serve=self._scheduler.stats().to_dict() if self._scheduler is not None else None,
         )
 
     def __repr__(self) -> str:

@@ -167,6 +167,17 @@ class EngineStats:
     under ``"pool-refill/maintain"``, separate from reactive
     ``"pool-refill"`` charges.  All shard fields are ``None``/0 before the
     first pool is installed.
+
+    ``shard_refill_counts`` / ``shard_refill_tokens`` break the background
+    loop down per shard (how many sweeps topped shard *i* up, how many
+    tokens they launched), and ``outstanding_deficit`` is the token deficit
+    a full watermark sweep would erase right now — 0 after an unbudgeted
+    ``maintain()``, positive while a round budget is deferring shards.
+
+    ``serve`` carries the attached :class:`~repro.serve.WalkScheduler`'s
+    telemetry (queue depth, admit/reject/deadline-miss counts, p50/p99
+    rounds-per-request) as a plain dict, or ``None`` when no scheduler has
+    been attached to the session.
     """
 
     queries: int
@@ -186,6 +197,10 @@ class EngineStats:
     shards_below_watermark: int = 0
     maintenance_sweeps: int = 0
     background_refill_tokens: int = 0
+    shard_refill_counts: list[int] | None = None
+    shard_refill_tokens: list[int] | None = None
+    outstanding_deficit: int = 0
+    serve: dict | None = None
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

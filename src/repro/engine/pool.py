@@ -25,6 +25,13 @@ Refill targets are per-source: a depleted shard refills each member source
 back to its Phase-1 base allocation, which restores the shard to quota and
 keeps the token population degree-proportional (the shape Lemma 2.6's
 hitting argument sizes the pool for).
+
+The serving subsystem (:mod:`repro.serve`, PR 4) drives :meth:`PoolManager.
+maintain` with a **round budget** per scheduling tick: depleted shards are
+ordered emptiest/most-demanded first and refilled only as far as the
+budget's price allows (:meth:`PoolManager.estimate_refill_rounds`, the same
+estimator admission control uses to reject requests whose source shard
+cannot be restored in time).
 """
 
 from __future__ import annotations
@@ -81,7 +88,11 @@ class MaintenanceReport:
 
     ``swept`` is False when no shard sat below its watermark (the call was
     a free occupancy check); ``rounds`` is the simulated cost of the batched
-    refill sweep, charged to :data:`MAINTAIN_PHASE`.
+    refill sweep, charged to :data:`MAINTAIN_PHASE`.  Under a
+    ``round_budget`` (the deadline-driven maintain policy) ``deferred_shards``
+    names the depleted shards the budget pushed to a later tick —
+    emptiest-first ordering guarantees they are strictly less urgent than
+    every shard actually refilled.
     """
 
     swept: bool
@@ -89,6 +100,8 @@ class MaintenanceReport:
     sources_refilled: int
     tokens_added: int
     rounds: int
+    deferred_shards: tuple[int, ...] = ()
+    estimated_rounds: int = 0
 
 
 class PoolManager:
@@ -147,6 +160,16 @@ class PoolManager:
             for s in range(self.num_shards)
         ]
         self.maintenance_sweeps = 0
+        # Adaptive cost model for refill sweeps: one batched GET-MORE-WALKS
+        # runs at most ``2λ−1`` iterations, each charged by the worst
+        # per-edge distinct-source overlap, and the overlap grows with the
+        # token load of the sweep.  We price a sweep launching T tokens as
+        # ``(2λ−1) · (1 + c·T)`` where ``c`` is an EMA of the *observed*
+        # per-token excess congestion (rounds/(2λ−1) − 1)/T of past sweeps
+        # — 0 before any sweep, so a congestion-free pool prices every
+        # sweep at the flat iteration base and only starts charging for
+        # size once size has actually been seen to cost rounds.
+        self._congestion_per_token = 0.0
         # O(1) early-out state for maintain(): after each occupancy scan we
         # remember how many tokens had been consumed and the smallest
         # headroom any shard had above its watermark.  Shard occupancy only
@@ -174,11 +197,15 @@ class PoolManager:
     def depleted_shards(self) -> list[int]:
         """Shards currently below their low watermark."""
         unused = self.shard_unused()
+        self._note_scan(unused)
+        return [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
+
+    def _note_scan(self, unused: np.ndarray) -> None:
+        """Refresh the consumed-token early-out after an occupancy scan."""
         self._consumed_at_scan = self.pool.store.tokens_consumed
         self._min_margin_at_scan = min(
             int(unused[s.shard_id]) - s.low_watermark for s in self.shards
         )
-        return [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
 
     def _possibly_depleted(self) -> bool:
         """Cheap necessary condition for any shard sitting below watermark.
@@ -193,6 +220,41 @@ class PoolManager:
             self.pool.store.tokens_consumed - self._consumed_at_scan
             >= max(1, self._min_margin_at_scan)
         )
+
+    def outstanding_deficit(self) -> int:
+        """Tokens a full watermark sweep would launch *right now*.
+
+        Zero immediately after an unbudgeted :meth:`maintain`; positive when
+        shards sit below watermark (e.g. because a round budget deferred
+        them) — the telemetry gap PR 3 left in ``EngineStats``.
+        """
+        depleted = self.depleted_shards()
+        if not depleted:
+            return 0
+        _sources, counts = self.refill_plan(depleted)
+        return int(counts.sum())
+
+    def estimate_refill_rounds(self, shard_ids) -> int:
+        """Price one batched sweep restoring ``shard_ids`` to quota.
+
+        The sweep runs at most ``2λ−1`` iterations (λ common steps plus the
+        reservoir extension), each charged by the worst per-edge
+        distinct-source overlap; we price it with :meth:`_price` — the
+        iteration base scaled by the EMA-calibrated per-token congestion of
+        past sweeps, applied to this set's token deficit, so bigger refills
+        cost estimably more once congestion has ever been observed.  Pure
+        bookkeeping — nothing is charged to the ledger, so admission
+        control can price requests for free.
+        """
+        _sources, counts = self.refill_plan(list(shard_ids))
+        return self._price(int(counts.sum()))
+
+    def _price(self, tokens: int) -> int:
+        """Model rounds for one batched sweep launching ``tokens`` tokens."""
+        if tokens <= 0:
+            return 0
+        base = 2 * self.pool.lam - 1
+        return max(1, int(math.ceil(base * (1.0 + self._congestion_per_token * tokens))))
 
     def record_served(self, token_source: int) -> None:
         """Attribute one consumed token to its shard (stitching telemetry)."""
@@ -220,35 +282,98 @@ class PoolManager:
         needy = np.nonzero(deficit > 0)[0]
         return needy, deficit[needy]
 
+    def maintenance_order(self, shard_ids: list[int], unused: np.ndarray | None = None) -> list[int]:
+        """Deadline-driven refill priority: emptiest / most-demanded first.
+
+        Sorts by (unused − watermark) ascending — how deep below its
+        watermark a shard sits — breaking ties by historical demand
+        (``tokens_served`` descending), then shard id for determinism.
+        ``unused`` lets a caller that already scanned occupancy skip the
+        rescan.
+        """
+        if unused is None:
+            unused = self.shard_unused()
+        return sorted(
+            shard_ids,
+            key=lambda s: (
+                int(unused[s]) - self.shards[s].low_watermark,
+                -self.shards[s].tokens_served,
+                s,
+            ),
+        )
+
     def maintain(
         self,
         network: Network,
         rng: np.random.Generator,
         *,
         phase: str = MAINTAIN_PHASE,
+        round_budget: int | None = None,
     ) -> MaintenanceReport:
-        """One background sweep: batch-refill every depleted shard to quota.
+        """One background sweep: batch-refill depleted shards to quota.
 
         A no-op (and zero rounds) when every shard sits at or above its
         watermark — the engine can call this after every request without
         paying anything in the healthy steady state (an O(1) consumed-token
         check skips even the occupancy scan until enough tokens have been
         consumed for some shard to possibly have crossed).
+
+        With ``round_budget=None`` every depleted shard refills in one
+        batched sweep (the PR-3 full-quota behavior).  With a budget the
+        sweep becomes the **deadline-driven policy**: depleted shards are
+        ordered emptiest/most-demanded first (:meth:`maintenance_order`)
+        and the sweep takes the longest prefix whose modeled price
+        (:meth:`_price`, token-weighted) stays within the budget; the rest
+        are reported as ``deferred_shards``.  Two deliberate edges: the
+        most urgent shard always refills even when its price alone exceeds
+        the budget (deferring everything would starve the very shard
+        admission control is rejecting requests over), and once that
+        violation is forced, further shards that do not raise the modeled
+        price above what is already being paid join the same batched sweep
+        — with no observed congestion a sweep costs its ``2λ−1`` iteration
+        base regardless of size, so splitting it across ticks would buy
+        nothing and pay the base repeatedly.
         """
         if not self._possibly_depleted():
             return MaintenanceReport(
                 swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
             )
-        depleted = self.depleted_shards()
+        unused = self.shard_unused()
+        self._note_scan(unused)
+        depleted = [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
         if not depleted:
             return MaintenanceReport(
                 swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
             )
+        # ONE deficit scan serves pricing, budget selection, and the sweep.
         sources, counts = self.refill_plan(depleted)
         if sources.size == 0:  # pragma: no cover - watermark < quota guarantees deficits
             return MaintenanceReport(
                 swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
             )
+        deferred: tuple[int, ...] = ()
+        estimate = self._price(int(counts.sum()))
+        if round_budget is not None and estimate > round_budget and len(depleted) > 1:
+            per_shard = np.bincount(
+                sources % self.num_shards,
+                weights=counts.astype(np.float64),
+                minlength=self.num_shards,
+            ).astype(np.int64)
+            ordered = self.maintenance_order(depleted, unused)
+            cum = int(per_shard[ordered[0]])
+            floor = self._price(cum)  # the forced minimum-progress price
+            cut = 1
+            for s in ordered[1:]:
+                next_price = self._price(cum + int(per_shard[s]))
+                if next_price > max(round_budget, floor):
+                    break
+                cum += int(per_shard[s])
+                cut += 1
+            depleted, deferred = ordered[:cut], tuple(ordered[cut:])
+            if deferred:
+                mask = np.isin(sources % self.num_shards, depleted)
+                sources, counts = sources[mask], counts[mask]
+            estimate = self._price(int(counts.sum()))
         rounds = get_more_walks_batch(
             network,
             self.pool.store,
@@ -269,10 +394,18 @@ class PoolManager:
             self.shards[s].refills += 1
             self.shards[s].tokens_added += int(added_per_shard[s])
         self.maintenance_sweeps += 1
+        # Calibrate the price model: excess rounds over the iteration base,
+        # normalized per token launched, folded into the EMA.
+        base = 2 * self.pool.lam - 1
+        tokens_swept = int(counts.sum())
+        observed = max(0.0, rounds / base - 1.0) / max(1, tokens_swept)
+        self._congestion_per_token = 0.5 * self._congestion_per_token + 0.5 * observed
         return MaintenanceReport(
             swept=True,
             shards_refilled=tuple(depleted),
             sources_refilled=int(sources.size),
             tokens_added=int(counts.sum()),
             rounds=rounds,
+            deferred_shards=deferred,
+            estimated_rounds=estimate,
         )

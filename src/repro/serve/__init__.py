@@ -1,0 +1,61 @@
+"""``repro.serve`` — the round-driven serving layer on top of the engine.
+
+Where :mod:`repro.engine` answers one request at a time, this package
+schedules a *stream*: requests pass per-shard admission control, wait in a
+priority/deadline queue, and are serviced as merged cohorts whose
+stitching sweeps interleave over one shared BFS tree — the multi-request
+generalization of the PR-3 batch path, with a deadline-driven maintenance
+policy keeping the pool's shards at watermark under a per-tick round
+budget.  Typical use::
+
+    from repro import WalkEngine, random_regular_graph
+
+    engine = WalkEngine(random_regular_graph(10_000, 4, 0), seed=7,
+                        record_paths=False)
+    sched = engine.scheduler(max_batch_requests=8, maintain_round_budget=128)
+    tickets = [sched.submit([i, i + 1], 512, deadline=4000) for i in range(16)]
+    sched.drain()
+    print(sched.stats())          # admit/reject/miss counts, p50/p99 rounds
+
+Module map: :mod:`~repro.serve.model` (tickets, policy, telemetry),
+:mod:`~repro.serve.scheduler` (the ``WalkScheduler``),
+:mod:`~repro.serve.workload` (open-/closed-loop synthetic traffic).
+"""
+
+from repro.serve.model import (
+    DONE,
+    QUEUED,
+    REJECTED,
+    SchedulerStats,
+    ServePolicy,
+    TickReport,
+    WalkTicket,
+)
+from repro.serve.scheduler import (
+    REASON_QUEUE_FULL,
+    REASON_SHARD_BUDGET,
+    WalkScheduler,
+)
+from repro.serve.workload import (
+    TrafficSpec,
+    run_closed_loop,
+    run_open_loop,
+    sample_request_args,
+)
+
+__all__ = [
+    "DONE",
+    "QUEUED",
+    "REASON_QUEUE_FULL",
+    "REASON_SHARD_BUDGET",
+    "REJECTED",
+    "SchedulerStats",
+    "ServePolicy",
+    "TickReport",
+    "TrafficSpec",
+    "WalkScheduler",
+    "WalkTicket",
+    "run_closed_loop",
+    "run_open_loop",
+    "sample_request_args",
+]

@@ -1,0 +1,192 @@
+"""Data model of the serving subsystem: tickets, policy, telemetry.
+
+A :class:`~repro.serve.scheduler.WalkScheduler` turns the engine's
+one-request-at-a-time API into a *stream* interface: callers ``submit``
+walk requests and get a :class:`WalkTicket` back immediately; the
+scheduler's round-driven loop (``tick``) admits, queues, batches, and
+services them.  This module holds the passive records that flow across
+that boundary:
+
+* :class:`ServePolicy` — the scheduler's knobs (queue bound, cohort size,
+  the per-tick maintenance round budget, default deadline, admission
+  switch).
+* :class:`WalkTicket` — one submitted request's lifecycle: QUEUED →
+  DONE, or REJECTED at admission.  Deadlines are expressed in *simulated
+  rounds on the session ledger* — the paper's complexity measure, so "serve
+  me within 500 rounds" means 500 rounds of simulated CONGEST time, not
+  wall-clock.  A missed deadline is **counted, never dropped**: the ticket
+  still completes and carries its result.
+* :class:`SchedulerStats` / :class:`TickReport` — telemetry: queue depth,
+  admit/reject/deadline-miss counters, p50/p99 rounds-per-request.
+
+Like :mod:`repro.engine.model` this module is deliberately light — it
+imports only dataclasses/numpy plus the engine's request model — so tests
+and tooling can reason about tickets without pulling in the scheduler.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.model import WalkRequest, _jsonify
+
+__all__ = [
+    "DONE",
+    "QUEUED",
+    "REJECTED",
+    "SchedulerStats",
+    "ServePolicy",
+    "TickReport",
+    "WalkTicket",
+]
+
+#: Ticket lifecycle states (plain strings, matching the repo's ``mode`` idiom).
+QUEUED = "queued"
+REJECTED = "rejected"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Knobs of one :class:`~repro.serve.scheduler.WalkScheduler`.
+
+    Attributes
+    ----------
+    max_queue_depth:
+        Admission bound: submissions beyond this many queued tickets are
+        rejected (``"queue-full"``) instead of growing the backlog without
+        bound — the open-loop overload guard.
+    max_batch_requests:
+        How many queued requests one scheduling round services as a merged
+        cohort.  Larger cohorts amortize shared BFS floods and pipeline more
+        draws per sweep but delay the requests behind them.
+    maintain_round_budget:
+        Per-tick round budget for the deadline-driven maintenance sweep
+        (emptiest/most-demanded shard first); ``None`` keeps the PR-3
+        full-quota sweep every tick.
+    default_deadline:
+        Round budget applied to submissions that do not carry their own
+        ``deadline``; ``None`` means no deadline (and admission control then
+        has no budget to reject against for that request).
+    admission_control:
+        Master switch for per-shard admission: reject a request whose
+        source's shard sits below watermark and cannot be refilled within
+        the request's round budget.  Off, every submission queues.
+    """
+
+    max_queue_depth: int = 256
+    max_batch_requests: int = 8
+    maintain_round_budget: int | None = None
+    default_deadline: int | None = None
+    admission_control: bool = True
+
+
+@dataclass
+class WalkTicket:
+    """One submitted request's lifecycle inside the scheduler.
+
+    ``rounds`` is the ticket's *private* request delta
+    (:meth:`~repro.congest.ledger.RoundLedger.delta_since` around the work
+    attributable to this request alone — its report convergecast); shared
+    cohort work (merged sweeps, tails, refills) is charged to the
+    ``"serve"``/``"pool-refill"`` phase families and **never** leaks into
+    it.  ``rounds_attributed`` adds this ticket's proportional share (by
+    walk count) of its cohort's shared rounds — the quantity the p50/p99
+    rounds-per-request telemetry summarizes; per cohort the attributed
+    rounds sum exactly to the cohort's ledger delta.  ``latency_rounds`` is
+    end-to-end simulated latency: ledger rounds between submission and
+    completion, the number deadlines are checked against.
+    """
+
+    ticket_id: int
+    request: WalkRequest
+    priority: int
+    submitted_round: int
+    deadline_round: int | None
+    status: str = QUEUED
+    reject_reason: str | None = None
+    result: object | None = None  # ManyWalksResult once DONE
+    serviced_tick: int | None = None
+    completed_round: int | None = None
+    rounds: int = 0
+    rounds_attributed: int = 0
+    latency_rounds: int | None = None
+    deadline_missed: bool = False
+
+    @property
+    def k(self) -> int:
+        return self.request.k
+
+    def to_dict(self) -> dict:
+        return _jsonify(dataclasses.asdict(self))
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """Outcome of one scheduling round (:meth:`WalkScheduler.tick`).
+
+    ``rounds`` is the full ledger delta of the tick — cohort servicing plus
+    the maintenance sweep; ``serviced`` lists the ticket ids the cohort
+    completed; ``maintain_rounds`` / ``deferred_shards`` echo the budgeted
+    maintenance outcome.
+    """
+
+    tick: int
+    serviced: tuple[int, ...]
+    rounds: int
+    queue_depth: int
+    refill_calls: int = 0
+    maintain_rounds: int = 0
+    deferred_shards: tuple[int, ...] = ()
+
+
+def _percentile(values: list[int], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Telemetry snapshot from ``WalkScheduler.stats()``.
+
+    Counter block: ``submitted = admitted + rejected``; ``completed`` of
+    the admitted have results; ``deadline_misses`` of those completed after
+    their deadline round (they still completed — misses are counted, not
+    dropped).  ``rejects_by_reason`` splits rejections (``"queue-full"``
+    vs. ``"shard-refill-exceeds-budget"``).
+
+    Cost block: ``p50_rounds_per_request`` / ``p99_rounds_per_request``
+    summarize completed tickets' attributed rounds (private + cohort
+    share); ``p50_latency_rounds`` / ``p99_latency_rounds`` the end-to-end
+    simulated latencies.  ``serve_rounds`` is the ledger's ``"serve"``
+    phase-family total (shared scheduling work), ``serve_refill_rounds``
+    the reactive refills inside merged sweeps
+    (``"pool-refill/serve"``), ``maintain_rounds`` the budgeted background
+    sweeps (``"pool-refill/maintain"``).
+    """
+
+    submitted: int
+    admitted: int
+    rejected: int
+    completed: int
+    deadline_misses: int
+    queue_depth: int
+    ticks: int
+    cohorts: int
+    walks_served: int
+    refill_calls: int
+    p50_rounds_per_request: float
+    p99_rounds_per_request: float
+    p50_latency_rounds: float
+    p99_latency_rounds: float
+    serve_rounds: int
+    serve_refill_rounds: int
+    maintain_rounds: int
+    rejects_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return _jsonify(dataclasses.asdict(self))

@@ -1,0 +1,497 @@
+"""``WalkScheduler`` — round-driven request scheduling on one engine session.
+
+The engine (PR 2/3) serves exactly one request at a time and sweeps the
+pool to full quota after each.  This module adds the serving layer the
+paper's regime actually rewards: arXiv:1201.1363's ``Θ(√(kℓD) + k)`` bound
+comes from aggregating many outstanding walk demands into *shared* sweeps,
+and arXiv:1102.2906's lower bound says rounds are the scarce resource to
+schedule against.  Concretely:
+
+* **Admission control** (per shard).  ``submit`` prices the refill of the
+  request's source shards with the pool manager's sweep-cost estimator;
+  a request whose round budget cannot cover restoring a below-watermark
+  shard is rejected *immediately and for free* — rejection is pure
+  bookkeeping, no ledger charge, so an overloaded scheduler sheds load
+  without spending the very rounds it is short of.
+* **Priority/deadline queue.**  Admitted tickets wait in a heap ordered by
+  (priority, deadline round, submission order).  FIFO within a class means
+  a hot source hammering the queue cannot starve earlier cold-source
+  tickets — they are strictly ahead of every later submission.
+* **Concurrent interleaved servicing.**  Each scheduling round pops up to
+  ``max_batch_requests`` tickets and merges *all* their walks into one
+  slot list for the engine's interleaved sweep engine
+  (:meth:`~repro.engine.core.WalkEngine._advance_interleaved`): one BFS
+  (re-)flood per sweep for the whole cohort, every walk parked at a
+  connector sharing one pipelined SAMPLE-DESTINATION round trip, all
+  cross-request tails completing in one parallel phase.  This extends the
+  PR-3 batch path from one k-walk request to many interleaved requests —
+  and it is where the ≥2× round win over request-at-a-time serving comes
+  from.
+* **Charged attribution.**  Shared cohort work lands on the session ledger
+  under the ``"serve"`` phase family (``serve/setup``, ``serve/sample``,
+  ``serve/stitch-route``, ``serve/tail``) and reactive refills under
+  ``"pool-refill/serve"``; each ticket's *private* delta
+  (:meth:`~repro.congest.ledger.RoundLedger.capture` /
+  :meth:`~repro.congest.ledger.RoundLedger.delta_since` around its own
+  report convergecast) never contains them.  ``rounds_attributed`` adds a
+  proportional share of the cohort's shared delta, apportioned so every
+  cohort's attributed rounds sum *exactly* to its ledger delta — requests
+  + background maintenance balance the session ledger to the round.
+* **Deadline-driven maintenance.**  Instead of the engine's unconditional
+  full-quota sweep after every request, each tick ends with
+  ``engine.maintain(round_budget=...)``: the emptiest/most-demanded shard
+  refills first and the budget defers the rest (see
+  :meth:`~repro.engine.pool.PoolManager.maintain`).
+
+The exactness contract is unchanged: every draw inside a merged sweep is a
+uniform unused token of its connector (Lemma A.2, without replacement), so
+scheduled endpoints keep the exact ``P^ℓ`` law per walk, independent walks
+across requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.congest.primitives import build_bfs_tree
+from repro.engine.core import WalkEngine, _WalkSlot
+from repro.engine.model import WalkRequest
+from repro.errors import WalkError
+from repro.serve.model import (
+    DONE,
+    REJECTED,
+    SchedulerStats,
+    ServePolicy,
+    TickReport,
+    WalkTicket,
+    _percentile,
+)
+from repro.walks.many_walks import ManyWalksResult, _parallel_tails
+from repro.walks.params import many_walks_params
+
+__all__ = ["WalkScheduler"]
+
+#: Reject reasons (stable strings for telemetry and tests).
+REASON_QUEUE_FULL = "queue-full"
+REASON_SHARD_BUDGET = "shard-refill-exceeds-budget"
+
+
+class WalkScheduler:
+    """Round-driven scheduler for a stream of walk requests on one engine.
+
+    Usage::
+
+        engine = WalkEngine(graph, seed=7, record_paths=False)
+        sched = engine.scheduler(max_batch_requests=8, maintain_round_budget=64)
+        tickets = [sched.submit([0, 17, 33], 4096, deadline=5000)
+                   for _ in range(32)]
+        sched.drain()                      # tick until the queue is empty
+        done = [t for t in tickets if t.status == "done"]
+        print(sched.stats())               # queue/admit/reject/deadline telemetry
+
+    The scheduler owns no network state of its own — everything is charged
+    on the engine's session ledger, with shared scheduling work in the
+    ``"serve"`` phase family.  Construction attaches the scheduler to the
+    engine (``engine.stats().serve`` surfaces its telemetry); attaching a
+    second scheduler replaces the first.
+    """
+
+    def __init__(self, engine: WalkEngine, *, policy: ServePolicy | None = None, **knobs) -> None:
+        if policy is not None and knobs:
+            raise WalkError("pass either policy= or individual policy knobs, not both")
+        self.engine = engine
+        self.policy = policy if policy is not None else ServePolicy(**knobs)
+        if self.policy.max_queue_depth < 1:
+            raise WalkError("max_queue_depth must be >= 1")
+        if self.policy.max_batch_requests < 1:
+            raise WalkError("max_batch_requests must be >= 1")
+        engine._scheduler = self
+        self.root: int | None = None  # shared-tree root, pinned at first cohort
+        # True once any trajectory request was admitted while the engine
+        # was still cold: the eventual auto-prepared pool must record
+        # paths even if that ticket lands in a later cohort than the one
+        # that installs the pool.
+        self._trajectories_requested = False
+        self._heap: list[tuple[int, float, int]] = []
+        self._tickets: dict[int, WalkTicket] = {}
+        self._next_id = 0
+        self._ticks = 0
+        self._cohorts = 0
+        self._submitted = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._deadline_misses = 0
+        self._walks_served = 0
+        self._refill_calls = 0
+        self._rejects_by_reason: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Submission and admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        sources,
+        length: int,
+        *,
+        deadline: int | None = None,
+        priority: int = 0,
+        record_paths: bool | None = None,
+        report_to_source: bool = True,
+    ) -> WalkTicket:
+        """Submit one walk request; returns its ticket immediately.
+
+        ``sources`` is a single node or an iterable of nodes (the request's
+        k walks).  ``deadline`` is a round budget: the request should
+        complete within that many *simulated rounds* from now; ``None``
+        falls back to the policy default.  Smaller ``priority`` values are
+        served first; ties (and the default priority 0) are FIFO.
+
+        Malformed requests (bad source, non-positive length, trajectory
+        request on an endpoint-only pool) raise :class:`WalkError` — those
+        are caller bugs.  *Admission* failures — queue full, or a source
+        shard below watermark whose estimated refill cost exceeds the
+        request's round budget — return a ``REJECTED`` ticket instead:
+        rejection is a scheduling outcome, costs zero ledger rounds, and is
+        counted in :meth:`stats`.
+        """
+        if isinstance(sources, (int, np.integer)):
+            sources = (int(sources),)
+        request = WalkRequest(
+            sources=tuple(sources),
+            length=length,
+            many=True,
+            record_paths=record_paths,
+            report_to_source=report_to_source,
+        )
+        for s in request.sources:
+            self.engine._validate_query(s, length)
+        pool = self.engine.pool
+        if record_paths and pool is not None and not pool.record_paths:
+            raise WalkError(
+                "pool was prepared with record_paths=False; "
+                "call engine.prepare(record_paths=True) to serve trajectory requests"
+            )
+        budget = deadline if deadline is not None else self.policy.default_deadline
+        if budget is not None and budget < 1:
+            raise WalkError(f"deadline must be >= 1 round, got {budget}")
+        now = self.engine.network.rounds
+        ticket = WalkTicket(
+            ticket_id=self._next_id,
+            request=request,
+            priority=int(priority),
+            submitted_round=now,
+            deadline_round=now + budget if budget is not None else None,
+        )
+        self._next_id += 1
+        self._submitted += 1
+        reason = self._admission_reason(request, budget)
+        if reason is not None:
+            ticket.status = REJECTED
+            ticket.reject_reason = reason
+            self._rejected += 1
+            self._rejects_by_reason[reason] = self._rejects_by_reason.get(reason, 0) + 1
+            self._tickets[ticket.ticket_id] = ticket
+            return ticket
+        self._admitted += 1
+        if record_paths and pool is None:
+            # Cold engine and the request was ADMITTED: remember the wish
+            # so whichever cohort installs the pool prepares it
+            # path-capable (a rejected wish must not tax the session).
+            self._trajectories_requested = True
+        self._tickets[ticket.ticket_id] = ticket
+        heapq.heappush(
+            self._heap,
+            (
+                ticket.priority,
+                float(ticket.deadline_round) if ticket.deadline_round is not None else math.inf,
+                ticket.ticket_id,  # submission order: FIFO within a class
+            ),
+        )
+        return ticket
+
+    def _admission_reason(self, request: WalkRequest, budget: int | None) -> str | None:
+        """Admission control; pure bookkeeping, charges nothing.
+
+        Queue-bound check first, then the per-shard rule: every distinct
+        source shard sitting below its watermark must be restorable within
+        the request's round budget at the manager's estimated sweep price
+        (:meth:`~repro.engine.pool.PoolManager.estimate_refill_rounds`).  A
+        request with no budget (no deadline) skips the shard rule — it has
+        nothing to miss.  A cold engine (no pool yet) admits everything:
+        the first cohort prepares the pool at full quota.
+        """
+        if self.queue_depth >= self.policy.max_queue_depth:
+            return REASON_QUEUE_FULL
+        if not self.policy.admission_control or budget is None:
+            return None
+        manager = self.engine.pool_manager
+        if manager is None:
+            return None
+        unused = manager.shard_unused()
+        for shard_id in sorted({manager.shard_of(s) for s in request.sources}):
+            shard = manager.shards[shard_id]
+            if unused[shard_id] >= shard.low_watermark:
+                continue
+            if manager.estimate_refill_rounds([shard_id]) > budget:
+                return REASON_SHARD_BUDGET
+        return None
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._heap)
+
+    def ticket(self, ticket_id: int) -> WalkTicket:
+        return self._tickets[ticket_id]
+
+    def tick(self) -> TickReport:
+        """One scheduling round: service a cohort, then budgeted maintenance.
+
+        Pops up to ``max_batch_requests`` tickets in (priority, deadline,
+        FIFO) order, services them as ONE merged interleaved batch, and
+        closes with the deadline-driven maintenance sweep under the
+        policy's round budget.  Safe to call with an empty queue — an idle
+        tick costs only the (possibly zero-cost) maintenance check.
+        """
+        net = self.engine.network
+        rounds_before = net.rounds
+        self._ticks += 1
+        cohort: list[WalkTicket] = []
+        while self._heap and len(cohort) < self.policy.max_batch_requests:
+            _, _, ticket_id = heapq.heappop(self._heap)
+            cohort.append(self._tickets[ticket_id])
+        refill_calls = 0
+        if cohort:
+            self._cohorts += 1
+            refill_calls = self._service_cohort(cohort)
+        maintain = self.engine.maintain(round_budget=self.policy.maintain_round_budget)
+        return TickReport(
+            tick=self._ticks,
+            serviced=tuple(t.ticket_id for t in cohort),
+            rounds=net.rounds - rounds_before,
+            queue_depth=self.queue_depth,
+            refill_calls=refill_calls,
+            maintain_rounds=maintain.rounds,
+            deferred_shards=maintain.deferred_shards,
+        )
+
+    def drain(self, *, max_ticks: int = 100_000) -> list[WalkTicket]:
+        """Tick until the queue is empty; returns every completed ticket."""
+        ticks = 0
+        while self._heap:
+            self.tick()
+            ticks += 1
+            if ticks >= max_ticks:
+                raise WalkError(f"drain() exceeded {max_ticks} ticks (scheduler bug)")
+        return [t for t in self._tickets.values() if t.status == DONE]
+
+    # ------------------------------------------------------------------
+    # Cohort servicing
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, cohort: list[WalkTicket]) -> None:
+        """Warm a cold engine with the cohort-shaped k-enlarged λ policy.
+
+        Preparation is session warm-up, not cohort work: Phase 1 charges to
+        the usual ``"phase1"`` phase (its BFS to ``"serve/setup"``) and is
+        excluded from the cohort's attributed delta, exactly like
+        ``engine.prepare``.  λ comes from Theorem 2.8's ``Θ(√(kℓD) + k)``
+        with k = the cohort's total walk count — the demand the scheduler
+        actually sees.  When the policy says the naive regime wins (λ ≥ ℓ)
+        no pool is installed and the cohort runs as merged parallel tails.
+        """
+        if self.engine.pool is not None:
+            return
+        net = self.engine.network
+        assert self.root is not None  # _service_cohort pins it before calling
+        with net.phase("serve/setup"):
+            tree = build_bfs_tree(net, self.root, cache=self.engine._tree_cache)
+        d_est = max(1, 2 * tree.height)
+        k_total = sum(t.k for t in cohort)
+        length_max = max(t.request.length for t in cohort)
+        wants_paths = (
+            self.engine._default_record_paths
+            or self._trajectories_requested
+            or any(t.request.record_paths for t in cohort)
+        )
+        params = many_walks_params(
+            k_total,
+            length_max,
+            d_est,
+            constant=self.engine.lambda_constant,
+            eta=self.engine._default_eta,
+            n=self.engine.graph.n,
+        )
+        if params.use_naive or params.lam >= length_max:
+            return
+        self.engine._install_pool(params.lam, params.eta, wants_paths, d_est)
+
+    def _service_cohort(self, cohort: list[WalkTicket]) -> int:
+        """Serve one cohort as a single merged interleaved batch."""
+        engine = self.engine
+        net = engine.network
+        if self.root is None:
+            self.root = cohort[0].request.source
+        self._ensure_pool(cohort)
+        pool = engine.pool
+
+        cohort_snapshot = net.ledger.capture()
+        with net.phase("serve/setup"):
+            tree = build_bfs_tree(net, self.root, cache=engine._tree_cache)
+
+        # One slot per walk across every request of the cohort.  With no
+        # pool (naive regime) nothing is ever active in the sweep loop and
+        # all walks complete as one merged parallel-tail phase.
+        slots: list[_WalkSlot] = []
+        ticket_slots: list[tuple[WalkTicket, slice, bool]] = []
+        for ticket in cohort:
+            req = ticket.request
+            # submit() rejects trajectory requests a pathless pool cannot
+            # serve, and a cold-engine trajectory wish makes _ensure_pool
+            # prepare path-capable — but the engine owner can still swap in
+            # a pathless pool (engine.prepare / a pooled query) between
+            # submit and service, so re-enforce the contract here rather
+            # than silently downgrade.  With NO pool (naive regime)
+            # trajectories come straight from the merged tail phase.
+            rp = bool(req.record_paths)
+            if rp and pool is not None and not pool.record_paths:
+                raise WalkError(
+                    f"ticket {ticket.ticket_id} requested trajectories but the pool "
+                    "was re-prepared with record_paths=False while it was queued"
+                )
+            start = len(slots)
+            for s in req.sources:
+                slots.append(
+                    _WalkSlot(
+                        source=int(s),
+                        length=req.length,
+                        record=rp,
+                        current=int(s),
+                        chunks=[np.array([s], dtype=np.int64)] if rp else None,
+                    )
+                )
+            ticket_slots.append((ticket, slice(start, len(slots)), rp))
+
+        refill_calls = 0
+        if pool is not None:
+            refill_calls = engine._advance_interleaved(
+                pool,
+                slots,
+                base_tree=tree,
+                sample_phase="serve/sample",
+                route_phase="serve/stitch-route",
+                refill_phase="pool-refill/serve",
+            )
+            self._refill_calls += refill_calls
+
+        pre_tails = [(slot.current, slot.remaining) for slot in slots]
+        any_rp = any(slot.record for slot in slots)
+        destinations, tail_paths = _parallel_tails(
+            net, pre_tails, engine.rng, record_paths=any_rp, phase="serve/tail"
+        )
+
+        # Per-request private work + capture/delta attribution.
+        private_total = 0
+        for ticket, span, rp in ticket_slots:
+            req = ticket.request
+            k = req.k
+            snapshot = net.ledger.capture()
+            if req.report_to_source:
+                # Pipelined destination→source convergecast on the shared
+                # tree, the PR-3 formula: O(height + k) per request.
+                with net.phase("report"):
+                    net.ledger.charge(tree.height + k, messages=2 * k, congestion=k)
+            delta = net.ledger.delta_since(snapshot)
+            private_total += delta.rounds
+
+            my_slots = slots[span]
+            trajectories = None
+            if rp:
+                trajectories = []
+                for slot, tail in zip(my_slots, tail_paths[span]):
+                    assert tail is not None and slot.chunks is not None
+                    trajectories.append(np.concatenate(slot.chunks + [tail]))
+                    if len(trajectories[-1]) != req.length + 1:
+                        raise WalkError("scheduled trajectory has wrong length")
+            ticket.result = ManyWalksResult(
+                sources=[slot.source for slot in my_slots],
+                length=req.length,
+                destinations=destinations[span],
+                positions=trajectories,
+                mode="scheduled",
+                rounds=delta.rounds,
+                lam=pool.lam if pool is not None else 0,
+                phase_rounds=dict(delta.phase_rounds),
+            )
+            ticket.rounds = delta.rounds
+            ticket.status = DONE
+            ticket.serviced_tick = self._ticks
+            if pool is not None and any(slot.draws for slot in my_slots):
+                pool.queries += 1
+            engine._queries += 1
+            self._completed += 1
+            self._walks_served += k
+
+        # Apportion the cohort's shared rounds (sweeps, tails, refills,
+        # setup — everything not in a private delta) by walk count, largest
+        # requests first for the remainder, so attributed rounds sum
+        # EXACTLY to the cohort's ledger delta.
+        cohort_delta = net.ledger.delta_since(cohort_snapshot)
+        shared = cohort_delta.rounds - private_total
+        total_walks = len(slots)
+        shares = [shared * t.k // total_walks for t, _, _ in ticket_slots]
+        remainder = shared - sum(shares)
+        order = sorted(range(len(cohort)), key=lambda i: (-cohort[i].k, i))
+        for j in range(remainder):
+            shares[order[j % len(shares)]] += 1
+        now = net.rounds
+        for (ticket, _, _), share in zip(ticket_slots, shares):
+            ticket.rounds_attributed = ticket.rounds + share
+            ticket.completed_round = now
+            ticket.latency_rounds = now - ticket.submitted_round
+            if ticket.deadline_round is not None and now > ticket.deadline_round:
+                ticket.deadline_missed = True
+                self._deadline_misses += 1
+        return refill_calls
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        """Scheduler telemetry; also surfaced via ``engine.stats().serve``."""
+        ledger = self.engine.network.ledger
+        done = [t for t in self._tickets.values() if t.status == DONE]
+        attributed = [t.rounds_attributed for t in done]
+        latencies = [t.latency_rounds for t in done if t.latency_rounds is not None]
+        return SchedulerStats(
+            submitted=self._submitted,
+            admitted=self._admitted,
+            rejected=self._rejected,
+            completed=self._completed,
+            deadline_misses=self._deadline_misses,
+            queue_depth=self.queue_depth,
+            ticks=self._ticks,
+            cohorts=self._cohorts,
+            walks_served=self._walks_served,
+            refill_calls=self._refill_calls,
+            p50_rounds_per_request=_percentile(attributed, 50),
+            p99_rounds_per_request=_percentile(attributed, 99),
+            p50_latency_rounds=_percentile(latencies, 50),
+            p99_latency_rounds=_percentile(latencies, 99),
+            serve_rounds=ledger.phase_total("serve"),
+            serve_refill_rounds=ledger.phase_rounds("pool-refill/serve"),
+            maintain_rounds=ledger.phase_rounds("pool-refill/maintain"),
+            rejects_by_reason=dict(self._rejects_by_reason),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkScheduler(queue={self.queue_depth}, submitted={self._submitted}, "
+            f"completed={self._completed}, rejected={self._rejected}, "
+            f"ticks={self._ticks})"
+        )

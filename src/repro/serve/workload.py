@@ -1,0 +1,143 @@
+"""Synthetic traffic for the serving subsystem.
+
+Two classic load-generation disciplines drive a
+:class:`~repro.serve.scheduler.WalkScheduler`:
+
+* **Open loop** (:func:`run_open_loop`) — arrivals are exogenous: a
+  Poisson number of requests lands every scheduling tick regardless of
+  how the scheduler is coping.  This is the overload model: when the
+  offered rate outruns service capacity the queue grows until admission
+  control starts shedding (``"queue-full"`` rejections), which is exactly
+  what the telemetry should show.
+* **Closed loop** (:func:`run_closed_loop`) — a fixed population of
+  ``concurrency`` clients each keeps exactly one request outstanding and
+  submits the next only when the previous completes.  Offered load adapts
+  to service speed, so closed-loop runs measure latency at a controlled
+  multiprogramming level.
+
+Both disciplines draw i.i.d. requests from a :class:`TrafficSpec` — a
+hot/cold source mixture (the adversarial shape of the PR-3 fairness
+tests), a walk-length menu, and a batch-width menu — and return every
+ticket so callers can slice outcomes by class (hot vs. cold, deadline
+hit vs. miss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.serve.model import DONE, WalkTicket
+from repro.serve.scheduler import WalkScheduler
+
+__all__ = ["TrafficSpec", "run_closed_loop", "run_open_loop", "sample_request_args"]
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Distribution of one synthetic request stream.
+
+    ``hot_fraction`` of requests aim every walk at ``hot_source``; the
+    rest draw sources uniformly from ``[0, n)``.  ``lengths`` / ``ks``
+    are uniform menus for walk length and batch width.  ``deadline`` (a
+    round budget) and ``priority`` are applied verbatim to every request;
+    ``None`` deadline defers to the scheduler policy's default.
+    """
+
+    n: int
+    lengths: tuple[int, ...] = (256,)
+    ks: tuple[int, ...] = (1,)
+    hot_fraction: float = 0.0
+    hot_source: int = 0
+    deadline: int | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise WalkError("TrafficSpec.n must be >= 1")
+        if not self.lengths or not self.ks:
+            raise WalkError("TrafficSpec needs at least one length and one k")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise WalkError("hot_fraction must be in [0, 1]")
+        if not 0 <= self.hot_source < self.n:
+            raise WalkError("hot_source out of range")
+
+
+def sample_request_args(spec: TrafficSpec, rng: np.random.Generator) -> dict:
+    """Draw one request's ``submit`` kwargs from the spec."""
+    k = int(spec.ks[rng.integers(len(spec.ks))])
+    length = int(spec.lengths[rng.integers(len(spec.lengths))])
+    if spec.hot_fraction > 0 and rng.random() < spec.hot_fraction:
+        sources = [spec.hot_source] * k
+    else:
+        sources = [int(s) for s in rng.integers(spec.n, size=k)]
+    return {
+        "sources": sources,
+        "length": length,
+        "deadline": spec.deadline,
+        "priority": spec.priority,
+    }
+
+
+def run_open_loop(
+    scheduler: WalkScheduler,
+    spec: TrafficSpec,
+    rng: np.random.Generator,
+    *,
+    rate: float,
+    ticks: int,
+    drain: bool = True,
+) -> list[WalkTicket]:
+    """Poisson arrivals at ``rate`` requests per scheduling tick.
+
+    Each tick first submits ``Poisson(rate)`` fresh requests (rejections
+    land in the returned tickets too — they are outcomes), then runs one
+    scheduling round.  With ``drain`` the backlog is serviced to empty
+    after arrivals stop, so the returned tickets are all terminal.
+    """
+    if rate < 0:
+        raise WalkError("rate must be >= 0")
+    if ticks < 1:
+        raise WalkError("ticks must be >= 1")
+    tickets: list[WalkTicket] = []
+    for _ in range(ticks):
+        for _ in range(int(rng.poisson(rate))):
+            args = sample_request_args(spec, rng)
+            tickets.append(scheduler.submit(**args))
+        scheduler.tick()
+    if drain:
+        scheduler.drain()
+    return tickets
+
+
+def run_closed_loop(
+    scheduler: WalkScheduler,
+    spec: TrafficSpec,
+    rng: np.random.Generator,
+    *,
+    concurrency: int,
+    total: int,
+) -> list[WalkTicket]:
+    """``concurrency`` clients, each with one outstanding request.
+
+    Submits up to ``total`` requests overall; a client whose request
+    completes (or is rejected at admission) immediately submits the next.
+    Returns when every submitted request is terminal.
+    """
+    if concurrency < 1:
+        raise WalkError("concurrency must be >= 1")
+    if total < 1:
+        raise WalkError("total must be >= 1")
+    tickets: list[WalkTicket] = []
+
+    def outstanding() -> int:
+        return sum(1 for t in tickets if t.status not in (DONE,) and t.reject_reason is None)
+
+    while len(tickets) < total or outstanding():
+        while len(tickets) < total and outstanding() < concurrency:
+            args = sample_request_args(spec, rng)
+            tickets.append(scheduler.submit(**args))
+        scheduler.tick()
+    return tickets

@@ -63,15 +63,21 @@ def _parallel_naive(
     rng: np.random.Generator,
     *,
     record_paths: bool,
+    phase: str = "naive-parallel",
 ) -> tuple[list[int], list[np.ndarray] | None]:
-    """All k tokens walk simultaneously; congestion charged per iteration."""
+    """All k tokens walk simultaneously; congestion charged per iteration.
+
+    ``phase`` names the ledger phase the iterations charge to — the legacy
+    one-shot path keeps ``"naive-parallel"`` (golden-ledger pinned), the
+    serving scheduler bills the same traffic to its ``"serve"`` family.
+    """
     graph = network.graph
     positions = np.asarray(sources, dtype=np.int64)
     paths = None
     if record_paths:
         paths = np.empty((len(sources), length + 1), dtype=np.int64)
         paths[:, 0] = positions
-    with network.phase("naive-parallel"):
+    with network.phase(phase):
         for step in range(1, length + 1):
             slots = graph.step_walk_slots(positions, rng)
             network.deliver_step(slots, words=2)
@@ -89,8 +95,13 @@ def _parallel_tails(
     rng: np.random.Generator,
     *,
     record_paths: bool,
+    phase: str = "naive-tail",
 ) -> tuple[list[int], list[np.ndarray | None]]:
-    """Complete all deferred tails simultaneously (see stitch_walk docs)."""
+    """Complete all deferred tails simultaneously (see stitch_walk docs).
+
+    ``phase`` defaults to the golden-ledger-pinned ``"naive-tail"``; the
+    serving scheduler charges merged cross-request tails to ``"serve/tail"``.
+    """
     k = len(pre_tails)
     positions = np.array([node for node, _ in pre_tails], dtype=np.int64)
     remaining = np.array([r for _, r in pre_tails], dtype=np.int64)
@@ -102,7 +113,7 @@ def _parallel_tails(
         paths = np.empty((k, max_rem + 1), dtype=np.int64)
         paths[:, 0] = positions
     graph = network.graph
-    with network.phase("naive-tail"):
+    with network.phase(phase):
         for step in range(1, max_rem + 1):
             active = remaining >= step
             if not np.any(active):

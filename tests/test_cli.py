@@ -109,6 +109,32 @@ class TestCommands:
         assert "batch-stitched" not in out
         assert "stitched" in out
 
+    def test_serve_open_loop(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "open",
+                "--rate", "2", "--ticks", "5", "--k", "1", "2",
+                "--length", "256", "--seed", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduled serving" in out
+        assert "p50/p99 rounds per request" in out
+        assert "deadline misses" in out
+
+    def test_serve_closed_loop(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "closed",
+                "--concurrency", "3", "--requests", "8", "--k", "2",
+                "--length", "200", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed" in out and "scheduled serving" in out
+
     def test_error_path(self, capsys):
         code = main(["walk", "--graph", "nosuch:5", "--length", "10"])
         assert code == 2
@@ -158,6 +184,24 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["mode"] == "rst"
         assert len(payload["tree"]) == 4  # n-1 edges
+
+    def test_serve_json(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "open",
+                "--rate", "2", "--ticks", "4", "--k", "2",
+                "--length", "256", "--seed", "4", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        sched = payload["scheduler"]
+        assert sched["submitted"] == sched["admitted"] + sched["rejected"]
+        assert sched["completed"] >= 1
+        assert sched["p99_rounds_per_request"] >= sched["p50_rounds_per_request"]
+        engine = payload["engine"]
+        assert engine["serve"] == sched  # surfaced through EngineStats
+        assert engine["rounds"] > 0
 
     def test_mixing_json(self, capsys):
         code = main(

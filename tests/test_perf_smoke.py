@@ -21,6 +21,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 import bench_many_walks  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
+import bench_serve  # noqa: E402
 
 
 class TestBenchHarnessSmoke:
@@ -87,6 +88,57 @@ class TestBenchHarnessSmoke:
         for row in section["rows"]:
             assert row["batch_rounds"] < row["serial_rounds"], row
             assert row["batch_report_rounds"] == row["serial_report_rounds"], row
+            if row["k"] == 64:
+                assert row["rounds_speedup"] > 2.0, row
+
+    def test_scheduled_serving_beats_serial_live(self):
+        # Live tier-1 guard for the PR-4 scheduler: the same 8-request
+        # mixed-length workload costs strictly fewer simulated rounds
+        # through merged cohorts than through request-at-a-time serving.
+        # Simulated rounds are deterministic — no wall-clock flake risk.
+        section = bench_serve.bench_serve(**bench_serve.QUICK_SERVE)
+        row = section["rows"][0]
+        assert row["requests"] == 8
+        assert row["scheduled_rounds"] < row["serial_rounds"], row
+        assert row["rounds_speedup"] >= 1.5, row
+        assert row["scheduled_p99_rounds"] <= row["serial_p99_rounds"], row
+
+    def test_committed_serve_scheduler_section(self):
+        # The PR-4 acceptance bar: on the committed n=10k sweep the
+        # scheduler serves the 8-request mixed workload with >= 2x fewer
+        # total simulated rounds than serial one-at-a-time servicing, at
+        # every recorded k in {16, 64, 256}.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("serve_scheduler")
+        assert section is not None, "run benchmarks/bench_serve.py to regenerate"
+        assert section["schema"] == "bench_serve/v1"
+        assert section["n"] == 10_000
+        ks = {row["k"] for row in section["rows"]}
+        assert {16, 64, 256} <= ks
+        for row in section["rows"]:
+            assert row["requests"] == 8
+            assert len(set(row["lengths"])) > 1, "workload must mix lengths"
+            assert row["rounds_speedup"] >= 2.0, row
+            assert row["scheduled_p99_rounds"] <= row["serial_p99_rounds"], row
+            assert (
+                row["scheduled_throughput_per_1k_rounds"]
+                > row["serial_throughput_per_1k_rounds"]
+            ), row
+
+    def test_committed_lambda_retune_section(self):
+        # PR-3 follow-up satellite: batch requests auto-preparing with the
+        # k-enlarged Θ(√(klD) + k) λ must serve in fewer rounds than the
+        # single-walk λ pool, for every committed k.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("batch_lambda_retune")
+        assert section is not None, "run benchmarks/bench_many_walks.py to regenerate"
+        assert section["schema"] == "bench_lambda_retune/v1"
+        assert section["n"] == 10_000
+        ks = {row["k"] for row in section["rows"]}
+        assert {16, 64, 256} <= ks
+        for row in section["rows"]:
+            assert row["lam_after"] > row["lam_before"], row
+            assert row["request_rounds_after"] < row["request_rounds_before"], row
             if row["k"] == 64:
                 assert row["rounds_speedup"] > 2.0, row
 
