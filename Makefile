@@ -4,7 +4,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn
 
 test:
 	$(PY) -m pytest -x -q
@@ -31,3 +31,6 @@ bench-batch-walks:
 
 bench-serve:
 	$(PY) benchmarks/bench_serve.py
+
+bench-churn:
+	$(PY) benchmarks/bench_churn.py

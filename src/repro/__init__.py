@@ -19,6 +19,8 @@ as thin wrappers over a one-shot engine.  Package tour (see README):
   request/result model
 * :mod:`repro.serve`     — the round-driven request scheduler (admission
   control, deadlines, merged cohort serving) and synthetic workloads
+* :mod:`repro.dynamic`   — graph churn: batched edge deltas, incremental
+  pool invalidation, charged regeneration, churn workloads
 * :mod:`repro.graphs`    — graph substrate and generators
 * :mod:`repro.congest`   — the CONGEST-model simulator
 * :mod:`repro.markov`    — exact Markov-chain ground truth
@@ -33,6 +35,7 @@ from repro.apps import (
     random_spanning_tree,
 )
 from repro.congest import Network
+from repro.dynamic import ChurnReport, ChurnSpec, GraphDelta
 from repro.engine import (
     ALGORITHMS,
     EngineStats,
@@ -85,6 +88,10 @@ __all__ = [
     # substrate
     "Network",
     "Graph",
+    # dynamic graphs (churn)
+    "GraphDelta",
+    "ChurnReport",
+    "ChurnSpec",
     # graph generators
     "path_graph",
     "cycle_graph",

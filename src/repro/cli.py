@@ -35,6 +35,7 @@ spec                      graph
 ``gnp:N:P[:SEED]``        connected Erdős–Rényi G(N, P)
 ``regular:N:D[:SEED]``    random D-regular graph
 ``rgg:N:R[:SEED]``        random geometric graph, radius R
+``file:PATH``             edge-list file (``u v [w]`` per line)
 ========================  =========================================
 """
 
@@ -52,6 +53,7 @@ from repro.graphs import (
     binary_tree_graph,
     complete_graph,
     cycle_graph,
+    edge_list_graph,
     erdos_renyi_graph,
     grid_graph,
     hypercube_graph,
@@ -79,6 +81,16 @@ def parse_graph_spec(spec: str) -> Graph:
     """Build a graph from a ``family:args`` spec string (see module docs)."""
     parts = spec.split(":")
     family, args = parts[0].lower(), parts[1:]
+    if family == "file":
+        # The path is everything after the first colon (it may itself
+        # contain colons), and case matters on real filesystems.
+        path = spec.split(":", 1)[1] if ":" in spec else ""
+        if not path:
+            raise ValueError(f"bad graph spec {spec!r}: file needs a path, e.g. file:graph.txt")
+        try:
+            return edge_list_graph(path)
+        except OSError as exc:
+            raise ValueError(f"bad graph spec {spec!r}: {exc}") from exc
     try:
         if family == "path":
             return path_graph(int(args[0]))
@@ -211,7 +223,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hot_fraction=args.hot_fraction,
     )
     rng = make_rng(args.seed + 1)
-    if args.loop == "open":
+    churn_reports = []
+    churning = args.churn_delete_rate > 0 or args.churn_insert_rate > 0
+    if churning and args.loop != "open":
+        raise ValueError("--churn-*-rate needs --loop open (churn interleaves with ticks)")
+    if churning:
+        from repro.dynamic import ChurnSpec, run_churn_loop
+
+        churn = ChurnSpec(
+            delete_rate=args.churn_delete_rate,
+            insert_rate=args.churn_insert_rate,
+            round_budget=args.churn_budget,
+        )
+        _tickets, churn_reports = run_churn_loop(
+            scheduler, spec, churn, rng, rate=args.rate, ticks=args.ticks
+        )
+    elif args.loop == "open":
         run_open_loop(scheduler, spec, rng, rate=args.rate, ticks=args.ticks)
     else:
         run_closed_loop(
@@ -219,11 +246,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     stats = scheduler.stats()
     if args.json:
-        print(
-            json.dumps(
-                {"scheduler": stats.to_dict(), "engine": engine.stats().to_dict()}, indent=2
-            )
-        )
+        payload = {"scheduler": stats.to_dict(), "engine": engine.stats().to_dict()}
+        if churn_reports:
+            payload["churn"] = [r.to_dict() for r in churn_reports]
+        print(json.dumps(payload, indent=2))
         return 0
     rows = [
         ("loop", args.loop),
@@ -241,6 +267,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("maintain rounds", stats.maintain_rounds),
         ("session rounds total", engine.network.rounds),
     ]
+    if churn_reports:
+        est = engine.stats()
+        rows.extend(
+            [
+                ("churn events", est.churn_events),
+                ("tokens evicted (churn)", est.churn_tokens_evicted),
+                ("tokens regenerated (churn)", est.churn_tokens_regenerated),
+                ("churn refill rounds", est.phase_rounds.get("pool-refill/churn", 0)),
+            ]
+        )
     print(
         render_table(
             ["quantity", "value"],
@@ -397,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fraction of requests pinned to the hot source (node 0)",
+    )
+    serve.add_argument(
+        "--churn-delete-rate",
+        type=float,
+        default=0.0,
+        help="open loop: Poisson mean edge deletions per tick (repro.dynamic)",
+    )
+    serve.add_argument(
+        "--churn-insert-rate",
+        type=float,
+        default=0.0,
+        help="open loop: Poisson mean edge insertions per tick",
+    )
+    serve.add_argument(
+        "--churn-budget",
+        type=int,
+        default=None,
+        help="round budget per churn regeneration sweep (default: restore fully)",
     )
     serve.add_argument("--deadline", type=int, default=None, help="round budget per request")
     serve.add_argument(

@@ -83,8 +83,12 @@ class Network:
         # between the same pair pool their bandwidth, which matches the
         # multigraph-bandwidth equivalence used in Section 3.2.
         self._queues: dict[tuple[int, int], deque[Message]] = defaultdict(deque)
+        self._build_multiplicity()
+
+    def _build_multiplicity(self) -> None:
         # Directed adjacency with multiplicity, as sorted (u*n + v) keys —
         # built vectorized from the edge array; queries binary-search it.
+        graph = self.graph
         ea = graph.edge_array
         if len(ea):
             u, v = ea[:, 0], ea[:, 1]
@@ -94,6 +98,23 @@ class Network:
         else:
             self._mult_keys = np.empty(0, dtype=np.int64)
             self._mult_counts = np.empty(0, dtype=np.int64)
+
+    def refresh_topology(self) -> None:
+        """Re-derive adjacency tables after the graph's edge set changed.
+
+        Called by the churn cascade right after
+        :meth:`~repro.graphs.graph.Graph.apply_delta` rebuilt the CSR
+        arrays.  Only derived lookup state is rebuilt — the ledger, RNG,
+        and round counters carry straight across the topology event (churn
+        happens *between* rounds of one continuing execution).  Refusing
+        to re-key in-flight messages is deliberate: protocols run to
+        quiescence before control returns to the caller, so a non-empty
+        queue here means a protocol was abandoned mid-run.
+        """
+        if any(self._queues.values()):
+            raise ProtocolError("cannot change topology with messages in flight")
+        self._queues.clear()
+        self._build_multiplicity()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,38 @@
+"""``repro.dynamic`` — graph churn for live walk-serving sessions.
+
+Everything below :mod:`repro.engine` assumed a frozen topology; this
+package makes the whole stack — graph, network, engine, pool, scheduler —
+survive batched edge inserts and deletes while continuing to serve exact
+``P^ℓ`` walks, the dynamic-network regime the journal version of the
+paper (arXiv:1302.4544) motivates.  Typical use::
+
+    from repro import WalkEngine, random_regular_graph
+    from repro.dynamic import GraphDelta
+
+    engine = WalkEngine(random_regular_graph(10_000, 4, 0), seed=7)
+    engine.prepare(lam=8)
+    engine.walk(0, 256)                       # pooled serving as usual
+    report = engine.apply_churn(GraphDelta(
+        insert_edges=[(3, 907)], delete_edges=[(0, 1)]))
+    print(report.tokens_evicted, report.tokens_regenerated)
+    engine.walk(0, 256)                       # exact P^l on the NEW graph
+
+Module map: :mod:`~repro.dynamic.delta` (the :class:`GraphDelta` /
+:class:`DeltaRemap` data model), :mod:`~repro.dynamic.controller` (the
+invalidation cascade behind ``engine.apply_churn``),
+:mod:`~repro.dynamic.workload` (mixed request + Poisson-churn traffic).
+"""
+
+from repro.dynamic.controller import ChurnController, ChurnReport
+from repro.dynamic.delta import DeltaRemap, GraphDelta
+from repro.dynamic.workload import ChurnSpec, run_churn_loop, sample_churn_delta
+
+__all__ = [
+    "ChurnController",
+    "ChurnReport",
+    "ChurnSpec",
+    "DeltaRemap",
+    "GraphDelta",
+    "run_churn_loop",
+    "sample_churn_delta",
+]

@@ -1,0 +1,172 @@
+"""``ChurnController`` — the invalidation cascade behind ``apply_churn``.
+
+A :class:`~repro.dynamic.delta.GraphDelta` applied to a live session must
+leave *every* layer consistent — this module owns that cascade, in order:
+
+1. **Topology** — :meth:`~repro.graphs.graph.Graph.apply_delta` rebuilds
+   the CSR arrays in place and reports the slot remap and mutated nodes;
+   :meth:`~repro.congest.network.Network.refresh_topology` re-derives the
+   adjacency tables the CONGEST engine routes by.
+2. **Caches** — the engine's BFS-tree cache drops wholesale: tree shape,
+   heights, and charged flood costs are all topology functions.
+3. **Pool invalidation** — one vectorized scan of the
+   :class:`~repro.walks.store.WalkStore` path matrices
+   (:meth:`~repro.walks.store.WalkStore.find_invalid_rows`) finds every
+   pooled token whose recorded walk stepped *from* a node whose sampling
+   law changed (or traversed a deleted edge), and evicts exactly those.
+   Tokens that never touched a mutated node keep the identical law on the
+   new graph, so they keep serving — that selectivity is the whole win
+   over discarding the pool.  A pool prepared with ``record_paths=False``
+   has nothing to scan, so churn falls back to full eviction there
+   (correct, never wrong — just not incremental).
+4. **Quotas** — :meth:`~repro.engine.pool.PoolManager.rebuild_quotas`
+   re-derives per-source base allocations, shard quotas, and watermarks
+   from the *new* degree profile (``⌈η·deg(v)⌉``, Lemma 2.6's shape).
+5. **Charged regeneration** — the affected shards (any shard that lost a
+   token or contains a mutated node) top back up to quota in one batched
+   GET-MORE-WALKS sweep on the new graph, billed to the
+   ``"pool-refill/churn"`` sub-phase: on the session ledger, excluded
+   from request deltas, summed by the ``pool-refill`` family — the exact
+   accounting contract of ``pool-refill/maintain``.  An optional round
+   budget defers the least-urgent shards; their deficit stays visible to
+   the serving scheduler's admission pricing, which already folds
+   per-shard deficits into its modeled refill cost.
+
+Charging model: detection is free — every endpoint of a changed edge
+learns of it locally (churn *is* a local event), and hop validity is
+node-local knowledge (node ``path[j]`` owns its hop, cf. §2.2's
+regeneration premise) — so only the regeneration traffic is charged.
+Propagating eviction notices to token holders is not separately billed;
+it is bounded above by a replay of the evicted suffixes (strictly less
+than the regeneration sweep that follows) and noted as future work.
+
+Exactness is preserved end to end: surviving tokens are untouched samples
+of the *new* graph's short-walk law, replacements are freshly sampled on
+the new graph, and stitching always draws uniform unused tokens — so
+served endpoints follow the new ``P^ℓ`` exactly (chi-square-proved in
+``tests/test_dynamic.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dynamic.delta import GraphDelta
+from repro.engine.model import _jsonify
+from repro.engine.pool import CHURN_PHASE
+
+__all__ = ["ChurnController", "ChurnReport"]
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Outcome of one :meth:`~repro.engine.core.WalkEngine.apply_churn`.
+
+    ``tokens_scanned`` counts the live tokens the vectorized path scan
+    inspected; ``tokens_evicted`` of them were invalidated
+    (``full_eviction`` marks the pathless-pool fallback where the whole
+    pool goes).  ``tokens_regenerated`` replacements were launched by the
+    charged sweep (``regen_rounds``, billed to ``"pool-refill/churn"``);
+    under a round budget ``deferred_shards`` lists affected shards whose
+    regeneration was pushed to later maintenance.  ``rounds`` is the full
+    ledger delta of the event — regeneration only, since detection is
+    node-local (see the module docstring's charging model).
+    """
+
+    edges_inserted: int
+    edges_deleted: int
+    mutated_nodes: int
+    tokens_scanned: int
+    tokens_evicted: int
+    full_eviction: bool
+    shards_affected: tuple[int, ...]
+    sources_regenerated: int
+    tokens_regenerated: int
+    regen_rounds: int
+    rounds: int
+    deferred_shards: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return _jsonify(dataclasses.asdict(self))
+
+
+class ChurnController:
+    """Drives the churn cascade on one engine session.
+
+    Stateless between events except for cumulative telemetry (surfaced via
+    ``engine.stats()``); the engine creates one lazily on the first
+    :meth:`~repro.engine.core.WalkEngine.apply_churn` call and keeps it
+    for the session.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.events = 0
+        self.tokens_evicted = 0
+        self.tokens_regenerated = 0
+
+    def apply(self, delta: GraphDelta, *, round_budget: int | None = None) -> ChurnReport:
+        engine = self.engine
+        net = engine.network
+        rounds_before = net.rounds
+        remap = engine.graph.apply_delta(delta)
+        net.refresh_topology()
+        engine._tree_cache.clear()
+        self.events += 1
+
+        pool = engine.pool
+        manager = engine.pool_manager
+        evicted = 0
+        scanned = 0
+        full_eviction = False
+        affected: set[int] = set()
+        regen = None
+        if pool is not None and manager is not None:
+            store = pool.store
+            scanned = store.total_unused()
+            if pool.record_paths:
+                mutated = np.zeros(engine.graph.n, dtype=bool)
+                mutated[remap.mutated_nodes] = True
+                rows = store.find_invalid_rows(mutated, remap.deleted_edge_keys, engine.graph.n)
+            else:
+                # No recorded hops to scan: evict everything (correct but
+                # not incremental; prepare with record_paths=True to get
+                # selective invalidation).
+                rows = store.live_rows()
+                full_eviction = True
+            sources = store.evict_rows(rows)
+            evicted = int(sources.size)
+            self.tokens_evicted += evicted
+            manager.rebuild_quotas()
+            # Affected shards: lost a token to eviction, or contain a
+            # mutated node (whose base allocation just changed).
+            if evicted:
+                affected.update(
+                    int(s) for s in np.unique(sources % manager.num_shards)
+                )
+            if remap.num_mutated:
+                affected.update(
+                    int(s) for s in np.unique(remap.mutated_nodes % manager.num_shards)
+                )
+            regen = manager.restore_shards(
+                net, engine.rng, sorted(affected), round_budget=round_budget, phase=CHURN_PHASE
+            )
+            self.tokens_regenerated += regen.tokens_added
+
+        return ChurnReport(
+            edges_inserted=remap.edges_inserted,
+            edges_deleted=remap.edges_deleted,
+            mutated_nodes=remap.num_mutated,
+            tokens_scanned=scanned,
+            tokens_evicted=evicted,
+            full_eviction=full_eviction,
+            shards_affected=tuple(sorted(affected)),
+            sources_regenerated=regen.sources_refilled if regen is not None else 0,
+            tokens_regenerated=regen.tokens_added if regen is not None else 0,
+            regen_rounds=regen.rounds if regen is not None else 0,
+            rounds=net.rounds - rounds_before,
+            deferred_shards=regen.deferred_shards if regen is not None else (),
+        )

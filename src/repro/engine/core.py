@@ -201,6 +201,7 @@ class WalkEngine:
         self._refills = 0
         self._background_refill_tokens = 0
         self._scheduler = None  # attached repro.serve.WalkScheduler, if any
+        self._churn = None  # lazily attached repro.dynamic.ChurnController
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -239,6 +240,29 @@ class WalkEngine:
         report = manager.maintain(self.network, self.rng, round_budget=round_budget)
         self._background_refill_tokens += report.tokens_added
         return report
+
+    def apply_churn(self, delta, *, round_budget: int | None = None):
+        """Apply one batched topology event and cascade the invalidation.
+
+        The dynamic-graph entry point (see :mod:`repro.dynamic`): ``delta``
+        is a :class:`~repro.dynamic.delta.GraphDelta` of edge inserts and
+        deletes.  The graph's CSR arrays rebuild in place, the network
+        re-derives its adjacency tables, the BFS-tree cache drops, pooled
+        tokens whose recorded law the churn broke are evicted by one
+        vectorized path scan, shard quotas re-derive from the new degree
+        profile, and the affected shards are topped back up by a charged
+        regeneration sweep billed to ``"pool-refill/churn"`` — session
+        work, excluded from request deltas, same contract as
+        ``"pool-refill/maintain"``.  ``round_budget`` bounds that sweep
+        (least-urgent shards defer; their deficit stays visible to
+        admission pricing).  Returns a
+        :class:`~repro.dynamic.controller.ChurnReport`.
+        """
+        from repro.dynamic.controller import ChurnController
+
+        if self._churn is None:
+            self._churn = ChurnController(self)
+        return self._churn.apply(delta, round_budget=round_budget)
 
     def scheduler(self, **policy):
         """Attach a :class:`~repro.serve.WalkScheduler` to this session.
@@ -1029,6 +1053,11 @@ class WalkEngine:
             ),
             outstanding_deficit=manager.outstanding_deficit() if manager is not None else 0,
             serve=self._scheduler.stats().to_dict() if self._scheduler is not None else None,
+            churn_events=self._churn.events if self._churn is not None else 0,
+            churn_tokens_evicted=self._churn.tokens_evicted if self._churn is not None else 0,
+            churn_tokens_regenerated=(
+                self._churn.tokens_regenerated if self._churn is not None else 0
+            ),
         )
 
     def __repr__(self) -> str:

@@ -178,6 +178,13 @@ class EngineStats:
     telemetry (queue depth, admit/reject/deadline-miss counts, p50/p99
     rounds-per-request) as a plain dict, or ``None`` when no scheduler has
     been attached to the session.
+
+    The churn block (:mod:`repro.dynamic`) counts topology events served
+    by :meth:`~repro.engine.core.WalkEngine.apply_churn`:
+    ``churn_tokens_evicted`` pooled tokens invalidated by the vectorized
+    path scan, ``churn_tokens_regenerated`` their charged replacements —
+    whose rounds appear in ``phase_rounds`` under ``"pool-refill/churn"``,
+    the third member of the ``pool-refill`` family.
     """
 
     queries: int
@@ -201,6 +208,9 @@ class EngineStats:
     shard_refill_tokens: list[int] | None = None
     outstanding_deficit: int = 0
     serve: dict | None = None
+    churn_events: int = 0
+    churn_tokens_evicted: int = 0
+    churn_tokens_regenerated: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

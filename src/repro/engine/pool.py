@@ -46,12 +46,19 @@ from repro.errors import WalkError
 from repro.walks.get_more_walks import get_more_walks_batch
 from repro.walks.short_walks import token_counts
 
-__all__ = ["MAINTAIN_PHASE", "MaintenanceReport", "PoolManager", "PoolShard"]
+__all__ = ["CHURN_PHASE", "MAINTAIN_PHASE", "MaintenanceReport", "PoolManager", "PoolShard"]
 
 #: Ledger sub-phase background refill sweeps charge to (reactive mid-request
 #: refills keep charging plain ``"pool-refill"``; ``RoundLedger.phase_total
 #: ("pool-refill")`` sums the family).
 MAINTAIN_PHASE = "pool-refill/maintain"
+
+#: Ledger sub-phase for churn-driven regeneration: after a
+#: :class:`~repro.dynamic.delta.GraphDelta` evicts invalidated tokens,
+#: :meth:`PoolManager.restore_shards` launches their replacements under this
+#: name — same accounting contract as :data:`MAINTAIN_PHASE` (on the session
+#: ledger, summed by the ``pool-refill`` family, never in a request delta).
+CHURN_PHASE = "pool-refill/churn"
 
 
 def default_num_shards(n: int) -> int:
@@ -143,23 +150,21 @@ class PoolManager:
         self.graph = graph
         self.num_shards = int(min(num_shards, n))
         self.watermark_fraction = float(watermark_fraction)
-        # Per-source Phase-1 base allocation — the refill target.
-        self._base_counts = token_counts(graph.degrees, pool.eta, degree_proportional=True)
-        shard_ids = np.arange(n, dtype=np.int64) % self.num_shards
-        quotas = np.bincount(
-            shard_ids, weights=self._base_counts.astype(np.float64), minlength=self.num_shards
-        ).astype(np.int64)
-        members = np.bincount(shard_ids, minlength=self.num_shards)
+        members = np.bincount(
+            np.arange(n, dtype=np.int64) % self.num_shards, minlength=self.num_shards
+        )
+        # Quotas and watermarks come from rebuild_quotas below — ONE home
+        # for the allocation math, shared with the churn cascade.
         self.shards = [
-            PoolShard(
-                shard_id=s,
-                num_sources=int(members[s]),
-                quota=int(quotas[s]),
-                low_watermark=max(1, int(math.ceil(watermark_fraction * int(quotas[s])))),
-            )
+            PoolShard(shard_id=s, num_sources=int(members[s]), quota=0, low_watermark=1)
             for s in range(self.num_shards)
         ]
         self.maintenance_sweeps = 0
+        self.churn_sweeps = 0
+        # Speculative prefetch: transient per-shard demand fed by the
+        # serving scheduler from queued-but-unserviced tickets, consumed by
+        # the next maintenance ordering (see :meth:`note_demand`).
+        self._prefetch_demand = np.zeros(self.num_shards, dtype=np.int64)
         # Adaptive cost model for refill sweeps: one batched GET-MORE-WALKS
         # runs at most ``2λ−1`` iterations, each charged by the worst
         # per-edge distinct-source overlap, and the overlap grows with the
@@ -178,6 +183,7 @@ class PoolManager:
         # skips the O(n) scan entirely.
         self._consumed_at_scan = -1
         self._min_margin_at_scan = 0
+        self.rebuild_quotas()
 
     # ------------------------------------------------------------------
     # Occupancy views
@@ -200,9 +206,13 @@ class PoolManager:
         self._note_scan(unused)
         return [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
 
+    def _retired_tokens(self) -> int:
+        """Tokens gone from the pool by any means (consumed or churn-evicted)."""
+        return self.pool.store.tokens_consumed + self.pool.store.tokens_evicted
+
     def _note_scan(self, unused: np.ndarray) -> None:
-        """Refresh the consumed-token early-out after an occupancy scan."""
-        self._consumed_at_scan = self.pool.store.tokens_consumed
+        """Refresh the retired-token early-out after an occupancy scan."""
+        self._consumed_at_scan = self._retired_tokens()
         self._min_margin_at_scan = min(
             int(unused[s.shard_id]) - s.low_watermark for s in self.shards
         )
@@ -210,16 +220,45 @@ class PoolManager:
     def _possibly_depleted(self) -> bool:
         """Cheap necessary condition for any shard sitting below watermark.
 
-        Occupancy falls only via consumption, so if fewer tokens were
-        consumed since the last scan than the smallest shard headroom seen
-        then, every shard is still at or above its watermark.
+        Occupancy falls only via consumption or churn eviction, so if fewer
+        tokens were retired since the last scan than the smallest shard
+        headroom seen then, every shard is still at or above its watermark.
         """
         if self._consumed_at_scan < 0 or self._min_margin_at_scan < 0:
             return True
         return (
-            self.pool.store.tokens_consumed - self._consumed_at_scan
+            self._retired_tokens() - self._consumed_at_scan
             >= max(1, self._min_margin_at_scan)
         )
+
+    def rebuild_quotas(self) -> None:
+        """Derive base allocations and shard quotas from current degrees.
+
+        The single home of the allocation math — Phase-1 allocations are
+        ``⌈η·deg(v)⌉`` (the shape Lemma 2.6's hitting argument sizes the
+        pool for), binned into shard quotas with watermarks at
+        ``⌈fraction·quota⌉``.  Construction calls this once; the churn
+        cascade calls it again after
+        :meth:`~repro.graphs.graph.Graph.apply_delta` changed the degree
+        profile, so quotas and watermarks track the *new* degrees.  Shard
+        membership, the refill/served counters, and the congestion price
+        EMA all survive — only the occupancy targets move.  The
+        retired-token early-out is reset: watermarks just changed, so the
+        cached margins are stale.
+        """
+        n = self.graph.n
+        self._base_counts = token_counts(self.graph.degrees, self.pool.eta, degree_proportional=True)
+        shard_ids = np.arange(n, dtype=np.int64) % self.num_shards
+        quotas = np.bincount(
+            shard_ids, weights=self._base_counts.astype(np.float64), minlength=self.num_shards
+        ).astype(np.int64)
+        for shard in self.shards:
+            shard.quota = int(quotas[shard.shard_id])
+            shard.low_watermark = max(
+                1, int(math.ceil(self.watermark_fraction * int(quotas[shard.shard_id])))
+            )
+        self._consumed_at_scan = -1
+        self._min_margin_at_scan = 0
 
     def outstanding_deficit(self) -> int:
         """Tokens a full watermark sweep would launch *right now*.
@@ -282,21 +321,36 @@ class PoolManager:
         needy = np.nonzero(deficit > 0)[0]
         return needy, deficit[needy]
 
+    def note_demand(self, shard_ids) -> None:
+        """Register speculative demand for shards (queued-but-unserviced walks).
+
+        The serving scheduler peeks its queue each tick and feeds the
+        source shards of tickets *waiting* for a later cohort in here; the
+        next :meth:`maintenance_order` treats each unit of demand as one
+        token of extra urgency, so a deadline-budgeted maintain warms the
+        shards those cohorts will stitch through before they run.  Demand
+        is transient — consumed (cleared) by the next budgeted sweep — so
+        a ticket that drains from the queue stops inflating priorities.
+        """
+        for s in shard_ids:
+            self._prefetch_demand[int(s)] += 1
+
     def maintenance_order(self, shard_ids: list[int], unused: np.ndarray | None = None) -> list[int]:
         """Deadline-driven refill priority: emptiest / most-demanded first.
 
-        Sorts by (unused − watermark) ascending — how deep below its
-        watermark a shard sits — breaking ties by historical demand
-        (``tokens_served`` descending), then shard id for determinism.
-        ``unused`` lets a caller that already scanned occupancy skip the
-        rescan.
+        Sorts by (unused − watermark − queued demand) ascending — how deep
+        below its watermark a shard sits, with each unit of speculative
+        demand (:meth:`note_demand`) counting as one token of extra depth —
+        breaking ties by historical demand (``tokens_served`` descending),
+        then shard id for determinism.  ``unused`` lets a caller that
+        already scanned occupancy skip the rescan.
         """
         if unused is None:
             unused = self.shard_unused()
         return sorted(
             shard_ids,
             key=lambda s: (
-                int(unused[s]) - self.shards[s].low_watermark,
+                int(unused[s]) - self.shards[s].low_watermark - int(self._prefetch_demand[s]),
                 -self.shards[s].tokens_served,
                 s,
             ),
@@ -334,32 +388,92 @@ class PoolManager:
         base regardless of size, so splitting it across ticks would buy
         nothing and pay the base repeatedly.
         """
-        if not self._possibly_depleted():
-            return MaintenanceReport(
-                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+        try:
+            if not self._possibly_depleted():
+                return self._empty_report()
+            unused = self.shard_unused()
+            self._note_scan(unused)
+            depleted = [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
+            if not depleted:
+                return self._empty_report()
+            report = self._sweep(
+                network, rng, depleted, unused, phase=phase, round_budget=round_budget
             )
+            if report.swept:
+                self.maintenance_sweeps += 1
+            return report
+        finally:
+            # Speculative demand is per-tick: whatever the scheduler noted
+            # has now either informed this ordering or expired with it.
+            self._prefetch_demand[:] = 0
+
+    def restore_shards(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        shard_ids,
+        *,
+        phase: str = CHURN_PHASE,
+        round_budget: int | None = None,
+    ) -> MaintenanceReport:
+        """Charged regeneration: top the given shards back up to quota.
+
+        The churn cascade's refill entry point: after invalidated tokens
+        are evicted and :meth:`rebuild_quotas` re-derived targets from the
+        new degree profile, this launches every affected source's deficit
+        in one batched GET-MORE-WALKS sweep billed to :data:`CHURN_PHASE`.
+        Unlike :meth:`maintain` it does not gate on watermarks — churn is
+        an exogenous event and the affected shards are named by the caller
+        — but it shares the same budget-prefix policy, so a
+        ``round_budget`` defers the least-urgent shards and leaves their
+        deficit visible to admission pricing
+        (:meth:`estimate_refill_rounds` folds any outstanding deficit into
+        a request's modeled refill cost).
+        """
+        ids = sorted({int(s) for s in shard_ids})
+        if not ids:
+            return self._empty_report()
         unused = self.shard_unused()
         self._note_scan(unused)
-        depleted = [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
-        if not depleted:
-            return MaintenanceReport(
-                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
-            )
+        report = self._sweep(network, rng, ids, unused, phase=phase, round_budget=round_budget)
+        if report.swept:
+            self.churn_sweeps += 1
+        return report
+
+    @staticmethod
+    def _empty_report() -> MaintenanceReport:
+        return MaintenanceReport(
+            swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
+        )
+
+    def _sweep(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        shard_ids: list[int],
+        unused: np.ndarray,
+        *,
+        phase: str,
+        round_budget: int | None,
+    ) -> MaintenanceReport:
+        """One batched refill of ``shard_ids`` to quota, optionally budgeted."""
         # ONE deficit scan serves pricing, budget selection, and the sweep.
-        sources, counts = self.refill_plan(depleted)
-        if sources.size == 0:  # pragma: no cover - watermark < quota guarantees deficits
-            return MaintenanceReport(
-                swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
-            )
+        sources, counts = self.refill_plan(shard_ids)
+        if sources.size == 0:
+            return self._empty_report()
+        # Drop shards with no deficit (restore_shards may name shards that
+        # are already at quota) in one pass over the plan.
+        present = set(np.unique(sources % self.num_shards).tolist())
+        shard_ids = [s for s in shard_ids if s in present]
         deferred: tuple[int, ...] = ()
         estimate = self._price(int(counts.sum()))
-        if round_budget is not None and estimate > round_budget and len(depleted) > 1:
+        if round_budget is not None and estimate > round_budget and len(shard_ids) > 1:
             per_shard = np.bincount(
                 sources % self.num_shards,
                 weights=counts.astype(np.float64),
                 minlength=self.num_shards,
             ).astype(np.int64)
-            ordered = self.maintenance_order(depleted, unused)
+            ordered = self.maintenance_order(shard_ids, unused)
             cum = int(per_shard[ordered[0]])
             floor = self._price(cum)  # the forced minimum-progress price
             cut = 1
@@ -369,9 +483,9 @@ class PoolManager:
                     break
                 cum += int(per_shard[s])
                 cut += 1
-            depleted, deferred = ordered[:cut], tuple(ordered[cut:])
+            shard_ids, deferred = ordered[:cut], tuple(ordered[cut:])
             if deferred:
-                mask = np.isin(sources % self.num_shards, depleted)
+                mask = np.isin(sources % self.num_shards, shard_ids)
                 sources, counts = sources[mask], counts[mask]
             estimate = self._price(int(counts.sum()))
         rounds = get_more_walks_batch(
@@ -390,10 +504,9 @@ class PoolManager:
             weights=counts.astype(np.float64),
             minlength=self.num_shards,
         ).astype(np.int64)
-        for s in depleted:
+        for s in shard_ids:
             self.shards[s].refills += 1
             self.shards[s].tokens_added += int(added_per_shard[s])
-        self.maintenance_sweeps += 1
         # Calibrate the price model: excess rounds over the iteration base,
         # normalized per token launched, folded into the EMA.
         base = 2 * self.pool.lam - 1
@@ -402,7 +515,7 @@ class PoolManager:
         self._congestion_per_token = 0.5 * self._congestion_per_token + 0.5 * observed
         return MaintenanceReport(
             swept=True,
-            shards_refilled=tuple(depleted),
+            shards_refilled=tuple(shard_ids),
             sources_refilled=int(sources.size),
             tokens_added=int(counts.sum()),
             rounds=rounds,

@@ -47,6 +47,7 @@ __all__ = [
     "binary_tree_graph",
     "barbell_graph",
     "lollipop_graph",
+    "edge_list_graph",
     "erdos_renyi_graph",
     "random_regular_graph",
     "random_geometric_graph",
@@ -260,6 +261,51 @@ def random_geometric_graph(n: int, radius: float, rng=None, *, max_tries: int = 
         if is_connected(g):
             return g
     raise GraphError(f"no connected RGG(n={n}, r={radius}) in {max_tries} tries; increase radius")
+
+
+def edge_list_graph(path, name: str | None = None) -> Graph:
+    """Load a graph from a whitespace edge-list file (``u v [w]`` lines).
+
+    The interchange format real graph corpora ship in (SNAP et al.): one
+    undirected edge per line as two integer node IDs and an optional
+    positive weight; blank lines and ``#`` comments are skipped.  Node
+    count is ``max id + 1`` — IDs must be dense enough that isolated
+    trailing nodes are intended.  Weights default to 1.0; a file that
+    weights only some edges weights the rest 1.0.
+    """
+    path = str(path)
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    weighted = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {raw.strip()!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else 1.0
+            except ValueError as exc:
+                raise GraphError(f"{path}:{lineno}: {exc}") from exc
+            if u < 0 or v < 0:
+                raise GraphError(f"{path}:{lineno}: node ids must be >= 0")
+            edges.append((u, v))
+            weights.append(w)
+            weighted = weighted or len(parts) == 3
+    if not edges:
+        raise GraphError(f"{path}: no edges found")
+    n = max(max(u, v) for u, v in edges) + 1
+    return Graph(
+        n,
+        edges,
+        weights=weights if weighted else None,
+        name=name if name is not None else f"file({path})",
+    )
 
 
 def standard_families(scale: int = 1, seed: int = 0) -> list[Graph]:

@@ -99,6 +99,18 @@ class Graph:
 
         self.n = n
         self.name = name
+        self._install_edges(edge_arr, weight_arr)
+
+    def _install_edges(self, edge_arr: np.ndarray, weight_arr: np.ndarray) -> None:
+        """(Re)build every derived array from an undirected edge list.
+
+        Shared by :meth:`__init__` and :meth:`apply_delta`: the CSR arrays,
+        degree profiles, and every lazily built view are derived state, so
+        a topology change is one call to this method with the new edge
+        list.  Node count and identity never change here.
+        """
+        n = self.n
+        m = len(edge_arr)
         self.m = m
         self._edge_array = edge_arr
         self._edge_weights = weight_arr
@@ -327,6 +339,126 @@ class Graph:
                 return False
             parent[ru] = rv
         return True
+
+    # ------------------------------------------------------------------
+    # Dynamic topology
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta):
+        """Apply a batched edge churn event in place; returns a remap report.
+
+        ``delta`` is a :class:`~repro.dynamic.delta.GraphDelta` — edge
+        inserts and deletes batched into one topology event.  Deletions
+        match stored undirected edges by endpoint pair (orientation
+        irrelevant); listing the same pair twice deletes two parallel
+        edges, and deleting an absent edge raises :class:`GraphError`.
+        The CSR arrays, degree profiles, and every lazily built view are
+        rebuilt vectorized; node count and identity are unchanged (node
+        churn is out of scope — model an absent node as an isolated one).
+
+        The returned :class:`~repro.dynamic.delta.DeltaRemap` carries the
+        old→new directed-slot remap (``-1`` for slots of deleted edges) and
+        the set of *mutated* nodes — endpoints of any inserted or deleted
+        edge, exactly the nodes whose one-step sampling law changed.  That
+        set is what the pool-invalidation scan keys on: a recorded walk
+        step taken *from* a non-mutated node has the identical law on the
+        old and new graphs.
+
+        Mutating the topology invalidates everything derived from it that
+        lives *outside* this object (network edge-multiplicity tables, BFS
+        tree caches, pool quotas); driving that cascade is the
+        :class:`~repro.dynamic.controller.ChurnController`'s job.
+        """
+        from repro.dynamic.delta import DeltaRemap, GraphDelta
+
+        if not isinstance(delta, GraphDelta):
+            raise GraphError(f"apply_delta expects a GraphDelta, got {type(delta).__name__}")
+        n = self.n
+        ins = delta.insert_edges
+        dels = delta.delete_edges
+        for arr, what in ((ins, "insert"), (dels, "delete")):
+            if arr.size and (np.any(arr < 0) or np.any(arr >= n)):
+                raise GraphError(f"{what} edge endpoint out of range for n={n}")
+
+        old_edges = self._edge_array
+        old_m = self.m
+        # Match each requested deletion to a distinct stored undirected
+        # edge: sort both sides by the orientation-free key min·n+max, then
+        # the i-th occurrence of a key among the deletions claims the i-th
+        # stored edge with that key.
+        delete_ids = np.empty(0, dtype=np.int64)
+        if len(dels):
+            keys_old = np.minimum(old_edges[:, 0], old_edges[:, 1]) * n + np.maximum(
+                old_edges[:, 0], old_edges[:, 1]
+            )
+            keys_del = np.minimum(dels[:, 0], dels[:, 1]) * n + np.maximum(dels[:, 0], dels[:, 1])
+            order_old = np.argsort(keys_old, kind="stable")
+            sorted_old = keys_old[order_old]
+            sorted_del = np.sort(keys_del, kind="stable")
+            first = np.r_[True, sorted_del[1:] != sorted_del[:-1]]
+            starts = np.nonzero(first)[0]
+            occurrence = np.arange(len(sorted_del)) - starts[np.cumsum(first) - 1]
+            pos = np.searchsorted(sorted_old, sorted_del) + occurrence
+            bad = (pos >= old_m) | (sorted_old[np.minimum(pos, old_m - 1)] != sorted_del)
+            if bad.any():
+                key = int(sorted_del[np.nonzero(bad)[0][0]])
+                raise GraphError(
+                    f"cannot delete edge ({key // n}, {key % n}): not (or no longer) present"
+                )
+            delete_ids = order_old[pos]
+
+        keep = np.ones(old_m, dtype=bool)
+        keep[delete_ids] = False
+        new_edges = np.concatenate([old_edges[keep], ins]) if len(ins) else old_edges[keep]
+        insert_weights = (
+            delta.insert_weights
+            if delta.insert_weights is not None
+            else np.ones(len(ins), dtype=np.float64)
+        )
+        new_weights = np.concatenate([self._edge_weights[keep], insert_weights])
+        edge_id_map = np.full(old_m, -1, dtype=np.int64)
+        edge_id_map[keep] = np.arange(int(keep.sum()), dtype=np.int64)
+
+        # Snapshot the old slot identity (edge id + orientation side) before
+        # the rebuild clobbers it.
+        old_n_slots = self.n_slots
+        old_csr_edge = self.csr_edge
+        old_side = self.csr_source != old_edges[old_csr_edge, 0]
+
+        self._install_edges(new_edges, new_weights)
+
+        # Old slot (edge e, side s) → new slot: surviving edges keep their
+        # row orientation, so the pair survives verbatim under the new ids.
+        slot_of = np.full((max(1, self.m), 2), -1, dtype=np.int64)
+        if self.n_slots:
+            new_side = (self.csr_source != new_edges[self.csr_edge, 0]).astype(np.int64)
+            slot_of[self.csr_edge, new_side] = np.arange(self.n_slots, dtype=np.int64)
+        slot_remap = np.full(old_n_slots, -1, dtype=np.int64)
+        if old_n_slots:
+            survives = edge_id_map[old_csr_edge] >= 0
+            slot_remap[survives] = slot_of[
+                edge_id_map[old_csr_edge[survives]], old_side[survives].astype(np.int64)
+            ]
+
+        mutated = np.zeros(n, dtype=bool)
+        if len(dels):
+            mutated[old_edges[~keep].ravel()] = True
+        if len(ins):
+            mutated[ins.ravel()] = True
+        deleted = old_edges[~keep]
+        deleted_keys = (
+            np.sort(np.minimum(deleted[:, 0], deleted[:, 1]) * n + np.maximum(deleted[:, 0], deleted[:, 1]))
+            if len(deleted)
+            else np.empty(0, dtype=np.int64)
+        )
+        return DeltaRemap(
+            slot_remap=slot_remap,
+            mutated_nodes=np.nonzero(mutated)[0],
+            deleted_edge_keys=deleted_keys,
+            edges_deleted=int(len(dels)),
+            edges_inserted=int(len(ins)),
+            old_n_slots=int(old_n_slots),
+            new_n_slots=int(self.n_slots),
+        )
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self.n))

@@ -75,6 +75,14 @@ class ServePolicy:
         Master switch for per-shard admission: reject a request whose
         source's shard sits below watermark and cannot be refilled within
         the request's round budget.  Off, every submission queues.
+    speculative_prefetch:
+        Warm shards for *queued* work: each tick feeds the source shards
+        of tickets still waiting in the queue into
+        :meth:`~repro.engine.pool.PoolManager.note_demand`, so the
+        deadline-budgeted maintenance sweep refills the shards upcoming
+        cohorts will stitch through before those cohorts run.  Only the
+        refill *ordering* changes — never the amount of work — so with no
+        round budget the knob is a no-op.
     """
 
     max_queue_depth: int = 256
@@ -82,6 +90,7 @@ class ServePolicy:
     maintain_round_budget: int | None = None
     default_deadline: int | None = None
     admission_control: bool = True
+    speculative_prefetch: bool = True
 
 
 @dataclass
@@ -187,6 +196,9 @@ class SchedulerStats:
     serve_refill_rounds: int
     maintain_rounds: int
     rejects_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Shard-demand notes fed to the pool manager by speculative prefetch
+    #: (one per queued-but-unserviced ticket source shard per tick).
+    prefetch_shards_noted: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

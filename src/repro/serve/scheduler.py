@@ -127,6 +127,7 @@ class WalkScheduler:
         self._deadline_misses = 0
         self._walks_served = 0
         self._refill_calls = 0
+        self._prefetch_noted = 0
         self._rejects_by_reason: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -270,6 +271,7 @@ class WalkScheduler:
         if cohort:
             self._cohorts += 1
             refill_calls = self._service_cohort(cohort)
+        self._note_prefetch_demand()
         maintain = self.engine.maintain(round_budget=self.policy.maintain_round_budget)
         return TickReport(
             tick=self._ticks,
@@ -280,6 +282,29 @@ class WalkScheduler:
             maintain_rounds=maintain.rounds,
             deferred_shards=maintain.deferred_shards,
         )
+
+    def _note_prefetch_demand(self) -> None:
+        """Speculative prefetch: queue contents steer the maintenance order.
+
+        The tickets still waiting in the heap name exactly the shards the
+        *next* cohorts will stitch through; feeding them to
+        :meth:`~repro.engine.pool.PoolManager.note_demand` makes the
+        deadline-budgeted maintain about to run warm those shards first
+        (each queued walk counts as one token of extra urgency).  Pure
+        ordering pressure — the budget and refill amounts are untouched,
+        and demand expires with the sweep, so a drained queue stops
+        steering.
+        """
+        manager = self.engine.pool_manager
+        if not self.policy.speculative_prefetch or manager is None or not self._heap:
+            return
+        shards = [
+            manager.shard_of(s)
+            for _, _, ticket_id in self._heap
+            for s in self._tickets[ticket_id].request.sources
+        ]
+        manager.note_demand(shards)
+        self._prefetch_noted += len(shards)
 
     def drain(self, *, max_ticks: int = 100_000) -> list[WalkTicket]:
         """Tick until the queue is empty; returns every completed ticket."""
@@ -487,6 +512,7 @@ class WalkScheduler:
             serve_refill_rounds=ledger.phase_rounds("pool-refill/serve"),
             maintain_rounds=ledger.phase_rounds("pool-refill/maintain"),
             rejects_by_reason=dict(self._rejects_by_reason),
+            prefetch_shards_noted=self._prefetch_noted,
         )
 
     def __repr__(self) -> str:

@@ -10,7 +10,12 @@ from repro.walks.metropolis import (
 from repro.walks.naive import TokenWalkProtocol, naive_random_walk
 from repro.walks.params import WalkParams, many_walks_params, podc09_params, single_walk_params
 from repro.walks.podc09 import podc09_random_walk
-from repro.walks.regenerate import RegenerationResult, positions_by_node, regenerate_walk
+from repro.walks.regenerate import (
+    RegenerationResult,
+    positions_by_node,
+    regenerate_walk,
+    trajectory_from_positions,
+)
 from repro.walks.sample_destination import sample_destination
 from repro.walks.short_walks import perform_short_walks, token_counts
 from repro.walks.single_walk import WalkResult, estimate_diameter, single_random_walk, stitch_walk
@@ -40,6 +45,7 @@ __all__ = [
     "RegenerationResult",
     "positions_by_node",
     "regenerate_walk",
+    "trajectory_from_positions",
     "sample_destination",
     "perform_short_walks",
     "token_counts",

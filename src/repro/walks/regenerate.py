@@ -29,7 +29,12 @@ from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.errors import WalkError
 from repro.walks.single_walk import WalkResult
 
-__all__ = ["RegenerationResult", "regenerate_walk", "positions_by_node"]
+__all__ = [
+    "RegenerationResult",
+    "positions_by_node",
+    "regenerate_walk",
+    "trajectory_from_positions",
+]
 
 
 @dataclass
@@ -49,6 +54,31 @@ def positions_by_node(positions: np.ndarray) -> dict[int, list[int]]:
     for step, node in enumerate(positions):
         out.setdefault(int(node), []).append(step)
     return out
+
+
+def trajectory_from_positions(node_positions: dict[int, list[int]], length: int) -> np.ndarray:
+    """Rebuild the full trajectory from regenerated node-local knowledge.
+
+    The inverse of :func:`positions_by_node` — what a central observer can
+    reconstruct after regeneration, when every node knows exactly the
+    steps at which the walk visited it.  Raises when the claimed positions
+    do not tile ``0..length`` exactly (each step claimed by one node):
+    that is the correctness contract regeneration must deliver, and the
+    exactness tests rebuild walks through this to test the regenerated
+    knowledge itself rather than the original trajectory.
+    """
+    trajectory = np.full(length + 1, -1, dtype=np.int64)
+    for node, steps in node_positions.items():
+        for step in steps:
+            if not 0 <= step <= length:
+                raise WalkError(f"node {node} claims out-of-range step {step}")
+            if trajectory[step] != -1:
+                raise WalkError(f"step {step} claimed by nodes {trajectory[step]} and {node}")
+            trajectory[step] = node
+    missing = np.nonzero(trajectory == -1)[0]
+    if missing.size:
+        raise WalkError(f"no node claims step {int(missing[0])}")
+    return trajectory
 
 
 def regenerate_walk(

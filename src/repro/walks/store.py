@@ -124,6 +124,10 @@ class WalkStore:
         self._next_token_id = 0
         self.tokens_created = 0
         self.tokens_consumed = 0
+        # Tokens invalidated by graph churn rather than consumed by
+        # stitching — separate so serving telemetry stays honest about
+        # which tokens did useful work.
+        self.tokens_evicted = 0
 
     # ------------------------------------------------------------------
     # Creation / removal
@@ -365,8 +369,102 @@ class WalkStore:
         for row in np.nonzero(self._alive[: self._size])[0].tolist():
             yield self._materialize(row)
 
+    # ------------------------------------------------------------------
+    # Churn invalidation (see repro.dynamic)
+    # ------------------------------------------------------------------
+    def live_rows(self) -> np.ndarray:
+        """Row indices of every unused token, ascending (= creation order)."""
+        return np.nonzero(self._alive[: self._size])[0]
+
+    def find_invalid_rows(
+        self, mutated: np.ndarray, deleted_edge_keys: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Rows of live tokens whose recorded walk no longer has the right law.
+
+        ``mutated`` is a length-``n`` boolean mask of nodes whose one-step
+        transition law changed (endpoints of inserted/deleted edges);
+        ``deleted_edge_keys`` the sorted ``min·n + max`` keys of deleted
+        undirected edges.  A token is invalid when any of its recorded
+        steps was sampled *from* a mutated node, or any recorded hop
+        traverses a deleted edge (the latter is implied by the former —
+        both endpoints of a deleted edge are mutated — but is checked
+        explicitly so a caller passing only edge deletions still evicts
+        correctly).  Final positions are exempt: a token *resting* at a
+        mutated node sampled nothing there.
+
+        The scan is one vectorized pass per shared path matrix — no
+        per-token Python work, matching the store's columnar contract.
+        Tokens stored without paths cannot be scanned; callers hold the
+        pool-level policy for those (see
+        :meth:`~repro.engine.core.WalkEngine.apply_churn`).
+        """
+        size = self._size
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        alive = self._alive[:size]
+        batch_of = self._path_batch[:size]
+        hits: list[np.ndarray] = []
+        for b, matrix in enumerate(self._path_batches):
+            if matrix is None:
+                continue
+            rows = np.nonzero(alive & (batch_of == b))[0]
+            if not rows.size:
+                continue
+            paths = matrix[self._path_row[rows]]
+            lengths = self._len[rows]
+            # Column j holds a node iff j <= length; later columns are
+            # scratch — and in refill batches (np.empty matrices whose
+            # reservoir loop broke early) genuinely uninitialized memory,
+            # so they must be neutralized BEFORE any fancy indexing, not
+            # just masked out of the vote.
+            cols = np.arange(paths.shape[1], dtype=np.int64)[None, :]
+            paths = np.where(cols <= lengths[:, None], paths, 0)
+            # Column j is a step-from position iff j < length.
+            steps = cols < lengths[:, None]
+            bad = (mutated[paths] & steps).any(axis=1)
+            if deleted_edge_keys.size and paths.shape[1] > 1:
+                u, v = paths[:, :-1], paths[:, 1:]
+                keys = np.minimum(u, v) * n + np.maximum(u, v)
+                idx = np.searchsorted(deleted_edge_keys, keys)
+                found = (idx < deleted_edge_keys.size) & (
+                    deleted_edge_keys[np.minimum(idx, deleted_edge_keys.size - 1)] == keys
+                )
+                bad |= (found & steps[:, :-1]).any(axis=1)
+            hits.append(rows[bad])
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))
+
+    def evict_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Retire the given live rows in bulk; returns their source column.
+
+        The churn counterpart of :meth:`remove`: counts land in
+        ``tokens_evicted`` (not ``tokens_consumed`` — these tokens served
+        nothing), shared path matrices are freed once their last reference
+        dies, and each affected source's holder index is dropped wholesale
+        to rebuild lazily (bulk eviction would shred it entry by entry).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if not np.all(self._alive[rows]):
+            raise WalkError("evict_rows called on a token that is not live")
+        self._alive[rows] = False
+        sources = self._src[rows].copy()
+        for s, c in zip(*np.unique(sources, return_counts=True)):
+            self._count_by_source[int(s)] -= int(c)
+            self._index.pop(int(s), None)
+        batches = self._path_batch[rows]
+        batches = batches[batches >= 0]
+        for b, c in zip(*np.unique(batches, return_counts=True)):
+            self._batch_live[int(b)] -= int(c)
+            if self._batch_live[int(b)] == 0:
+                self._path_batches[int(b)] = None
+        self.tokens_evicted += int(rows.size)
+        return sources
+
     def total_unused(self) -> int:
-        return self.tokens_created - self.tokens_consumed
+        return self.tokens_created - self.tokens_consumed - self.tokens_evicted
 
     def __len__(self) -> int:
         return self.total_unused()
@@ -374,5 +472,5 @@ class WalkStore:
     def __repr__(self) -> str:
         return (
             f"WalkStore(unused={self.total_unused()}, created={self.tokens_created}, "
-            f"consumed={self.tokens_consumed})"
+            f"consumed={self.tokens_consumed}, evicted={self.tokens_evicted})"
         )

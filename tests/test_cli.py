@@ -41,6 +41,44 @@ class TestGraphSpecParser:
     def test_uppercase_family(self):
         assert parse_graph_spec("CYCLE:5").n == 5
 
+    def test_file_edge_list(self, tmp_path):
+        path = tmp_path / "toy.edges"
+        path.write_text(
+            "# a comment line\n"
+            "0 1\n"
+            "1 2   # trailing comment\n"
+            "\n"
+            "2 3\n"
+            "3 0\n"
+        )
+        g = parse_graph_spec(f"file:{path}")
+        assert g.n == 4 and g.m == 4
+        assert not g.is_weighted
+        assert sorted(tuple(sorted(e)) for e in g.edges()) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_file_edge_list_weighted(self, tmp_path):
+        path = tmp_path / "weighted.edges"
+        path.write_text("0 1 2.5\n1 2\n")  # partially weighted: rest default 1.0
+        g = parse_graph_spec(f"file:{path}")
+        assert g.is_weighted
+        assert g.weighted_degree(1) == 3.5
+
+    def test_file_edge_list_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="file needs a path"):
+            parse_graph_spec("file:")
+        with pytest.raises(ValueError, match="bad graph spec"):
+            parse_graph_spec(f"file:{tmp_path / 'missing.edges'}")
+        bad = tmp_path / "bad.edges"
+        bad.write_text("0 1 2 3\n")
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="expected 'u v"):
+            parse_graph_spec(f"file:{bad}")
+        empty = tmp_path / "empty.edges"
+        empty.write_text("# nothing\n")
+        with pytest.raises(GraphError, match="no edges"):
+            parse_graph_spec(f"file:{empty}")
+
     def test_unknown_family(self):
         with pytest.raises(ValueError, match="unknown graph family"):
             parse_graph_spec("mobius:5")
@@ -123,6 +161,42 @@ class TestCommands:
         assert "p50/p99 rounds per request" in out
         assert "deadline misses" in out
 
+    def test_walk_on_file_graph(self, capsys, tmp_path):
+        # The whole CLI surface runs on real edge-list files, not just
+        # generator specs.
+        path = tmp_path / "torus.edges"
+        from repro.graphs import torus_graph
+
+        path.write_text("".join(f"{u} {v}\n" for u, v in torus_graph(4, 4).edges()))
+        code = main(["walk", "--graph", f"file:{path}", "--length", "64", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SINGLE-RANDOM-WALK" in out and "n=16" in out
+
+    def test_serve_with_churn(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "open",
+                "--rate", "2", "--ticks", "5", "--k", "1",
+                "--length", "96", "--seed", "4",
+                "--churn-delete-rate", "1", "--churn-insert-rate", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "churn events" in out
+        assert "tokens regenerated (churn)" in out
+
+    def test_serve_churn_requires_open_loop(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "closed",
+                "--churn-delete-rate", "1",
+            ]
+        )
+        assert code == 2
+        assert "needs --loop open" in capsys.readouterr().err
+
     def test_serve_closed_loop(self, capsys):
         code = main(
             [
@@ -202,6 +276,23 @@ class TestJsonOutput:
         engine = payload["engine"]
         assert engine["serve"] == sched  # surfaced through EngineStats
         assert engine["rounds"] > 0
+
+    def test_serve_churn_json(self, capsys):
+        code = main(
+            [
+                "serve", "--graph", "torus:8x8", "--loop", "open",
+                "--rate", "2", "--ticks", "5", "--k", "1",
+                "--length", "96", "--seed", "4", "--json",
+                "--churn-delete-rate", "1", "--churn-insert-rate", "1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["churn"], "five ticks at rate 1+1 should churn"
+        event = payload["churn"][0]
+        assert event["edges_inserted"] + event["edges_deleted"] >= 1
+        engine = payload["engine"]
+        assert engine["churn_events"] == len(payload["churn"])
 
     def test_mixing_json(self, capsys):
         code = main(

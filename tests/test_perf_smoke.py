@@ -19,6 +19,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
+import bench_churn  # noqa: E402
 import bench_many_walks  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
 import bench_serve  # noqa: E402
@@ -141,6 +142,36 @@ class TestBenchHarnessSmoke:
             assert row["request_rounds_after"] < row["request_rounds_before"], row
             if row["k"] == 64:
                 assert row["rounds_speedup"] > 2.0, row
+
+    def test_incremental_churn_beats_rebuild_live(self):
+        # Live tier-1 guard for the PR-5 churn subsystem: absorbing a 1%
+        # edge-churn delta through the incremental invalidate+regenerate
+        # path must cost strictly fewer simulated rounds than discarding
+        # the pool and re-running Phase 1.  Simulated rounds are
+        # deterministic — no wall-clock flake risk.
+        section = bench_churn.bench_churn(**bench_churn.QUICK_CHURN)
+        row = section["rows"][0]
+        assert 0 < row["tokens_evicted"] < row["tokens_before"], row
+        assert row["incremental_rounds"] < row["rebuild_rounds"], row
+        assert row["rounds_speedup"] >= 1.5, row
+
+    def test_committed_graph_churn_section(self):
+        # The PR-5 acceptance bar: on the committed n=10k sweep the
+        # incremental path beats the naive discard-and-re-prepare baseline
+        # by >= 2x simulated rounds at 1% edge churn (and wins at every
+        # recorded churn level).
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("graph_churn")
+        assert section is not None, "run benchmarks/bench_churn.py to regenerate"
+        assert section["schema"] == "bench_graph_churn/v1"
+        assert section["n"] == 10_000
+        fractions = {row["churn_fraction"] for row in section["rows"]}
+        assert 0.01 in fractions
+        for row in section["rows"]:
+            assert row["tokens_evicted"] < row["tokens_before"], row
+            assert row["incremental_rounds"] < row["rebuild_rounds"], row
+            if row["churn_fraction"] == 0.01:
+                assert row["rounds_speedup"] >= 2.0, row
 
     def test_committed_engine_reuse_section(self):
         # bench_engine_reuse.py appends this section; the committed numbers

@@ -7,8 +7,16 @@ import pytest
 
 from repro.congest import Network
 from repro.errors import WalkError
-from repro.graphs import hypercube_graph
-from repro.walks import naive_random_walk, positions_by_node, regenerate_walk, single_random_walk
+from repro.graphs import complete_graph, hypercube_graph
+from repro.markov import WalkSpectrum
+from repro.util.stats import chi_square_goodness_of_fit
+from repro.walks import (
+    naive_random_walk,
+    positions_by_node,
+    regenerate_walk,
+    single_random_walk,
+    trajectory_from_positions,
+)
 
 
 class TestPositionsByNode:
@@ -58,6 +66,43 @@ class TestRegenerate:
         regen = regenerate_walk(net, res)
         assert regen.rounds == 0
         assert sum(len(v) for v in regen.node_positions.values()) == 101
+
+    def test_trajectory_reconstruction_roundtrip(self, torus_6x6):
+        net = Network(torus_6x6, seed=6)
+        res = single_random_walk(torus_6x6, 0, 250, seed=6, network=net)
+        regen = regenerate_walk(net, res)
+        rebuilt = trajectory_from_positions(regen.node_positions, res.length)
+        assert np.array_equal(rebuilt, res.positions)
+
+    def test_trajectory_reconstruction_rejects_inconsistent_claims(self):
+        with pytest.raises(WalkError, match="claimed by nodes"):
+            trajectory_from_positions({1: [0], 2: [0, 1]}, 1)
+        with pytest.raises(WalkError, match="no node claims"):
+            trajectory_from_positions({1: [0]}, 1)
+        with pytest.raises(WalkError, match="out-of-range"):
+            trajectory_from_positions({1: [5]}, 1)
+
+    def test_regenerated_law_chi_square(self):
+        # Exactness of regeneration *on its own*: sample many stitched
+        # walks, regenerate each, and rebuild the walk purely from the
+        # regenerated node-local knowledge.  The endpoint read off the
+        # reconstruction (never the original trajectory) must follow the
+        # exact P^l law — a wrong offset bookkeeping, a dropped segment,
+        # or a mis-replayed hop would shift the reconstructed endpoint and
+        # fail hard.
+        g = complete_graph(6)
+        length = 40
+        dist = WalkSpectrum(g).distribution(0, length)
+        endpoints = []
+        for seed in range(300):
+            net = Network(g, seed=seed)
+            res = single_random_walk(g, 0, length, seed=seed, network=net)
+            regen = regenerate_walk(net, res)
+            rebuilt = trajectory_from_positions(regen.node_positions, length)
+            endpoints.append(int(rebuilt[length]))
+        observed = {v: endpoints.count(v) for v in set(endpoints)}
+        expected = {v: float(dist[v]) for v in range(g.n) if dist[v] > 1e-12}
+        assert not chi_square_goodness_of_fit(observed, expected).rejects_at(1e-4)
 
     def test_requires_recorded_paths(self, torus_6x6):
         net = Network(torus_6x6, seed=5)
