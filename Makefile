@@ -4,7 +4,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults
 
 test:
 	$(PY) -m pytest -x -q
@@ -34,3 +34,6 @@ bench-serve:
 
 bench-churn:
 	$(PY) benchmarks/bench_churn.py
+
+bench-faults:
+	$(PY) benchmarks/bench_faults.py

@@ -225,9 +225,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rng = make_rng(args.seed + 1)
     churn_reports = []
     churning = args.churn_delete_rate > 0 or args.churn_insert_rate > 0
+    faulty = args.crash_rate > 0
     if churning and args.loop != "open":
         raise ValueError("--churn-*-rate needs --loop open (churn interleaves with ticks)")
-    if churning:
+    if faulty and args.loop != "open":
+        raise ValueError("--crash-rate needs --loop open (faults interleave with ticks)")
+    if faulty and churning:
+        raise ValueError("--crash-rate and --churn-*-rate are mutually exclusive")
+    if faulty:
+        from repro.serve import run_fault_loop
+
+        run_fault_loop(
+            scheduler,
+            spec,
+            rng,
+            crash_rate=args.crash_rate,
+            recover_after=args.recover_after,
+            ticks=args.ticks,
+            rate=args.rate,
+            fault_seed=args.fault_seed if args.fault_seed is not None else args.seed + 2,
+        )
+    elif churning:
         from repro.dynamic import ChurnSpec, run_churn_loop
 
         churn = ChurnSpec(
@@ -275,6 +293,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("tokens evicted (churn)", est.churn_tokens_evicted),
                 ("tokens regenerated (churn)", est.churn_tokens_regenerated),
                 ("churn refill rounds", est.phase_rounds.get("pool-refill/churn", 0)),
+            ]
+        )
+    if faulty:
+        rows.extend(
+            [
+                ("crashes / recoveries", f"{stats.crashes_seen}/{stats.recoveries_seen}"),
+                ("walks recovered / restarted", f"{stats.walks_recovered}/{stats.walks_restarted}"),
+                ("recovery rounds", stats.recovery_rounds),
+                ("ticket retries (never dropped)", stats.ticket_retries),
+                ("backoff waits", stats.backoff_waits),
             ]
         )
     print(
@@ -451,6 +479,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="round budget per churn regeneration sweep (default: restore fully)",
+    )
+    serve.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="open loop: expected crash events per node over the run "
+        "(seeded crash/recover schedule; requests are retried, never dropped)",
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the crash/recover fault schedule (default: derived from --seed)",
+    )
+    serve.add_argument(
+        "--recover-after",
+        type=int,
+        default=256,
+        help="rounds a crashed node stays down before its scheduled recovery",
     )
     serve.add_argument("--deadline", type=int, default=None, help="round budget per request")
     serve.add_argument(

@@ -1,6 +1,14 @@
 """CONGEST-model substrate: engine, messages, ledger, and tree primitives."""
 
-from repro.congest.faults import LossyNetwork, ReliableTokenWalkProtocol, reliable_walk
+from repro.congest.faults import (
+    FaultSchedule,
+    FaultStep,
+    FaultyNetwork,
+    LossyNetwork,
+    OmissionWindow,
+    ReliableTokenWalkProtocol,
+    reliable_walk,
+)
 from repro.congest.ledger import LedgerSnapshot, PhaseStats, RoundLedger
 from repro.congest.message import Message
 from repro.congest.network import Network
@@ -17,7 +25,11 @@ from repro.congest.primitives import (
 from repro.congest.protocol import Protocol, ProtocolAPI
 
 __all__ = [
+    "FaultSchedule",
+    "FaultStep",
+    "FaultyNetwork",
     "LossyNetwork",
+    "OmissionWindow",
     "ReliableTokenWalkProtocol",
     "reliable_walk",
     "PipelinedUpcastProtocol",

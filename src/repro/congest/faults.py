@@ -1,27 +1,50 @@
-"""Fault injection: lossy links and reliable token forwarding.
+"""Fault injection: node crashes, omission windows, lossy links.
 
 The paper closes (§5) with: "from a practical standpoint, it is important
 to develop algorithms that are robust to failures and it would be nice to
-extend our techniques to handle such node/edge failures."  This module
-provides the substrate for that extension and one concrete robust
-algorithm:
+extend our techniques to handle such node/edge failures."  This module is
+that substrate — three failure models plus one concrete robust algorithm:
 
-* :class:`LossyNetwork` — a :class:`~repro.congest.network.Network` whose
-  links drop each delivered message independently with probability ``p``
-  (crash-free but lossy links, the classic first failure model).  Only
-  event-driven traffic is subject to loss — batch-charged fast paths model
-  algorithms already proven, so fault experiments should run protocols.
+* :class:`FaultSchedule` — a deterministic, replayable script of node
+  **crash-stop** and **crash-recover** events plus **omission windows** on
+  individual links.  Schedules come from explicit event lists or from the
+  seeded :meth:`FaultSchedule.sample` generator (adversarial membership
+  churn in the style of routing-simulator fault scripts): same seed, same
+  schedule, bit-for-bit.
+* :class:`FaultyNetwork` — a :class:`~repro.congest.network.Network` that
+  tracks per-node liveness and *silently* stops delivering any message
+  sent by, addressed to, or routed over a crashed node or an omitting
+  link.  Crashes are silent exactly as in the crash-stop model: senders
+  learn nothing; detection is the algorithm's problem.  The schedule's
+  node events fire automatically as the round counter passes them during
+  protocol runs.
+* :class:`LossyNetwork` — links drop each delivered message independently
+  with probability ``p`` (crash-free but lossy links, the classic first
+  failure model).
+
+Only event-driven traffic is subject to loss/crash filtering — the
+batch-charged fast paths model algorithms already proven correct, so the
+*engine-level* crash story (pool eviction, in-flight walk recovery,
+``serve/recovery`` charging) lives in :mod:`repro.engine.faults`, which
+consumes the same :class:`FaultSchedule` and models a crashed node as an
+isolated one via :meth:`~repro.graphs.graph.Graph.apply_delta`.
+
 * :class:`ReliableTokenWalkProtocol` — the naive walk made loss-tolerant
   with per-hop acknowledgements and timeout retransmission.  Crucially the
   retransmitted hop re-sends the *same* sampled neighbor, so reliability
   does not bias the walk's law: the endpoint distribution remains exactly
   ``P^ℓ`` (chi-square-verified in ``tests/test_faults.py``), only the
   round count inflates by ≈ ``1/(1−p)²`` (token and ack must both survive).
+  The engine's suffix recovery reuses this sampling-once discipline:
+  recovery replays already-sampled prefixes, never resamples them.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.congest.message import Message
 from repro.congest.network import Network
@@ -30,7 +53,314 @@ from repro.errors import ProtocolError
 from repro.graphs.graph import Graph
 from repro.util.rng import make_rng
 
-__all__ = ["LossyNetwork", "ReliableTokenWalkProtocol"]
+__all__ = [
+    "FaultSchedule",
+    "FaultStep",
+    "FaultyNetwork",
+    "LossyNetwork",
+    "OmissionWindow",
+    "ReliableTokenWalkProtocol",
+]
+
+
+@dataclass(frozen=True)
+class FaultStep:
+    """One batch of node fault events firing at a simulated round.
+
+    ``crash`` nodes stop at ``at_round``: they deliver nothing, forward
+    nothing, and (at the engine level) lose all resident walk state.
+    ``recover`` nodes rejoin with their former incident edges but blank
+    memory.  A node may not crash and recover in the same step.
+    """
+
+    at_round: int
+    crash: tuple[int, ...] = ()
+    recover: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at_round < 0:
+            raise ProtocolError(f"fault step round must be >= 0, got {self.at_round}")
+        crash = tuple(int(v) for v in self.crash)
+        recover = tuple(int(v) for v in self.recover)
+        object.__setattr__(self, "crash", crash)
+        object.__setattr__(self, "recover", recover)
+        if set(crash) & set(recover):
+            raise ProtocolError("a node cannot crash and recover in the same step")
+        if not crash and not recover:
+            raise ProtocolError("a fault step must name at least one node event")
+
+
+@dataclass(frozen=True)
+class OmissionWindow:
+    """Link ``{u, v}`` silently drops every message during ``[start, end)``."""
+
+    u: int
+    v: int
+    start_round: int
+    end_round: int
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ProtocolError("omission window needs two distinct endpoints")
+        if not 0 <= self.start_round < self.end_round:
+            raise ProtocolError(
+                f"omission window needs 0 <= start < end, got "
+                f"[{self.start_round}, {self.end_round})"
+            )
+
+    def covers(self, u: int, v: int, at_round: int) -> bool:
+        if {u, v} != {self.u, self.v}:
+            return False
+        return self.start_round <= at_round < self.end_round
+
+
+def _live_graph_connected(graph: Graph, dead: np.ndarray) -> bool:
+    """BFS connectivity of the subgraph induced on the live (non-dead) nodes."""
+    live = ~dead
+    total = int(live.sum())
+    if total <= 1:
+        return True
+    start = int(np.argmax(live))
+    visited = np.zeros(graph.n, dtype=bool)
+    visited[start] = True
+    frontier = np.array([start], dtype=np.int64)
+    reached = 1
+    while frontier.size and reached < total:
+        starts = graph.indptr[frontier]
+        counts = graph.indptr[frontier + 1] - starts
+        width = int(counts.sum())
+        if width == 0:
+            break
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        slots = np.repeat(starts - offsets, counts) + np.arange(width)
+        targets = graph.csr_target[slots]
+        targets = targets[live[targets]]
+        fresh = np.unique(targets[~visited[targets]])
+        visited[fresh] = True
+        reached += int(fresh.size)
+        frontier = fresh
+    return reached == total
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A replayable script of crash/recover node events and link omissions.
+
+    ``steps`` are kept sorted by ``at_round`` (stable for ties) and fire
+    when a consumer's round counter passes them — the
+    :class:`FaultyNetwork` applies them during protocol runs, and
+    :class:`repro.engine.faults.FaultController` applies them to a serving
+    session.  The schedule itself is immutable and carries no cursor, so
+    one schedule object can drive any number of replays.
+    """
+
+    steps: tuple[FaultStep, ...] = ()
+    omissions: tuple[OmissionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        steps = tuple(sorted(self.steps, key=lambda s: s.at_round))
+        object.__setattr__(self, "steps", steps)
+        object.__setattr__(self, "omissions", tuple(self.omissions))
+        crashed: set[int] = set()
+        for step in steps:
+            for v in step.recover:
+                if v not in crashed:
+                    raise ProtocolError(
+                        f"step at round {step.at_round} recovers node {v}, "
+                        "which is not crashed at that point"
+                    )
+                crashed.discard(v)
+            for v in step.crash:
+                if v in crashed:
+                    raise ProtocolError(
+                        f"step at round {step.at_round} crashes node {v} twice"
+                    )
+                crashed.add(v)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.steps and not self.omissions
+
+    @property
+    def num_crashes(self) -> int:
+        return sum(len(s.crash) for s in self.steps)
+
+    @property
+    def num_recoveries(self) -> int:
+        return sum(len(s.recover) for s in self.steps)
+
+    def link_omitted(self, u: int, v: int, at_round: int) -> bool:
+        """Is link ``{u, v}`` inside an omission window at ``at_round``?"""
+        return any(w.covers(u, v, at_round) for w in self.omissions)
+
+    def recovery_pending(self, node: int, *, after_index: int = 0) -> bool:
+        """Will ``node`` recover in any step from ``after_index`` on?
+
+        The engine uses this to distinguish a transient crash (park the
+        walk, wait) from a permanent crash-stop (fail loudly rather than
+        spin forever).
+        """
+        return any(node in s.recover for s in self.steps[after_index:])
+
+    @classmethod
+    def sample(
+        cls,
+        graph: Graph,
+        *,
+        crashes: int,
+        start_round: int,
+        end_round: int,
+        recover_after: int | None,
+        seed=None,
+        protect: Sequence[int] = (),
+        preserve_connectivity: bool = True,
+    ) -> "FaultSchedule":
+        """Draw a seeded crash/recover schedule for ``graph``.
+
+        ``crashes`` crash events land at rng-uniform rounds in
+        ``[start_round, end_round)``; each crashed node recovers
+        ``recover_after`` rounds later (``None`` for crash-stop: no
+        recovery).  Victims are drawn uniformly among nodes that are live
+        at the event time and not in ``protect``; with
+        ``preserve_connectivity`` a victim whose removal would disconnect
+        the surviving live subgraph is skipped (re-drawn), mirroring
+        :func:`repro.dynamic.workload.sample_churn_delta`.  The realized
+        crash count can fall short of ``crashes`` on graphs with few
+        removable nodes — the schedule records what was actually sampled.
+        Same seed, same graph: identical schedule.
+        """
+        if crashes < 0:
+            raise ProtocolError(f"crashes must be >= 0, got {crashes}")
+        if crashes and not start_round < end_round:
+            raise ProtocolError("need start_round < end_round to place crash events")
+        if recover_after is not None and recover_after < 1:
+            raise ProtocolError(f"recover_after must be >= 1, got {recover_after}")
+        if crashes == 0:
+            return cls()
+        rng = make_rng(seed)
+        n = graph.n
+        protected = np.zeros(n, dtype=bool)
+        if len(protect):
+            protected[np.asarray(list(protect), dtype=np.int64)] = True
+        crash_rounds = np.sort(rng.integers(start_round, end_round, size=crashes))
+        dead = np.zeros(n, dtype=bool)
+        pending_recovers: list[tuple[int, int]] = []  # (round, node), kept sorted
+        events: dict[int, dict[str, list[int]]] = {}
+
+        def note(at_round: int, kind: str, node: int) -> None:
+            events.setdefault(int(at_round), {"crash": [], "recover": []})[kind].append(node)
+
+        for r in crash_rounds:
+            r = int(r)
+            while pending_recovers and pending_recovers[0][0] <= r:
+                rec_round, node = pending_recovers.pop(0)
+                dead[node] = False
+                note(rec_round, "recover", node)
+            candidates = np.flatnonzero(~dead & ~protected)
+            if candidates.size == 0:
+                continue
+            victim = -1
+            for v in rng.permutation(candidates):
+                dead[v] = True
+                if not preserve_connectivity or _live_graph_connected(graph, dead):
+                    victim = int(v)
+                    break
+                dead[v] = False
+            if victim < 0:
+                continue  # every candidate would disconnect the live graph
+            note(r, "crash", victim)
+            if recover_after is not None:
+                pending_recovers.append((r + recover_after, victim))
+                pending_recovers.sort()
+        for rec_round, node in pending_recovers:
+            note(rec_round, "recover", node)
+        steps = tuple(
+            FaultStep(at_round=r, crash=tuple(ev["crash"]), recover=tuple(ev["recover"]))
+            for r, ev in sorted(events.items())
+            if ev["crash"] or ev["recover"]
+        )
+        return cls(steps=steps)
+
+
+class FaultyNetwork(Network):
+    """A network with crash-stop/crash-recover nodes and omitting links.
+
+    Liveness is a per-node boolean surface (:meth:`is_live`,
+    :attr:`live_mask`).  Delivery filtering is *silent*: a message whose
+    sender or receiver is crashed at delivery time — or whose link sits in
+    an omission window — consumed its bandwidth slot but never arrives,
+    and nobody is told.  During :meth:`~Network.run` the attached
+    schedule's node events fire automatically as rounds pass; callers
+    driving liveness by hand (the engine's fault controller) use
+    :meth:`mark_crashed` / :meth:`mark_recovered` directly.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        schedule: FaultSchedule | None = None,
+        capacity: int = 1,
+        max_words: int = 8,
+        seed=None,
+    ) -> None:
+        super().__init__(graph, capacity=capacity, max_words=max_words, seed=seed)
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self._live = np.ones(graph.n, dtype=bool)
+        self._step_cursor = 0
+        self.crashes_seen = 0
+        self.recoveries_seen = 0
+        self.messages_lost_to_crashes = 0
+        self.messages_omitted = 0
+
+    # -- liveness surface ----------------------------------------------
+    @property
+    def live_mask(self) -> np.ndarray:
+        """Per-node liveness (read-only view; True = live)."""
+        view = self._live.view()
+        view.flags.writeable = False
+        return view
+
+    def is_live(self, v: int) -> bool:
+        return bool(self._live[v])
+
+    @property
+    def crashed_nodes(self) -> tuple[int, ...]:
+        return tuple(int(v) for v in np.flatnonzero(~self._live))
+
+    def mark_crashed(self, nodes: Sequence[int]) -> None:
+        for v in nodes:
+            if self._live[v]:
+                self._live[v] = False
+                self.crashes_seen += 1
+
+    def mark_recovered(self, nodes: Sequence[int]) -> None:
+        for v in nodes:
+            if not self._live[v]:
+                self._live[v] = True
+                self.recoveries_seen += 1
+
+    # -- delivery filtering --------------------------------------------
+    def _advance_schedule(self) -> None:
+        steps = self.schedule.steps
+        while self._step_cursor < len(steps) and steps[self._step_cursor].at_round <= self.rounds:
+            step = steps[self._step_cursor]
+            self.mark_crashed(step.crash)
+            self.mark_recovered(step.recover)
+            self._step_cursor += 1
+
+    def _deliver_one_round(self) -> list[Message]:
+        self._advance_schedule()
+        delivered = super()._deliver_one_round()
+        survivors: list[Message] = []
+        for msg in delivered:
+            if not (self._live[msg.src] and self._live[msg.dst]):
+                self.messages_lost_to_crashes += 1
+            elif self.schedule.link_omitted(msg.src, msg.dst, self.rounds):
+                self.messages_omitted += 1
+            else:
+                survivors.append(msg)
+        return survivors
 
 
 class LossyNetwork(Network):

@@ -79,6 +79,11 @@ class Network:
         self.max_words = max_words
         self.rng = make_rng(seed)
         self.ledger = RoundLedger()
+        # Telemetry: total retransmissions reported by protocols run on
+        # this network (protocols expose a `retransmissions` counter, e.g.
+        # ReliableTokenWalkProtocol); aggregated here so engine/scheduler
+        # stats can surface them without holding protocol objects.
+        self.retransmissions_seen = 0
         # FIFO queue per directed edge, keyed by (src, dst).  Multi-edges
         # between the same pair pool their bandwidth, which matches the
         # multigraph-bandwidth equivalence used in Section 3.2.
@@ -318,6 +323,7 @@ class Network:
             for node in sorted(inbox):
                 protocol.on_receive(api, node, inbox[node])
             self._enqueue(api.drain_outbox())
+        self.retransmissions_seen += int(getattr(protocol, "retransmissions", 0))
         return self.rounds - start_round
 
     def _enqueue(self, messages: list[Message]) -> None:

@@ -127,13 +127,17 @@ class BfsFloodProtocol(Protocol):
         return BfsTree(root=self.root, parent=parent, depth=depth, children=children)
 
 
-def _vectorized_bfs(graph: Graph, root: int) -> tuple[np.ndarray, np.ndarray]:
+def _vectorized_bfs(
+    graph: Graph, root: int, *, allow_unreached: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
     """CSR frontier BFS: ``(depth, parent)`` with lowest-ID parent ties.
 
     Matches :class:`BfsFloodProtocol` exactly — a node's parent is the
     lowest-ID neighbor one level closer to the root (the flood's first-round
     tie-break).  Raises :class:`ProtocolError` on disconnected graphs with
-    the protocol's message.
+    the protocol's message, unless ``allow_unreached`` (the crash-recovery
+    regime, where crashed nodes are isolated by construction) — unreached
+    nodes then keep depth ``-1`` and stay out of the tree.
     """
     n = graph.n
     depth = np.full(n, -1, dtype=np.int64)
@@ -170,7 +174,7 @@ def _vectorized_bfs(graph: Graph, root: int) -> tuple[np.ndarray, np.ndarray]:
         level += 1
         depth[frontier] = level
         reached += int(frontier.size)
-    if reached != n:
+    if reached != n and not allow_unreached:
         raise ProtocolError(f"BFS reached {reached}/{n} nodes; graph must be connected")
     return depth, parent
 
@@ -202,6 +206,7 @@ def build_bfs_tree(
     *,
     cache: dict[int, BfsTree] | None = None,
     use_protocol: bool = False,
+    allow_unreached: bool = False,
 ) -> BfsTree:
     """Build (or recall) the BFS tree rooted at ``root``, charging rounds.
 
@@ -218,6 +223,11 @@ def build_bfs_tree(
     With a ``cache`` dict, the first call per root computes and records the
     exact cost; later calls charge the same recorded cost without
     recomputing.
+
+    ``allow_unreached`` (vectorized path only) tolerates unreachable
+    nodes — the crash-recovery regime where crashed nodes are isolated by
+    construction.  Unreached nodes carry depth ``-1`` and join no
+    children list; callers must not route to or through them.
     """
     if cache is not None and root in cache:
         tree = cache[root]
@@ -233,14 +243,15 @@ def build_bfs_tree(
         tree.build_messages = network.messages_sent - messages_before
     else:
         graph = network.graph
-        depth, parent = _vectorized_bfs(graph, root)
+        depth, parent = _vectorized_bfs(graph, root, allow_unreached=allow_unreached)
         rounds, messages = _flood_cost(graph, root, depth)
         if rounds:
             network.ledger.charge(rounds, messages=messages, congestion=1)
         children: list[list[int]] = [[] for _ in range(graph.n)]
         parent_list = parent.tolist()
+        depth_list = depth.tolist()
         for v, p in enumerate(parent_list):
-            if v != root:
+            if v != root and depth_list[v] >= 0:
                 children[p].append(v)
         tree = BfsTree(
             root=root,

@@ -27,9 +27,12 @@ from repro.engine.pool import MaintenanceReport, PoolManager, PoolShard
 __all__ = [
     "ALGORITHMS",
     "EngineStats",
+    "FaultController",
+    "FaultReport",
     "MaintenanceReport",
     "PoolManager",
     "PoolShard",
+    "RECOVERY_PHASE",
     "ResultBase",
     "WalkRequest",
     "WalkEngine",
@@ -37,6 +40,7 @@ __all__ = [
 ]
 
 _LAZY = {"WalkEngine", "Phase1Pool"}
+_LAZY_FAULTS = {"FaultController", "FaultReport", "RECOVERY_PHASE"}
 
 
 def __getattr__(name: str):
@@ -44,8 +48,12 @@ def __getattr__(name: str):
         from repro.engine import core
 
         return getattr(core, name)
+    if name in _LAZY_FAULTS:
+        from repro.engine import faults
+
+        return getattr(faults, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list[str]:
-    return sorted(set(globals()) | _LAZY)
+    return sorted(set(globals()) | _LAZY | _LAZY_FAULTS)

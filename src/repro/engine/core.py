@@ -57,7 +57,7 @@ from repro.walks.metropolis import _run_metropolis_walk
 from repro.walks.naive import _run_naive_walk
 from repro.walks.params import WalkParams, many_walks_params, single_walk_params
 from repro.walks.podc09 import _run_podc09_walk
-from repro.walks.regenerate import RegenerationResult, regenerate_walk
+from repro.walks.regenerate import RegenerationResult, regenerate_walk, replay_segments
 from repro.walks.short_walks import perform_short_walks, token_counts
 from repro.walks.single_walk import (
     WalkResult,
@@ -202,6 +202,7 @@ class WalkEngine:
         self._background_refill_tokens = 0
         self._scheduler = None  # attached repro.serve.WalkScheduler, if any
         self._churn = None  # lazily attached repro.dynamic.ChurnController
+        self._faults = None  # attached repro.engine.faults.FaultController
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -216,7 +217,12 @@ class WalkEngine:
         """Shard/watermark manager of the current pool (``None`` when cold)."""
         return self._pool_manager
 
-    def maintain(self, *, round_budget: int | None = None) -> MaintenanceReport:
+    def maintain(
+        self,
+        *,
+        round_budget: int | None = None,
+        exclude_shards=None,
+    ) -> MaintenanceReport:
         """One background refill sweep: top up shards below watermark.
 
         Batches GET-MORE-WALKS for all depleted shards' sources into a
@@ -231,13 +237,20 @@ class WalkEngine:
         first, and shards whose estimated sweep cost exceeds the budget are
         deferred to a later call (see
         :meth:`~repro.engine.pool.PoolManager.maintain`).
+
+        ``exclude_shards`` skips named shards this sweep without refilling
+        them, reporting them deferred instead — how the serving scheduler
+        backs off from shards whose refills stall on crashed nodes while
+        the rest of the pool keeps its watermarks.
         """
         manager = self._pool_manager
         if manager is None:
             return MaintenanceReport(
                 swept=False, shards_refilled=(), sources_refilled=0, tokens_added=0, rounds=0
             )
-        report = manager.maintain(self.network, self.rng, round_budget=round_budget)
+        report = manager.maintain(
+            self.network, self.rng, round_budget=round_budget, exclude_shards=exclude_shards
+        )
         self._background_refill_tokens += report.tokens_added
         return report
 
@@ -263,6 +276,43 @@ class WalkEngine:
         if self._churn is None:
             self._churn = ChurnController(self)
         return self._churn.apply(delta, round_budget=round_budget)
+
+    @property
+    def faults(self):
+        """The attached :class:`~repro.engine.faults.FaultController`, if any."""
+        return self._faults
+
+    def attach_faults(self, schedule=None):
+        """Attach a crash-fault schedule to this session (see :mod:`repro.engine.faults`).
+
+        ``schedule`` is a :class:`~repro.congest.faults.FaultSchedule` (or
+        ``None`` for an empty one driven purely through
+        :meth:`apply_faults`).  Scheduled steps fire lazily: the engine's
+        interleaved sweeps and the serving scheduler's ticks poll the
+        controller as the session's round counter passes each step's
+        ``at_round``.  Attaching replaces any previous controller.
+        """
+        from repro.engine.faults import FaultController
+
+        self._faults = FaultController(self, schedule)
+        return self._faults
+
+    def apply_faults(self, schedule_step, *, round_budget: int | None = None):
+        """Apply one :class:`~repro.congest.faults.FaultStep` immediately.
+
+        The ad-hoc injection path (mirror of :meth:`apply_churn`): crashes
+        delete the victims' incident edges, evict pooled tokens whose
+        recorded law died *or* that were resident at a crashed node, and
+        regenerate the affected shards; recoveries re-insert the saved
+        edges with their saved weights and re-admit the nodes to quota.
+        All recovery work bills to ``"serve/recovery"``.  Returns a
+        :class:`~repro.engine.faults.FaultReport`.
+        """
+        from repro.engine.faults import FaultController
+
+        if self._faults is None:
+            self._faults = FaultController(self)
+        return self._faults.apply_step(schedule_step, round_budget=round_budget)
 
     def scheduler(self, **policy):
         """Attach a :class:`~repro.serve.WalkScheduler` to this session.
@@ -304,7 +354,9 @@ class WalkEngine:
         root = 0 if source_hint is None else source_hint
         if not 0 <= root < self.graph.n:
             raise WalkError(f"source_hint {root} out of range")
-        d_est, _tree = estimate_diameter(self.network, root, self._tree_cache)
+        d_est, _tree = estimate_diameter(
+            self.network, root, self._tree_cache, allow_unreached=self._faults is not None
+        )
         if lam is None:
             if length_hint is None:
                 raise WalkError("prepare() needs lam= or length_hint=")
@@ -616,6 +668,7 @@ class WalkEngine:
             defer_tail=defer_tail,
             gmw_phase="pool-refill",
             refill_record_paths=pool.record_paths,
+            allow_unreached=self._faults is not None,
         )
         gmw_calls = out[4]
         pool.refills += gmw_calls
@@ -632,7 +685,9 @@ class WalkEngine:
         snapshot = net.ledger.capture()
         # One setup BFS per query: it doubles as the diameter estimate for
         # (auto-)preparation and as the report-routing tree.
-        d_est, source_tree = estimate_diameter(net, source, self._tree_cache)
+        d_est, source_tree = estimate_diameter(
+            net, source, self._tree_cache, allow_unreached=self._faults is not None
+        )
         old_pool = self._pool
         pool, lam_val = self._pool_for_request(
             length, request.lam, request.eta, request.record_paths, d_est
@@ -707,7 +762,9 @@ class WalkEngine:
         net = self.network
         snapshot = net.ledger.capture()
         k = len(sources)
-        d_est, base_tree = estimate_diameter(net, sources[0], self._tree_cache)
+        d_est, base_tree = estimate_diameter(
+            net, sources[0], self._tree_cache, allow_unreached=self._faults is not None
+        )
         pool, lam_val = self._pool_for_request(
             length, request.lam, request.eta, request.record_paths, d_est, k=k
         )
@@ -822,13 +879,18 @@ class WalkEngine:
         sweeps on the wire).
         """
         net = self.network
+        # Under a fault controller, a path-recording pool tracks every
+        # slot's trajectory even for endpoint-only requests: crash recovery
+        # truncates in-flight walks to their longest still-valid prefix,
+        # which needs the prefix.  ``record`` still governs output assembly.
+        track = record_paths or (self._faults is not None and pool.record_paths)
         slots = [
             _WalkSlot(
                 source=int(s),
                 length=length,
                 record=record_paths,
                 current=int(s),
-                chunks=[np.array([s], dtype=np.int64)] if record_paths else None,
+                chunks=[np.array([s], dtype=np.int64)] if track else None,
             )
             for s in sources
         ]
@@ -873,6 +935,18 @@ class WalkEngine:
         slot leaves the active set once it is within the loop margin of its
         own target.  Mutates ``slots`` in place; returns the number of
         per-connector refill invocations.
+
+        With a fault controller attached, every sweep starts by polling the
+        schedule: fired steps run the crash/recovery cascade, the shared
+        tree rebuilds (re-rooted to a live node when the root crashed), and
+        in-flight slots truncate to their longest still-valid prefix —
+        surviving prefixes are *replayed*, never resampled.  Slots parked
+        on a crashed connector stall rather than drop: they wait out the
+        scheduled recovery (idle rounds billed to ``"serve/recovery"``,
+        exponentially backed off), and a stalled walk whose source is
+        crashed-for-good raises :class:`~repro.errors.WalkError` instead of
+        spinning.  Without a controller the loop below is charge-identical
+        to the PR-3 code (the golden-ledger contract).
         """
         net = self.network
         store = pool.store
@@ -885,8 +959,47 @@ class WalkEngine:
         depth = base_tree.depth
         height = base_tree.height
 
-        active = [i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin]
-        while active:
+        while True:
+            faults = self._faults
+            if faults is not None:
+                fired, mutated = faults.poll()
+                if fired:
+                    with net.phase("serve/recovery"):
+                        # Topology changed: the shared tree is stale, and a
+                        # crashed root cannot anchor sampling — re-root.
+                        if not faults.live[root]:
+                            root = int(np.flatnonzero(faults.live)[0])
+                        base_tree = build_bfs_tree(
+                            net, root, cache=self._tree_cache, allow_unreached=True
+                        )
+                        depth = base_tree.depth
+                        height = base_tree.height
+                        self._recover_slots(slots, mutated, faults, height)
+
+            active = [
+                i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin
+            ]
+            if faults is not None:
+                live = faults.live
+                # A slot on a crashed node cannot advance — and cannot run
+                # its tail either, so even within-margin slots block exit.
+                blocked = [i for i in range(k) if not live[slots[i].current]]
+                active = [i for i in active if live[slots[i].current]]
+                if blocked and not active:
+                    # Nothing serviceable: every remaining walk sits on a
+                    # crashed node.  Wait out the scheduled recovery, or
+                    # fail loudly on a permanent crash-stop.
+                    for i in blocked:
+                        if not faults.recovery_pending(slots[i].source):
+                            raise WalkError(
+                                f"walk source {slots[i].source} is crashed with no "
+                                "scheduled recovery; cannot serve"
+                            )
+                    faults.wait_for_next_step()
+                    continue
+            if not active:
+                break
+
             # Walks parked at the same connector form one group; group and
             # in-group order follow walk index, so fixed seeds replay.
             groups: dict[int, list[int]] = {}
@@ -928,7 +1041,12 @@ class WalkEngine:
             # amortized over every group instead of run per draw).
             n_draws = len(active)
             with net.phase(sample_phase):
-                build_bfs_tree(net, root, cache=self._tree_cache)
+                build_bfs_tree(
+                    net,
+                    root,
+                    cache=self._tree_cache,
+                    allow_unreached=self._faults is not None,
+                )
                 # Convergecast messages: per draw, the ancestor closure of
                 # the connector's holder set (what charged_convergecast
                 # bills), streamed as pipelined stages on the shared tree.
@@ -959,7 +1077,7 @@ class WalkEngine:
                         manager.record_served(record.source)
                     slot = slots[i]
                     slot.draws += 1
-                    if slot.record:
+                    if slot.chunks is not None:
                         if record.path is None:
                             raise WalkError("record_paths=True requires Phase 1 to record paths")
                         slot.chunks.append(record.path[1:])
@@ -973,9 +1091,85 @@ class WalkEngine:
                 net.ledger.charge(
                     max(hops) + n_draws - 1, messages=sum(hops), congestion=1
                 )
-
-            active = [i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin]
         return total_gmw
+
+    def _recover_slots(
+        self,
+        slots: list[_WalkSlot],
+        mutated: np.ndarray | None,
+        faults,
+        tree_height: int,
+    ) -> None:
+        """Truncate in-flight slots broken by just-fired fault steps.
+
+        A recorded slot keeps its longest prefix whose every step was
+        sampled from a never-mutated node, then falls back to the last
+        *live* node of that prefix (belt-and-braces for empty-delta
+        crashes).  Whether the prefix is worth keeping is a *cost* call:
+        re-announcing a ``p``-step prefix with
+        :func:`~repro.walks.regenerate.replay_segments` costs ``p`` rounds
+        of edge-local forwarding (already-sampled steps are replayed,
+        never resampled — the sampling-once discipline), while restarting
+        from source re-stitches those steps through the pool inside the
+        cohort's merged sweeps at a marginal cost of roughly two rounds
+        per segment.  Short prefixes (up to ``2 × tree_height``, the
+        coordination overhead a restart pays anyway) are replayed;
+        longer ones restart from source — an independent fresh sample of
+        ``P^ℓ``, so exactness is indifferent to the choice.  A slot with
+        no surviving live prefix node parks at its source with zero
+        progress (its source crashed; it waits for the scheduled recovery
+        or fails in the sweep loop).  Pathless slots cannot truncate
+        selectively, so any progressed slot restarts from source.  All
+        charges bill to the caller's open ``"serve/recovery"`` phase: one
+        ``height + r`` pipelined notification charge for the ``r``
+        touched slots, plus the prefix replays.
+        """
+        net = self.network
+        live = faults.live
+        replay_cap = max(2, 2 * tree_height)
+        if mutated is None:
+            mutated = np.zeros(self.graph.n, dtype=bool)
+        touched = 0
+        prefixes: list[np.ndarray] = []
+        for slot in slots:
+            if slot.chunks is not None:
+                t = np.concatenate(slot.chunks) if len(slot.chunks) > 1 else slot.chunks[0]
+                bad = mutated[t[:-1]] if len(t) > 1 else np.zeros(0, dtype=bool)
+                first_bad = int(np.argmax(bad)) if bad.any() else len(t) - 1
+                if first_bad == slot.completed and live[slot.current]:
+                    continue  # untouched: full prefix survives on a live node
+                live_pos = np.flatnonzero(live[t[: first_bad + 1]])
+                touched += 1
+                if live_pos.size == 0:
+                    # Even the source is down: park there with no progress.
+                    slot.completed = 0
+                    slot.current = slot.source
+                    slot.chunks = [np.array([slot.source], dtype=np.int64)]
+                    faults.walks_restarted += 1
+                else:
+                    p = int(live_pos[-1])
+                    if p > replay_cap and live[slot.source]:
+                        p = 0  # replay dearer than re-stitching: restart
+                    slot.completed = p
+                    slot.current = int(t[p])
+                    slot.chunks = [t[: p + 1]]
+                    if p > 0:
+                        prefixes.append(slot.chunks[0])
+                        faults.walks_recovered += 1
+                    else:
+                        faults.walks_restarted += 1
+            else:
+                # Pathless slot: no prefix to validate — restart from source
+                # unless it never left it.
+                if slot.completed == 0 and live[slot.current]:
+                    continue
+                touched += 1
+                slot.completed = 0
+                slot.current = slot.source
+                faults.walks_restarted += 1
+        if touched:
+            net.ledger.charge(tree_height + touched, messages=2 * touched, congestion=touched)
+            replay_segments(net, prefixes, words=2)
 
     # ------------------------------------------------------------------
     # Applications (shared network/ledger/RNG)
@@ -1058,6 +1252,23 @@ class WalkEngine:
             churn_tokens_regenerated=(
                 self._churn.tokens_regenerated if self._churn is not None else 0
             ),
+            messages_dropped=int(getattr(self.network, "messages_dropped", 0)),
+            retransmissions=int(getattr(self.network, "retransmissions_seen", 0)),
+            fault_events=self._faults.events if self._faults is not None else 0,
+            crashed_nodes=self._faults.crashed_count if self._faults is not None else 0,
+            fault_tokens_evicted=(
+                self._faults.tokens_evicted if self._faults is not None else 0
+            ),
+            fault_tokens_regenerated=(
+                self._faults.tokens_regenerated if self._faults is not None else 0
+            ),
+            fault_walks_recovered=(
+                self._faults.walks_recovered if self._faults is not None else 0
+            ),
+            fault_walks_restarted=(
+                self._faults.walks_restarted if self._faults is not None else 0
+            ),
+            fault_recovery_rounds=self.network.ledger.phase_rounds("serve/recovery"),
         )
 
     def __repr__(self) -> str:

@@ -185,6 +185,19 @@ class EngineStats:
     path scan, ``churn_tokens_regenerated`` their charged replacements —
     whose rounds appear in ``phase_rounds`` under ``"pool-refill/churn"``,
     the third member of the ``pool-refill`` family.
+
+    The fault block (:mod:`repro.engine.faults`) mirrors it for crash
+    events: ``fault_events`` applied steps, ``crashed_nodes`` currently
+    down, ``fault_tokens_evicted`` pooled tokens lost to invalidation or
+    crashed-resident memory loss, ``fault_tokens_regenerated`` their
+    charged replacements, ``fault_walks_recovered`` /
+    ``fault_walks_restarted`` in-flight walks resumed from a surviving
+    prefix vs. restarted from source, and ``fault_recovery_rounds`` the
+    cumulative ``"serve/recovery"`` bill.  ``messages_dropped`` /
+    ``retransmissions`` surface the lossy-link substrate
+    (:class:`~repro.congest.faults.LossyNetwork` drops and
+    :class:`~repro.congest.faults.ReliableTokenWalkProtocol` resends seen
+    by the session's network) — 0 on a loss-free network.
     """
 
     queries: int
@@ -211,6 +224,15 @@ class EngineStats:
     churn_events: int = 0
     churn_tokens_evicted: int = 0
     churn_tokens_regenerated: int = 0
+    messages_dropped: int = 0
+    retransmissions: int = 0
+    fault_events: int = 0
+    crashed_nodes: int = 0
+    fault_tokens_evicted: int = 0
+    fault_tokens_regenerated: int = 0
+    fault_walks_recovered: int = 0
+    fault_walks_restarted: int = 0
+    fault_recovery_rounds: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

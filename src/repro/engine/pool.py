@@ -36,6 +36,7 @@ cannot be restored in time).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -363,6 +364,7 @@ class PoolManager:
         *,
         phase: str = MAINTAIN_PHASE,
         round_budget: int | None = None,
+        exclude_shards=None,
     ) -> MaintenanceReport:
         """One background sweep: batch-refill depleted shards to quota.
 
@@ -387,20 +389,41 @@ class PoolManager:
         — with no observed congestion a sweep costs its ``2λ−1`` iteration
         base regardless of size, so splitting it across ticks would buy
         nothing and pay the base repeatedly.
+
+        ``exclude_shards`` names shards this sweep must not touch even when
+        depleted — the serving scheduler's backoff for shards whose refills
+        keep stalling on crashed sources.  Excluded depleted shards are
+        reported in ``deferred_shards`` so their deficit stays visible.
         """
+        excluded = frozenset(int(s) for s in exclude_shards) if exclude_shards else frozenset()
         try:
             if not self._possibly_depleted():
                 return self._empty_report()
             unused = self.shard_unused()
             self._note_scan(unused)
             depleted = [s.shard_id for s in self.shards if unused[s.shard_id] < s.low_watermark]
+            skipped = tuple(s for s in depleted if s in excluded)
+            depleted = [s for s in depleted if s not in excluded]
             if not depleted:
+                if skipped:
+                    return MaintenanceReport(
+                        swept=False,
+                        shards_refilled=(),
+                        sources_refilled=0,
+                        tokens_added=0,
+                        rounds=0,
+                        deferred_shards=skipped,
+                    )
                 return self._empty_report()
             report = self._sweep(
                 network, rng, depleted, unused, phase=phase, round_budget=round_budget
             )
             if report.swept:
                 self.maintenance_sweeps += 1
+            if skipped:
+                report = dataclasses.replace(
+                    report, deferred_shards=report.deferred_shards + skipped
+                )
             return report
         finally:
             # Speculative demand is per-tick: whatever the scheduler noted

@@ -19,7 +19,8 @@ budget.  Typical use::
 
 Module map: :mod:`~repro.serve.model` (tickets, policy, telemetry),
 :mod:`~repro.serve.scheduler` (the ``WalkScheduler``),
-:mod:`~repro.serve.workload` (open-/closed-loop synthetic traffic).
+:mod:`~repro.serve.workload` (open-/closed-loop and fault-injected
+synthetic traffic).
 """
 
 from repro.serve.model import (
@@ -39,6 +40,7 @@ from repro.serve.scheduler import (
 from repro.serve.workload import (
     TrafficSpec,
     run_closed_loop,
+    run_fault_loop,
     run_open_loop,
     sample_request_args,
 )
@@ -56,6 +58,7 @@ __all__ = [
     "WalkScheduler",
     "WalkTicket",
     "run_closed_loop",
+    "run_fault_loop",
     "run_open_loop",
     "sample_request_args",
 ]

@@ -124,6 +124,9 @@ class WalkTicket:
     rounds_attributed: int = 0
     latency_rounds: int | None = None
     deadline_missed: bool = False
+    #: Times the scheduler parked this ticket because a source was crashed
+    #: (retried — never dropped — once the scheduled recovery fires).
+    retries: int = 0
 
     @property
     def k(self) -> int:
@@ -176,6 +179,19 @@ class SchedulerStats:
     the reactive refills inside merged sweeps
     (``"pool-refill/serve"``), ``maintain_rounds`` the budgeted background
     sweeps (``"pool-refill/maintain"``).
+
+    Failures block (crash-fault serving, :mod:`repro.engine.faults`):
+    ``crashes_seen`` / ``recoveries_seen`` node events fired by the
+    session's fault schedule; ``walks_recovered`` in-flight walks resumed
+    from a surviving prefix (``walks_restarted`` had none and restarted
+    from source); ``recovery_rounds`` the ledger's ``"serve/recovery"``
+    bill — regeneration, tree rebuilds, prefix replays, and idle backoff
+    waits; ``ticket_retries`` park-and-retry events (a cohort slot's
+    source was crashed — the ticket waited out the scheduled recovery,
+    it was **never dropped**); ``backoff_waits`` idle waits charged while
+    every serviceable walk sat on a crashed node; ``refill_backoffs``
+    maintenance sweeps that skipped a repeatedly-deferring shard on an
+    exponential retry schedule.
     """
 
     submitted: int
@@ -199,6 +215,14 @@ class SchedulerStats:
     #: Shard-demand notes fed to the pool manager by speculative prefetch
     #: (one per queued-but-unserviced ticket source shard per tick).
     prefetch_shards_noted: int = 0
+    crashes_seen: int = 0
+    recoveries_seen: int = 0
+    walks_recovered: int = 0
+    walks_restarted: int = 0
+    recovery_rounds: int = 0
+    ticket_retries: int = 0
+    backoff_waits: int = 0
+    refill_backoffs: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

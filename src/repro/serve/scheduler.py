@@ -129,6 +129,15 @@ class WalkScheduler:
         self._refill_calls = 0
         self._prefetch_noted = 0
         self._rejects_by_reason: dict[str, int] = {}
+        # Crash-fault serving state: tickets parked on a crashed source
+        # (ticket_id -> heap key, re-queued when the source recovers), and
+        # the exponential-backoff schedule for shards whose maintenance
+        # refills keep deferring (shard -> (defer streak, skip-until tick)).
+        self._parked: dict[int, tuple[int, float, int]] = {}
+        self._ticket_retries = 0
+        self._shard_defer_streak: dict[int, int] = {}
+        self._shard_skip_until: dict[int, int] = {}
+        self._refill_backoffs = 0
 
     # ------------------------------------------------------------------
     # Submission and admission control
@@ -246,7 +255,9 @@ class WalkScheduler:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        return len(self._heap)
+        # Parked tickets are still queued work (they re-enter the heap at
+        # recovery), so they count against the admission bound too.
+        return len(self._heap) + len(self._parked)
 
     def ticket(self, ticket_id: int) -> WalkTicket:
         return self._tickets[ticket_id]
@@ -259,20 +270,40 @@ class WalkScheduler:
         closes with the deadline-driven maintenance sweep under the
         policy's round budget.  Safe to call with an empty queue — an idle
         tick costs only the (possibly zero-cost) maintenance check.
+
+        With a fault controller attached the tick starts by polling the
+        schedule (crash/recovery cascades fire as simulated time passes
+        their rounds, and the shared-tree root re-pins if it crashed),
+        tickets whose source is crashed are *parked* — retried once the
+        scheduled recovery fires, counted, never dropped — and when parked
+        work is all that remains the tick waits simulated time forward
+        (exponential backoff, billed to ``"serve/recovery"``) instead of
+        spinning.  A parked ticket whose source will never recover raises
+        :class:`~repro.errors.WalkError` — an unservable request fails
+        loudly rather than silently vanishing.  The closing maintenance
+        sweep excludes shards on refill backoff (see ``refill_backoffs``
+        in :meth:`stats`).
         """
         net = self.engine.network
         rounds_before = net.rounds
         self._ticks += 1
-        cohort: list[WalkTicket] = []
-        while self._heap and len(cohort) < self.policy.max_batch_requests:
-            _, _, ticket_id = heapq.heappop(self._heap)
-            cohort.append(self._tickets[ticket_id])
+        self._poll_faults()
+        cohort = self._form_cohort()
         refill_calls = 0
         if cohort:
             self._cohorts += 1
             refill_calls = self._service_cohort(cohort)
+        elif self._parked and not self._heap:
+            # Every remaining request sits on a crashed source: advance
+            # simulated time toward the scheduled recovery (idle rounds
+            # billed to "serve/recovery", exponentially backed off).
+            self.engine._faults.wait_for_next_step()
         self._note_prefetch_demand()
-        maintain = self.engine.maintain(round_budget=self.policy.maintain_round_budget)
+        maintain = self.engine.maintain(
+            round_budget=self.policy.maintain_round_budget,
+            exclude_shards=self._excluded_shards() or None,
+        )
+        self._note_shard_backoff(maintain)
         return TickReport(
             tick=self._ticks,
             serviced=tuple(t.ticket_id for t in cohort),
@@ -282,6 +313,81 @@ class WalkScheduler:
             maintain_rounds=maintain.rounds,
             deferred_shards=maintain.deferred_shards,
         )
+
+    def _poll_faults(self) -> None:
+        """Fire due fault steps, re-pin a crashed root, unpark recovered tickets."""
+        faults = self.engine._faults
+        if faults is None:
+            return
+        faults.poll()
+        live = faults.live
+        if self.root is not None and not live[self.root]:
+            # The shared-tree root is down: the next cohort re-pins to one
+            # of its own (live) sources.
+            self.root = None
+        if self._parked:
+            for ticket_id, key in list(self._parked.items()):
+                sources = self._tickets[ticket_id].request.sources
+                if all(live[s] for s in sources):
+                    del self._parked[ticket_id]
+                    heapq.heappush(self._heap, key)
+
+    def _form_cohort(self) -> list[WalkTicket]:
+        """Pop serviceable tickets; park crashed-source ones for retry.
+
+        Parking preserves the ticket's heap key, so a recovered ticket
+        re-enters the queue with its original (priority, deadline, FIFO)
+        position.  A crashed source with no scheduled recovery makes the
+        request unservable — that raises rather than parking forever.
+        """
+        faults = self.engine._faults
+        live = faults.live if faults is not None else None
+        cohort: list[WalkTicket] = []
+        while self._heap and len(cohort) < self.policy.max_batch_requests:
+            key = heapq.heappop(self._heap)
+            ticket = self._tickets[key[2]]
+            if live is not None and not all(live[s] for s in ticket.request.sources):
+                for s in ticket.request.sources:
+                    if not live[s] and not faults.recovery_pending(s):
+                        raise WalkError(
+                            f"ticket {ticket.ticket_id}: source {s} is crashed with no "
+                            "scheduled recovery; request cannot be served"
+                        )
+                ticket.retries += 1
+                self._ticket_retries += 1
+                self._parked[ticket.ticket_id] = key
+                continue
+            cohort.append(ticket)
+        return cohort
+
+    def _excluded_shards(self) -> list[int]:
+        """Shards currently skipped by the refill backoff schedule."""
+        return [s for s, until in self._shard_skip_until.items() if self._ticks < until]
+
+    def _note_shard_backoff(self, maintain) -> None:
+        """Track defer streaks; repeatedly-deferring shards back off exponentially.
+
+        A shard the budgeted sweep defers twice in a row is skipped for
+        ``2^(streak−2)`` ticks (capped at 8) before maintenance retries it
+        — the refill analogue of ticket parking: a shard that keeps losing
+        the budget race (e.g. because crash evictions re-opened a deficit
+        faster than the budget closes it) stops consuming ordering slots
+        every tick.  Any successful refill resets the shard's streak.  The
+        deficit stays visible throughout — admission pricing reads it from
+        the store, not from the sweep schedule.
+        """
+        excluded = set(self._excluded_shards())
+        for s in maintain.deferred_shards:
+            if s in excluded:
+                continue  # skipped by us, not deferred by the budget
+            streak = self._shard_defer_streak.get(s, 0) + 1
+            self._shard_defer_streak[s] = streak
+            if streak >= 2:
+                self._shard_skip_until[s] = self._ticks + min(1 << (streak - 2), 8)
+                self._refill_backoffs += 1
+        for s in maintain.shards_refilled:
+            self._shard_defer_streak.pop(s, None)
+            self._shard_skip_until.pop(s, None)
 
     def _note_prefetch_demand(self) -> None:
         """Speculative prefetch: queue contents steer the maintenance order.
@@ -307,9 +413,16 @@ class WalkScheduler:
         self._prefetch_noted += len(shards)
 
     def drain(self, *, max_ticks: int = 100_000) -> list[WalkTicket]:
-        """Tick until the queue is empty; returns every completed ticket."""
+        """Tick until the queue is empty; returns every completed ticket.
+
+        Parked tickets count as queued work: drain keeps ticking (waiting
+        simulated time toward scheduled recoveries when nothing else is
+        serviceable) until every admitted ticket completes.  A parked
+        ticket whose source will never recover surfaces as
+        :class:`~repro.errors.WalkError` from the tick that tries it.
+        """
         ticks = 0
-        while self._heap:
+        while self._heap or self._parked:
             self.tick()
             ticks += 1
             if ticks >= max_ticks:
@@ -335,7 +448,12 @@ class WalkScheduler:
         net = self.engine.network
         assert self.root is not None  # _service_cohort pins it before calling
         with net.phase("serve/setup"):
-            tree = build_bfs_tree(net, self.root, cache=self.engine._tree_cache)
+            tree = build_bfs_tree(
+                net,
+                self.root,
+                cache=self.engine._tree_cache,
+                allow_unreached=self.engine._faults is not None,
+            )
         d_est = max(1, 2 * tree.height)
         k_total = sum(t.k for t in cohort)
         length_max = max(t.request.length for t in cohort)
@@ -367,7 +485,12 @@ class WalkScheduler:
 
         cohort_snapshot = net.ledger.capture()
         with net.phase("serve/setup"):
-            tree = build_bfs_tree(net, self.root, cache=engine._tree_cache)
+            tree = build_bfs_tree(
+                net,
+                self.root,
+                cache=engine._tree_cache,
+                allow_unreached=engine._faults is not None,
+            )
 
         # One slot per walk across every request of the cohort.  With no
         # pool (naive regime) nothing is ever active in the sweep loop and
@@ -389,6 +512,13 @@ class WalkScheduler:
                     f"ticket {ticket.ticket_id} requested trajectories but the pool "
                     "was re-prepared with record_paths=False while it was queued"
                 )
+            # Under a fault controller, a path-recording pool tracks every
+            # slot's trajectory even for endpoint-only tickets — crash
+            # recovery truncates in-flight walks to their longest valid
+            # prefix, which needs the prefix recorded.
+            track = rp or (
+                engine._faults is not None and pool is not None and pool.record_paths
+            )
             start = len(slots)
             for s in req.sources:
                 slots.append(
@@ -397,7 +527,7 @@ class WalkScheduler:
                         length=req.length,
                         record=rp,
                         current=int(s),
-                        chunks=[np.array([s], dtype=np.int64)] if rp else None,
+                        chunks=[np.array([s], dtype=np.int64)] if track else None,
                     )
                 )
             ticket_slots.append((ticket, slice(start, len(slots)), rp))
@@ -465,9 +595,14 @@ class WalkScheduler:
         # Apportion the cohort's shared rounds (sweeps, tails, refills,
         # setup — everything not in a private delta) by walk count, largest
         # requests first for the remainder, so attributed rounds sum
-        # EXACTLY to the cohort's ledger delta.
+        # EXACTLY to the cohort's ledger delta.  Recovery rounds billed
+        # mid-cohort ("serve/recovery": fault cascades, slot truncation,
+        # idle waits) are session failure cost, not request work — they
+        # stay out of attribution, extending the ledger-balance identity
+        # to Σ attributed + maintain + churn + recovery = session delta.
         cohort_delta = net.ledger.delta_since(cohort_snapshot)
-        shared = cohort_delta.rounds - private_total
+        cohort_recovery = cohort_delta.phase_rounds.get("serve/recovery", 0)
+        shared = cohort_delta.rounds - private_total - cohort_recovery
         total_walks = len(slots)
         shares = [shared * t.k // total_walks for t, _, _ in ticket_slots]
         remainder = shared - sum(shares)
@@ -493,6 +628,7 @@ class WalkScheduler:
         done = [t for t in self._tickets.values() if t.status == DONE]
         attributed = [t.rounds_attributed for t in done]
         latencies = [t.latency_rounds for t in done if t.latency_rounds is not None]
+        faults = self.engine._faults
         return SchedulerStats(
             submitted=self._submitted,
             admitted=self._admitted,
@@ -513,6 +649,14 @@ class WalkScheduler:
             maintain_rounds=ledger.phase_rounds("pool-refill/maintain"),
             rejects_by_reason=dict(self._rejects_by_reason),
             prefetch_shards_noted=self._prefetch_noted,
+            crashes_seen=faults.crashes_seen if faults is not None else 0,
+            recoveries_seen=faults.recoveries_seen if faults is not None else 0,
+            walks_recovered=faults.walks_recovered if faults is not None else 0,
+            walks_restarted=faults.walks_restarted if faults is not None else 0,
+            recovery_rounds=ledger.phase_rounds("serve/recovery"),
+            ticket_retries=self._ticket_retries,
+            backoff_waits=faults.backoff_waits if faults is not None else 0,
+            refill_backoffs=self._refill_backoffs,
         )
 
     def __repr__(self) -> str:

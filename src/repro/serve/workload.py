@@ -32,7 +32,13 @@ from repro.errors import WalkError
 from repro.serve.model import DONE, WalkTicket
 from repro.serve.scheduler import WalkScheduler
 
-__all__ = ["TrafficSpec", "run_closed_loop", "run_open_loop", "sample_request_args"]
+__all__ = [
+    "TrafficSpec",
+    "run_closed_loop",
+    "run_fault_loop",
+    "run_open_loop",
+    "sample_request_args",
+]
 
 
 @dataclass(frozen=True)
@@ -141,3 +147,74 @@ def run_closed_loop(
             tickets.append(scheduler.submit(**args))
         scheduler.tick()
     return tickets
+
+
+def run_fault_loop(
+    scheduler: WalkScheduler,
+    spec: TrafficSpec,
+    rng: np.random.Generator,
+    *,
+    crash_rate: float,
+    recover_after: int = 256,
+    ticks: int,
+    rate: float = 1.0,
+    fault_seed=None,
+    drain: bool = True,
+) -> list[WalkTicket]:
+    """Open-loop traffic over a crash/recover fault schedule.
+
+    The robustness workload: before any traffic flows, a dry run of the
+    same arrival pattern on a throwaway engine measures how many
+    simulated rounds the healthy run spans; a
+    :class:`~repro.congest.faults.FaultSchedule` with
+    ``ceil(crash_rate · n)`` connectivity-preserving crash events (each
+    victim recovering ``recover_after`` rounds later) is then sampled
+    over that window, attached to the real engine, and the identical
+    arrival stream replays over the failures.  Every admitted ticket
+    still completes — deadline misses are counted, requests are never
+    dropped.  Returns all tickets (terminal when ``drain``).
+
+    Mirrors :func:`repro.dynamic.workload.run_churn_loop`'s shape so
+    benches can sweep ``crash_rate`` the way they sweep churn rate.
+    """
+    if crash_rate < 0:
+        raise WalkError("crash_rate must be >= 0")
+    if ticks < 1:
+        raise WalkError("ticks must be >= 1")
+    engine = scheduler.engine
+    start = engine.network.rounds
+    # One arrival seed drives both the sizing probe and the real run, so
+    # the submissions replay identically over the fault schedule.
+    arrival_seed = int(rng.integers(2**63))
+    if crash_rate > 0:
+        from repro.congest.faults import FaultSchedule
+
+        probe_engine = type(engine)(engine.graph, seed=2, record_paths=False)
+        probe_sched = type(scheduler)(probe_engine, policy=scheduler.policy)
+        run_open_loop(
+            probe_sched,
+            spec,
+            np.random.default_rng(arrival_seed),
+            rate=rate,
+            ticks=ticks,
+            drain=drain,
+        )
+        span = max(2, probe_engine.network.rounds)
+        crashes = max(1, int(np.ceil(crash_rate * engine.graph.n)))
+        schedule = FaultSchedule.sample(
+            engine.graph,
+            crashes=crashes,
+            start_round=start + 1,
+            end_round=start + span,
+            recover_after=recover_after,
+            seed=fault_seed,
+        )
+        engine.attach_faults(schedule)
+    return run_open_loop(
+        scheduler,
+        spec,
+        np.random.default_rng(arrival_seed),
+        rate=rate,
+        ticks=ticks,
+        drain=drain,
+    )

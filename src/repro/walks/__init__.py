@@ -14,6 +14,7 @@ from repro.walks.regenerate import (
     RegenerationResult,
     positions_by_node,
     regenerate_walk,
+    replay_segments,
     trajectory_from_positions,
 )
 from repro.walks.sample_destination import sample_destination
@@ -45,6 +46,7 @@ __all__ = [
     "RegenerationResult",
     "positions_by_node",
     "regenerate_walk",
+    "replay_segments",
     "trajectory_from_positions",
     "sample_destination",
     "perform_short_walks",

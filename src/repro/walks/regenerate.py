@@ -33,8 +33,38 @@ __all__ = [
     "RegenerationResult",
     "positions_by_node",
     "regenerate_walk",
+    "replay_segments",
     "trajectory_from_positions",
 ]
+
+
+def replay_segments(network: Network, seg_paths: list[np.ndarray], *, words: int = 2) -> int:
+    """Charge the simultaneous replay of recorded hop sequences.
+
+    Each path's hop-owners forward a position counter along the recorded
+    hops; all segments replay at once, iteration ``j`` moving one message
+    along hop ``j`` of every segment longer than ``j``, charged
+    per-iteration by congestion.  Shared by walk regeneration (§2.2
+    Step 2) and crash recovery, where a truncated in-flight walk's
+    surviving prefix is re-announced instead of resampled — the
+    sampling-once discipline of
+    :class:`~repro.congest.faults.ReliableTokenWalkProtocol` applied at
+    the segment scale.  Returns the number of replayed segments.
+    """
+    seg_paths = [p for p in seg_paths if len(p) > 1]
+    if not seg_paths:
+        return 0
+    seg_lens = np.array([len(p) - 1 for p in seg_paths], dtype=np.int64)
+    max_len = int(seg_lens.max())
+    # Segments pad into one (k, max_len + 1) matrix so each iteration is
+    # a column slice instead of a per-segment Python scan.
+    hops = np.zeros((len(seg_paths), max_len + 1), dtype=np.int64)
+    for i, p in enumerate(seg_paths):
+        hops[i, : len(p)] = p
+    for j in range(max_len):
+        live = seg_lens > j
+        network.deliver_pairs(hops[live, j], hops[live, j + 1], words=words)
+    return len(seg_paths)
 
 
 @dataclass
@@ -110,19 +140,10 @@ def regenerate_walk(
 
         # Step 2: replay all used segments simultaneously; iteration j
         # forwards one message along hop j of every segment longer than j.
-        # Segments pad into one (k, max_len + 1) matrix so each iteration is
-        # a column slice instead of a per-segment Python scan.
         seg_paths = [seg.path for seg in result.segments]
         if any(p is None for p in seg_paths):
             raise WalkError("segment paths missing; Phase 1 must record paths")
-        seg_lens = np.array([len(p) - 1 for p in seg_paths], dtype=np.int64)
-        max_len = int(seg_lens.max())
-        hops = np.zeros((len(seg_paths), max_len + 1), dtype=np.int64)
-        for i, p in enumerate(seg_paths):
-            hops[i, : len(p)] = p
-        for j in range(max_len):
-            live = seg_lens > j
-            network.deliver_pairs(hops[live, j], hops[live, j + 1], words=2)
+        replay_segments(network, seg_paths, words=2)
 
     return RegenerationResult(
         node_positions=node_positions,

@@ -123,6 +123,7 @@ def sample_destination(
     *,
     tree_cache: dict[int, BfsTree] | None = None,
     phase: str = "sample-destination",
+    allow_unreached: bool = False,
 ) -> tuple[TokenRecord | None, BfsTree]:
     """Sample-and-retire one unused short walk of ``source``.
 
@@ -133,7 +134,9 @@ def sample_destination(
     tree edges (the "stitch" costing ``depth(destination) ≤ D`` rounds).
     """
     with network.phase(phase):
-        tree = build_bfs_tree(network, source, cache=tree_cache)  # Sweep 1
+        tree = build_bfs_tree(  # Sweep 1
+            network, source, cache=tree_cache, allow_unreached=allow_unreached
+        )
         values, participants = _leaf_values(store, source, network.graph.n, rng)
         count, record = charged_convergecast(  # Sweep 2
             network,

@@ -87,14 +87,24 @@ class WalkResult(ResultBase):
                 raise WalkError(f"trajectory uses non-edge ({a}, {b})")
 
 
-def estimate_diameter(network: Network, source: int, tree_cache: dict[int, BfsTree] | None = None) -> tuple[int, BfsTree]:
+def estimate_diameter(
+    network: Network,
+    source: int,
+    tree_cache: dict[int, BfsTree] | None = None,
+    *,
+    allow_unreached: bool = False,
+) -> tuple[int, BfsTree]:
     """Distributed Θ(D) estimate: one BFS flood, ``D ≤ 2·ecc(source)``.
 
     Charged to phase ``"setup"``; the built tree goes into the cache the
     later SAMPLE-DESTINATION sweeps rooted at the source reuse.
+    ``allow_unreached`` tolerates isolated (crashed) nodes: the estimate
+    then covers the source's live component only.
     """
     with network.phase("setup"):
-        tree = build_bfs_tree(network, source, cache=tree_cache)
+        tree = build_bfs_tree(
+            network, source, cache=tree_cache, allow_unreached=allow_unreached
+        )
     return max(1, 2 * tree.height), tree
 
 
@@ -114,6 +124,7 @@ def stitch_walk(
     defer_tail: bool = False,
     gmw_phase: str = "get-more-walks",
     refill_record_paths: bool | None = None,
+    allow_unreached: bool = False,
 ) -> tuple[int, np.ndarray | None, list[TokenRecord], list[int], int, int]:
     """Phase 2 + tail, shared by this paper's algorithm and the PODC'09 baseline.
 
@@ -148,7 +159,10 @@ def stitch_walk(
 
     while completed <= length - loop_margin:
         connectors.append(current)
-        record, tree = sample_destination(network, store, current, rng, tree_cache=tree_cache)
+        record, tree = sample_destination(
+            network, store, current, rng,
+            tree_cache=tree_cache, allow_unreached=allow_unreached,
+        )
         if record is None:
             get_more_walks(
                 network,
@@ -162,7 +176,10 @@ def stitch_walk(
                 phase=gmw_phase,
             )
             gmw_calls += 1
-            record, tree = sample_destination(network, store, current, rng, tree_cache=tree_cache)
+            record, tree = sample_destination(
+                network, store, current, rng,
+                tree_cache=tree_cache, allow_unreached=allow_unreached,
+            )
             if record is None:
                 raise WalkError("GET-MORE-WALKS produced no walks (engine bug)")
         with network.phase("stitch-route"):

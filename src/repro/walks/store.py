@@ -435,6 +435,22 @@ class WalkStore:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(hits))
 
+    def rows_held_at(self, node_mask: np.ndarray) -> np.ndarray:
+        """Rows of live tokens physically resting at a flagged node.
+
+        The crash-fault complement of :meth:`find_invalid_rows`: that scan
+        exempts final positions (a token *resting* at a mutated node
+        sampled nothing there, so its law survives churn), but a node
+        crash is memory loss — a token stored at a crashed node is gone
+        regardless of where its walk stepped.  One vectorized pass over
+        the destination column; ``node_mask`` is a length-``n`` boolean
+        mask of crashed nodes.
+        """
+        size = self._size
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(self._alive[:size] & node_mask[self._dst[:size]])[0]
+
     def evict_rows(self, rows: np.ndarray) -> np.ndarray:
         """Retire the given live rows in bulk; returns their source column.
 

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.congest import LossyNetwork, ReliableTokenWalkProtocol, reliable_walk
+from repro.congest import (
+    FaultSchedule,
+    FaultStep,
+    FaultyNetwork,
+    LossyNetwork,
+    OmissionWindow,
+    Protocol,
+    ReliableTokenWalkProtocol,
+    reliable_walk,
+)
+from repro.congest.faults import _live_graph_connected
 from repro.congest.faults import reliable_walk as reliable_walk_fn
 from repro.errors import ProtocolError
 from repro.graphs import cycle_graph, path_graph, torus_graph
@@ -97,3 +108,181 @@ class TestReliableWalk:
         g = path_graph(4)
         proto, _ = reliable_walk_fn(g, 0, 6, drop_probability=0.2, seed=1, fault_seed=2)
         assert proto.destination is not None
+
+
+class TestReliableWalkDeterminism:
+    def test_same_seeds_same_run(self):
+        # Full replay determinism: same (seed, fault_seed) reproduces the
+        # trajectory, the loss pattern, the retransmission count, and the
+        # round total bit-for-bit.
+        g = torus_graph(5, 5)
+        runs = [
+            reliable_walk(g, 3, 90, drop_probability=0.3, seed=41, fault_seed=42)
+            for _ in range(2)
+        ]
+        (proto_a, net_a), (proto_b, net_b) = runs
+        assert proto_a.trajectory == proto_b.trajectory
+        assert proto_a.retransmissions == proto_b.retransmissions
+        assert proto_a.retransmissions > 0
+        assert net_a.rounds == net_b.rounds
+        assert net_a.messages_dropped == net_b.messages_dropped
+
+    def test_fault_seed_changes_losses_not_law(self):
+        # The walk rng and the drop rng are separate streams, and each hop
+        # is sampled exactly once — so varying only fault_seed perturbs
+        # which frames drop (rounds, retransmissions) while the sampled
+        # trajectory stays identical.
+        g = torus_graph(5, 5)
+        proto_a, net_a = reliable_walk(g, 0, 80, drop_probability=0.35, seed=7, fault_seed=1)
+        proto_b, net_b = reliable_walk(g, 0, 80, drop_probability=0.35, seed=7, fault_seed=2)
+        assert proto_a.trajectory == proto_b.trajectory
+        assert (net_a.messages_dropped, net_a.rounds) != (net_b.messages_dropped, net_b.rounds)
+
+
+class TestFaultStepAndSchedule:
+    def test_step_validation(self):
+        with pytest.raises(ProtocolError):
+            FaultStep(at_round=-1, crash=(0,))
+        with pytest.raises(ProtocolError):
+            FaultStep(at_round=0, crash=(1,), recover=(1,))
+        with pytest.raises(ProtocolError):
+            FaultStep(at_round=0)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ProtocolError):  # recovering a node never crashed
+            FaultSchedule(steps=(FaultStep(at_round=5, recover=(2,)),))
+        with pytest.raises(ProtocolError):  # crashing a crashed node again
+            FaultSchedule(
+                steps=(
+                    FaultStep(at_round=1, crash=(2,)),
+                    FaultStep(at_round=3, crash=(2,)),
+                )
+            )
+
+    def test_steps_sorted_and_counted(self):
+        sched = FaultSchedule(
+            steps=(
+                FaultStep(at_round=9, recover=(4,)),
+                FaultStep(at_round=2, crash=(4,)),
+            )
+        )
+        assert [s.at_round for s in sched.steps] == [2, 9]
+        assert sched.num_crashes == 1
+        assert sched.num_recoveries == 1
+        assert not sched.is_empty
+
+    def test_recovery_pending_cursor(self):
+        sched = FaultSchedule(
+            steps=(
+                FaultStep(at_round=1, crash=(3,)),
+                FaultStep(at_round=5, recover=(3,)),
+            )
+        )
+        assert sched.recovery_pending(3)
+        assert sched.recovery_pending(3, after_index=1)
+        assert not sched.recovery_pending(3, after_index=2)
+        assert not sched.recovery_pending(0)
+
+    def test_omission_window(self):
+        w = OmissionWindow(u=1, v=2, start_round=10, end_round=20)
+        sched = FaultSchedule(omissions=(w,))
+        assert sched.link_omitted(2, 1, 10)
+        assert not sched.link_omitted(1, 2, 20)
+        assert not sched.link_omitted(1, 3, 15)
+        with pytest.raises(ProtocolError):
+            OmissionWindow(u=1, v=1, start_round=0, end_round=5)
+        with pytest.raises(ProtocolError):
+            OmissionWindow(u=1, v=2, start_round=5, end_round=5)
+
+    def test_sample_deterministic(self):
+        g = torus_graph(6, 6)
+        kwargs = dict(crashes=5, start_round=10, end_round=2_000, recover_after=300, seed=11)
+        a = FaultSchedule.sample(g, **kwargs)
+        b = FaultSchedule.sample(g, **kwargs)
+        assert a == b
+        assert 0 < a.num_crashes <= 5
+        assert a.num_recoveries == a.num_crashes
+
+    def test_sample_preserves_connectivity(self):
+        # Replay the schedule and check the live induced subgraph is
+        # connected after every crash — the sampler's contract.  (A
+        # *recovery* may rejoin a node whose neighbors are still down;
+        # its owed edges return when those neighbors recover.)
+        g = path_graph(8)  # every interior node is a cut vertex
+        sched = FaultSchedule.sample(
+            g, crashes=6, start_round=0, end_round=1_000, recover_after=200, seed=3
+        )
+        dead = np.zeros(g.n, dtype=bool)
+        for step in sched.steps:
+            dead[list(step.recover)] = False
+            if step.crash:
+                dead[list(step.crash)] = True
+                assert _live_graph_connected(g, dead)
+
+    def test_sample_crash_stop(self):
+        g = torus_graph(4, 4)
+        sched = FaultSchedule.sample(
+            g, crashes=3, start_round=0, end_round=100, recover_after=None, seed=9
+        )
+        assert sched.num_recoveries == 0
+        assert sched.num_crashes > 0
+
+
+class _PingProtocol(Protocol):
+    """Send one message 0 → 1 at start; record whether it arrived."""
+
+    name = "ping"
+
+    def __init__(self) -> None:
+        self.arrived = False
+
+    def on_start(self, api) -> None:
+        api.send(0, 1, "ping")
+
+    def on_receive(self, api, node, messages) -> None:
+        if node == 1:
+            self.arrived = True
+
+
+class TestFaultyNetwork:
+    def test_liveness_surface(self):
+        net = FaultyNetwork(path_graph(4))
+        assert net.is_live(2) and net.crashed_nodes == ()
+        net.mark_crashed([2, 2])  # idempotent
+        assert not net.is_live(2)
+        assert net.crashed_nodes == (2,)
+        assert net.crashes_seen == 1
+        with pytest.raises(ValueError):
+            net.live_mask[2] = True  # read-only view
+        net.mark_recovered([2])
+        net.mark_recovered([2])
+        assert net.is_live(2) and net.recoveries_seen == 1
+
+    def test_crashed_receiver_drops_silently(self):
+        net = FaultyNetwork(
+            path_graph(3),
+            schedule=FaultSchedule(steps=(FaultStep(at_round=0, crash=(1,)),)),
+        )
+        proto = _PingProtocol()
+        net.run(proto, max_rounds=50)
+        assert not proto.arrived
+        assert net.messages_lost_to_crashes == 1
+
+    def test_live_receiver_gets_message(self):
+        net = FaultyNetwork(path_graph(3))
+        proto = _PingProtocol()
+        net.run(proto, max_rounds=50)
+        assert proto.arrived
+        assert net.messages_lost_to_crashes == 0
+
+    def test_omitting_link_drops_silently(self):
+        net = FaultyNetwork(
+            path_graph(3),
+            schedule=FaultSchedule(
+                omissions=(OmissionWindow(u=0, v=1, start_round=0, end_round=100),)
+            ),
+        )
+        proto = _PingProtocol()
+        net.run(proto, max_rounds=50)
+        assert not proto.arrived
+        assert net.messages_omitted == 1

@@ -20,6 +20,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 import bench_churn  # noqa: E402
+import bench_faults  # noqa: E402
 import bench_many_walks  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
 import bench_serve  # noqa: E402
@@ -172,6 +173,45 @@ class TestBenchHarnessSmoke:
             assert row["incremental_rounds"] < row["rebuild_rounds"], row
             if row["churn_fraction"] == 0.01:
                 assert row["rounds_speedup"] >= 2.0, row
+
+    def test_incremental_fault_recovery_beats_discard_live(self):
+        # Live tier-1 guard for the PR-6 fault subsystem: serving through
+        # a seeded crash/recover schedule with incremental recovery
+        # (path-scan eviction, suffix reuse) must bill materially fewer
+        # ``serve/recovery`` rounds than the discard baseline (no recorded
+        # paths: full-pool eviction + from-source restarts at every
+        # event).  Simulated rounds are deterministic — no wall-clock
+        # flake risk.
+        section = bench_faults.bench_faults(**bench_faults.QUICK_FAULTS)
+        faulty = [r for r in section["rows"] if r["crash_rate"] > 0]
+        assert faulty, section
+        for row in faulty:
+            assert row["crashes_fired"] > 0, row
+            assert row["completed"] == section["requests"], row  # never dropped
+            assert row["recovery_rounds"] > 0, row
+            assert row["recovery_speedup"] >= 1.5, row
+
+    def test_committed_fault_recovery_section(self):
+        # The PR-6 acceptance bar: on the committed n=10k sweep, under a
+        # 1% crash-rate schedule every request still completes, and the
+        # incremental recovery path beats discard-and-re-prepare by >= 2x
+        # simulated recovery rounds.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("fault_recovery")
+        assert section is not None, "run benchmarks/bench_faults.py to regenerate"
+        assert section["schema"] == "bench_fault_recovery/v1"
+        assert section["n"] == 10_000
+        rates = {row["crash_rate"] for row in section["rows"]}
+        assert {0.0, 0.001, 0.01} <= rates
+        for row in section["rows"]:
+            assert row["completed"] == section["requests"], row  # never dropped
+            if row["crash_rate"] == 0.0:
+                assert row["recovery_rounds"] == 0, row
+            else:
+                assert row["crashes_fired"] > 0, row
+                assert row["recovery_rounds"] < row["discard_recovery_rounds"], row
+            if row["crash_rate"] == 0.01:
+                assert row["recovery_speedup"] >= 2.0, row
 
     def test_committed_engine_reuse_section(self):
         # bench_engine_reuse.py appends this section; the committed numbers
