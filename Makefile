@@ -4,7 +4,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults
+.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults bench-tenants
 
 test:
 	$(PY) -m pytest -x -q
@@ -37,3 +37,6 @@ bench-churn:
 
 bench-faults:
 	$(PY) benchmarks/bench_faults.py
+
+bench-tenants:
+	$(PY) benchmarks/bench_tenants.py

@@ -42,6 +42,7 @@ spec                      graph
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
@@ -210,8 +211,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     graph = parse_graph_spec(args.graph)
     engine = WalkEngine(graph, seed=args.seed, record_paths=False, auto_maintain=False)
+    registry = None
+    if args.tenants:
+        from repro.serve import TenantRegistry
+
+        registry = TenantRegistry.parse(args.tenants)
     scheduler = engine.scheduler(
+        tenants=registry,
         max_batch_requests=args.batch,
+        max_batch_walks=args.batch_walks,
+        pipelined_report=args.pipelined_report,
         max_queue_depth=args.queue_depth,
         maintain_round_budget=args.maintain_budget,
         default_deadline=args.deadline,
@@ -232,7 +241,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ValueError("--crash-rate needs --loop open (faults interleave with ticks)")
     if faulty and churning:
         raise ValueError("--crash-rate and --churn-*-rate are mutually exclusive")
-    if faulty:
+    if registry is not None and (faulty or churning or args.loop != "open"):
+        raise ValueError(
+            "--tenants drives one tagged open-loop stream per tenant; combine it "
+            "with the plain --loop open (see examples/multi_tenant.py for a "
+            "multi-tenant churn+crash episode)"
+        )
+    if registry is not None:
+        from repro.serve import run_tenant_loop
+
+        specs = [dataclasses.replace(spec, tenant=name) for name in registry.order]
+        run_tenant_loop(scheduler, specs, rng, rate=args.rate, ticks=args.ticks)
+    elif faulty:
         from repro.serve import run_fault_loop
 
         run_fault_loop(
@@ -305,6 +325,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("backoff waits", stats.backoff_waits),
             ]
         )
+    if registry is not None:
+        rows.append(("cohort splits / throttled ticks", f"{stats.cohort_splits}/{stats.throttled_ticks}"))
+        total_attr = sum(t["rounds_attributed"] for t in stats.tenants.values()) or 1
+        for name, t in stats.tenants.items():
+            share = t["rounds_attributed"] / total_attr
+            rows.append(
+                (
+                    f"tenant {name} (w={t['weight']:g})",
+                    f"done {t['completed']}/{t['admitted']} walks {t['walks_served']} "
+                    f"attr {t['rounds_attributed']} ({share:.1%}) "
+                    f"miss {t['deadline_misses']} throttle {t['throttled_ticks']}",
+                )
+            )
     print(
         render_table(
             ["quantity", "value"],
@@ -507,6 +540,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tick round budget for the deadline-driven maintain sweep",
     )
     serve.add_argument("--batch", type=int, default=8, help="max requests per cohort")
+    serve.add_argument(
+        "--batch-walks",
+        type=int,
+        default=None,
+        help="pack cohorts by total walk count (Σk budget, splitting tickets) "
+        "instead of request count",
+    )
+    serve.add_argument(
+        "--pipelined-report",
+        action="store_true",
+        help="share ONE height+Σk−1 report convergecast per cohort instead of "
+        "one height+k wave per request",
+    )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        help="comma-separated name:weight:quota triples (quota 0 = unmetered), "
+        "e.g. free:1:0,pro:4:0,batch:2:2000; drives one open-loop stream per "
+        "tenant and adds per-tenant telemetry rows",
+    )
     serve.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(

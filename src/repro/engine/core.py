@@ -314,7 +314,7 @@ class WalkEngine:
             self._faults = FaultController(self)
         return self._faults.apply_step(schedule_step, round_budget=round_budget)
 
-    def scheduler(self, **policy):
+    def scheduler(self, *, tenants=None, **policy):
         """Attach a :class:`~repro.serve.WalkScheduler` to this session.
 
         The scheduler is the round-driven serving layer (PR 4): submitted
@@ -323,13 +323,16 @@ class WalkEngine:
         sweeps — many concurrent requests sharing each BFS flood and
         SAMPLE-DESTINATION pipeline.  Keyword arguments are
         :class:`~repro.serve.ServePolicy` fields (``max_batch_requests``,
-        ``maintain_round_budget``, ``default_deadline``, ...).  The engine
-        keeps a reference so :meth:`stats` can surface the scheduler's
-        telemetry; attaching a new scheduler replaces it.
+        ``max_batch_walks``, ``maintain_round_budget``, ...); ``tenants``
+        takes a :class:`~repro.serve.TenantRegistry` for multi-tenant
+        serving (weighted fair admission + per-tenant round quotas — PR 7;
+        ``None`` serves one anonymous default tenant).  The engine keeps a
+        reference so :meth:`stats` can surface the scheduler's telemetry;
+        attaching a new scheduler replaces it.
         """
         from repro.serve import WalkScheduler
 
-        return WalkScheduler(self, **policy)
+        return WalkScheduler(self, tenants=tenants, **policy)
 
     def prepare(
         self,
@@ -755,6 +758,31 @@ class WalkEngine:
             self.maintain()
         return result
 
+    def _report_convergecast(self, tree, ks, *, phase: str = "report") -> None:
+        """Charge the destinations→sources report convergecast on ``tree``.
+
+        Destinations route their IDs to sources over the BFS tree; up to k
+        messages may funnel through one tree edge, pipelined.  For a single
+        request (``len(ks) == 1``) this is the PR-3 formula — ``height + k``
+        rounds, identical on every engine branch and pinned by the golden
+        serve ledgers.  For a multi-request cohort (PR 7,
+        ``ServePolicy.pipelined_report``) all Σk reports share ONE
+        convergecast wave: the pipeline drains in ``height + Σk − 1``
+        rounds — each of the per-request ``height`` start-up latencies
+        after the first is hidden behind the stream of earlier items, which
+        is exactly the cross-request saving arXiv:1201.1363's serving
+        regime pipelines for.  Messages (2 per walk: request + report) and
+        per-edge congestion (Σk through the root edge) are unchanged by
+        pipelining — only rounds collapse.
+        """
+        k_total = int(sum(ks))
+        if k_total == 0:
+            return
+        rounds = tree.height + k_total - (0 if len(ks) == 1 else 1)
+        net = self.network
+        with net.phase(phase):
+            net.ledger.charge(rounds, messages=2 * k_total, congestion=k_total)
+
     def _serve_pooled_many(self, request: WalkRequest) -> ManyWalksResult:
         sources, length = list(request.sources), request.length
         for s in sources:
@@ -813,13 +841,7 @@ class WalkEngine:
             served_from_pool = True
 
         if request.report_to_source:
-            # Destinations route their IDs to sources over the BFS tree; up
-            # to k messages may funnel through one tree edge, pipelined —
-            # O(height + k) rounds.  Identical formula on every branch (the
-            # stitched path used to charge Σ depth(dest) sequential hops, a
-            # strictly worse model of the same convergecast).
-            with net.phase("report"):
-                net.ledger.charge(base_tree.height + k, messages=2 * k, congestion=k)
+            self._report_convergecast(base_tree, [k])
 
         if pool is not None and served_from_pool:
             pool.queries += 1

@@ -165,7 +165,7 @@ class PoolManager:
         # Speculative prefetch: transient per-shard demand fed by the
         # serving scheduler from queued-but-unserviced tickets, consumed by
         # the next maintenance ordering (see :meth:`note_demand`).
-        self._prefetch_demand = np.zeros(self.num_shards, dtype=np.int64)
+        self._prefetch_demand = np.zeros(self.num_shards, dtype=np.float64)
         # Adaptive cost model for refill sweeps: one batched GET-MORE-WALKS
         # runs at most ``2λ−1`` iterations, each charged by the worst
         # per-edge distinct-source overlap, and the overlap grows with the
@@ -322,19 +322,25 @@ class PoolManager:
         needy = np.nonzero(deficit > 0)[0]
         return needy, deficit[needy]
 
-    def note_demand(self, shard_ids) -> None:
+    def note_demand(self, shard_ids, *, weight: float = 1.0) -> None:
         """Register speculative demand for shards (queued-but-unserviced walks).
 
-        The serving scheduler peeks its queue each tick and feeds the
+        The serving scheduler peeks its queues each tick and feeds the
         source shards of tickets *waiting* for a later cohort in here; the
         next :meth:`maintenance_order` treats each unit of demand as one
         token of extra urgency, so a deadline-budgeted maintain warms the
         shards those cohorts will stitch through before they run.  Demand
         is transient — consumed (cleared) by the next budgeted sweep — so
         a ticket that drains from the queue stops inflating priorities.
+
+        ``weight`` scales each note (multi-tenant serving, PR 7): a
+        queued walk from a weight-4 tenant exerts 4× the warming pressure
+        of a weight-1 tenant's, matching the share of upcoming cohorts
+        deficit-round-robin will actually grant it.  Ordering pressure
+        only — budgets and refill amounts never change.
         """
         for s in shard_ids:
-            self._prefetch_demand[int(s)] += 1
+            self._prefetch_demand[int(s)] += weight
 
     def maintenance_order(self, shard_ids: list[int], unused: np.ndarray | None = None) -> list[int]:
         """Deadline-driven refill priority: emptiest / most-demanded first.
@@ -351,7 +357,7 @@ class PoolManager:
         return sorted(
             shard_ids,
             key=lambda s: (
-                int(unused[s]) - self.shards[s].low_watermark - int(self._prefetch_demand[s]),
+                int(unused[s]) - self.shards[s].low_watermark - float(self._prefetch_demand[s]),
                 -self.shards[s].tokens_served,
                 s,
             ),

@@ -17,10 +17,18 @@ budget.  Typical use::
     sched.drain()
     print(sched.stats())          # admit/reject/miss counts, p50/p99 rounds
 
+Multi-tenant serving (PR 7): a :class:`TenantRegistry` gives each client
+a fair-share weight and an optional per-tick round quota; cohort
+formation runs deficit round robin across per-tenant queues, packs walks
+up to a Σk budget (``max_batch_walks``, splitting tickets across
+cohorts), and can pipeline the whole cohort's reports into one shared
+``height + Σk − 1`` convergecast (``pipelined_report``).
+
 Module map: :mod:`~repro.serve.model` (tickets, policy, telemetry),
-:mod:`~repro.serve.scheduler` (the ``WalkScheduler``),
-:mod:`~repro.serve.workload` (open-/closed-loop and fault-injected
-synthetic traffic).
+:mod:`~repro.serve.tenants` (tenant registry: weights, quotas,
+per-tenant telemetry), :mod:`~repro.serve.scheduler` (the
+``WalkScheduler``), :mod:`~repro.serve.workload` (open-/closed-loop,
+fault-injected, and multi-tenant synthetic traffic).
 """
 
 from repro.serve.model import (
@@ -37,15 +45,22 @@ from repro.serve.scheduler import (
     REASON_SHARD_BUDGET,
     WalkScheduler,
 )
+from repro.serve.tenants import (
+    DEFAULT_TENANT,
+    Tenant,
+    TenantRegistry,
+)
 from repro.serve.workload import (
     TrafficSpec,
     run_closed_loop,
     run_fault_loop,
     run_open_loop,
+    run_tenant_loop,
     sample_request_args,
 )
 
 __all__ = [
+    "DEFAULT_TENANT",
     "DONE",
     "QUEUED",
     "REASON_QUEUE_FULL",
@@ -53,6 +68,8 @@ __all__ = [
     "REJECTED",
     "SchedulerStats",
     "ServePolicy",
+    "Tenant",
+    "TenantRegistry",
     "TickReport",
     "TrafficSpec",
     "WalkScheduler",
@@ -60,5 +77,6 @@ __all__ = [
     "run_closed_loop",
     "run_fault_loop",
     "run_open_loop",
+    "run_tenant_loop",
     "sample_request_args",
 ]

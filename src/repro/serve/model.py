@@ -8,8 +8,8 @@ services them.  This module holds the passive records that flow across
 that boundary:
 
 * :class:`ServePolicy` — the scheduler's knobs (queue bound, cohort size,
-  the per-tick maintenance round budget, default deadline, admission
-  switch).
+  walk-count packing budget, pipelined-report switch, the per-tick
+  maintenance round budget, default deadline, admission switch).
 * :class:`WalkTicket` — one submitted request's lifecycle: QUEUED →
   DONE, or REJECTED at admission.  Deadlines are expressed in *simulated
   rounds on the session ledger* — the paper's complexity measure, so "serve
@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.model import WalkRequest, _jsonify
+from repro.serve.tenants import DEFAULT_TENANT
 
 __all__ = [
     "DONE",
@@ -62,7 +63,31 @@ class ServePolicy:
     max_batch_requests:
         How many queued requests one scheduling round services as a merged
         cohort.  Larger cohorts amortize shared BFS floods and pipeline more
-        draws per sweep but delay the requests behind them.
+        draws per sweep but delay the requests behind them.  Ignored when
+        ``max_batch_walks`` is set — walk-count packing then governs.
+    max_batch_walks:
+        Walk-count (Σk) packing budget per merged cohort, the PODC'10-native
+        cohort measure: sweep cost scales with the walks in flight, not the
+        requests they came from, so the cohort fills with walks until this
+        budget is met, **splitting** the last ticket across cohorts when it
+        does not fit whole.  Split tickets accumulate partial results and
+        complete when their last chunk is served — never dropped, never
+        reordered within their tenant.  ``None`` (default) keeps PR-4
+        request-count cohorts.
+    pipelined_report:
+        Replace each ticket's private ``height + k`` report convergecast
+        with ONE shared ``height + Σk − 1`` convergecast per cohort (phase
+        ``"serve/report"``, the arXiv:1201.1363 cross-request pipelining),
+        apportioned into ``rounds_attributed`` with the rest of the shared
+        cohort delta.  Private request deltas (``WalkTicket.rounds``) are
+        then 0 — the whole cohort cost is shared.  Off by default: the
+        PR-4 per-request report billing is the documented attribution
+        contract and the golden serve ledgers pin it.
+    drr_quantum:
+        Walks added to a tenant's deficit per deficit-round-robin pass,
+        scaled by the tenant's weight.  Larger quanta give coarser-grained
+        fairness (whole bursts per tenant per pass); the default keeps
+        per-pass service near one small request per unit weight.
     maintain_round_budget:
         Per-tick round budget for the deadline-driven maintenance sweep
         (emptiest/most-demanded shard first); ``None`` keeps the PR-3
@@ -87,6 +112,9 @@ class ServePolicy:
 
     max_queue_depth: int = 256
     max_batch_requests: int = 8
+    max_batch_walks: int | None = None
+    pipelined_report: bool = False
+    drr_quantum: int = 8
     maintain_round_budget: int | None = None
     default_deadline: int | None = None
     admission_control: bool = True
@@ -105,7 +133,10 @@ class WalkTicket:
     it.  ``rounds_attributed`` adds this ticket's proportional share (by
     walk count) of its cohort's shared rounds — the quantity the p50/p99
     rounds-per-request telemetry summarizes; per cohort the attributed
-    rounds sum exactly to the cohort's ledger delta.  ``latency_rounds`` is
+    rounds sum exactly to the cohort's ledger delta.  Under
+    ``ServePolicy.pipelined_report`` the report itself is shared (one
+    ``height + Σk − 1`` convergecast per cohort), so ``rounds`` is 0 and
+    the whole cost arrives through attribution.  ``latency_rounds`` is
     end-to-end simulated latency: ledger rounds between submission and
     completion, the number deadlines are checked against.
     """
@@ -115,6 +146,9 @@ class WalkTicket:
     priority: int
     submitted_round: int
     deadline_round: int | None
+    #: Owning tenant (deficit-round-robin class + quota bucket); untagged
+    #: submissions land on the auto-registered default tenant.
+    tenant: str = DEFAULT_TENANT
     status: str = QUEUED
     reject_reason: str | None = None
     result: object | None = None  # ManyWalksResult once DONE
@@ -124,6 +158,12 @@ class WalkTicket:
     rounds_attributed: int = 0
     latency_rounds: int | None = None
     deadline_missed: bool = False
+    #: Walks served so far — equals ``request.k`` once DONE; in between it
+    #: tracks a walk-count-packed ticket's progress across the cohorts its
+    #: chunks rode (see ``ServePolicy.max_batch_walks``).
+    walks_served: int = 0
+    #: Cohorts this ticket's walks were split across (1 = served whole).
+    cohorts: int = 0
     #: Times the scheduler parked this ticket because a source was crashed
     #: (retried — never dropped — once the scheduled recovery fires).
     retries: int = 0
@@ -223,6 +263,15 @@ class SchedulerStats:
     ticket_retries: int = 0
     backoff_waits: int = 0
     refill_backoffs: int = 0
+    #: Multi-tenant block (:mod:`repro.serve.tenants`): per-tenant
+    #: telemetry keyed by name in registration order (weights, quota
+    #: balances, attributed rounds, throttle counts); ``cohort_splits``
+    #: counts tickets whose walks were split across cohorts by walk-count
+    #: packing; ``throttled_ticks`` sums tenant-ticks on which queued work
+    #: was deferred by an overdrawn quota bucket.
+    tenants: dict[str, dict] = field(default_factory=dict)
+    cohort_splits: int = 0
+    throttled_ticks: int = 0
 
     def to_dict(self) -> dict:
         return _jsonify(dataclasses.asdict(self))

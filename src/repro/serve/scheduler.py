@@ -13,46 +13,74 @@ schedule against.  Concretely:
   shard is rejected *immediately and for free* — rejection is pure
   bookkeeping, no ledger charge, so an overloaded scheduler sheds load
   without spending the very rounds it is short of.
-* **Priority/deadline queue.**  Admitted tickets wait in a heap ordered by
-  (priority, deadline round, submission order).  FIFO within a class means
-  a hot source hammering the queue cannot starve earlier cold-source
-  tickets — they are strictly ahead of every later submission.
-* **Concurrent interleaved servicing.**  Each scheduling round pops up to
-  ``max_batch_requests`` tickets and merges *all* their walks into one
-  slot list for the engine's interleaved sweep engine
+* **Multi-tenant weighted-fair queueing** (PR 7).  Every submission lands
+  on a tenant (:mod:`repro.serve.tenants`; untagged → the default
+  tenant).  Each tenant has its own heap ordered by (priority, deadline
+  round, submission order), and cohort formation runs **deficit round
+  robin** across tenants: each pass grants every backlogged tenant
+  ``weight × drr_quantum`` walks of deficit, and a tenant's head ticket
+  is served once its deficit covers the ticket's walk count.  Under
+  saturating load each tenant's share of served walks — and therefore of
+  attributed rounds — converges to ``weight / Σ weights``, so a 10× hot
+  tenant cannot starve the others.  Token-bucket **round quotas** cap
+  tenants harder than fair share: the bucket refills ``quota`` rounds per
+  tick and is debited each cohort with the tenant's exact attributed
+  rounds; an overdrawn tenant is *throttled* — its queue is skipped until
+  refills cover the debt, deferred, never dropped.
+* **A documented total order.**  The schedule is a deterministic function
+  of (tenant registration order, per-tenant heap order), where the heap
+  breaks priority and deadline ties by ticket id — global submission
+  order.  There is no other tie-break anywhere, so replays with a fixed
+  seed are bit-reproducible across tenants (tested in
+  ``tests/test_tenants.py``).
+* **Concurrent interleaved servicing with walk-count packing.**  Each
+  scheduling round merges the popped work into one slot list for the
+  engine's interleaved sweep engine
   (:meth:`~repro.engine.core.WalkEngine._advance_interleaved`): one BFS
   (re-)flood per sweep for the whole cohort, every walk parked at a
   connector sharing one pipelined SAMPLE-DESTINATION round trip, all
-  cross-request tails completing in one parallel phase.  This extends the
-  PR-3 batch path from one k-walk request to many interleaved requests —
-  and it is where the ≥2× round win over request-at-a-time serving comes
-  from.
+  cross-request tails completing in one parallel phase.  By default the
+  cohort is ``max_batch_requests`` whole tickets (PR 4); with
+  ``max_batch_walks`` set the cohort instead packs **walks** up to a Σk
+  budget — the quantity sweep cost actually scales with — *splitting*
+  the last ticket across cohorts when it does not fit whole.  Split
+  tickets accumulate partial results chunk by chunk and complete when
+  the last chunk lands.
 * **Charged attribution.**  Shared cohort work lands on the session ledger
   under the ``"serve"`` phase family (``serve/setup``, ``serve/sample``,
-  ``serve/stitch-route``, ``serve/tail``) and reactive refills under
+  ``serve/stitch-route``, ``serve/tail``, and — under
+  ``pipelined_report`` — ``serve/report``) and reactive refills under
   ``"pool-refill/serve"``; each ticket's *private* delta
   (:meth:`~repro.congest.ledger.RoundLedger.capture` /
   :meth:`~repro.congest.ledger.RoundLedger.delta_since` around its own
   report convergecast) never contains them.  ``rounds_attributed`` adds a
   proportional share of the cohort's shared delta, apportioned so every
   cohort's attributed rounds sum *exactly* to its ledger delta — requests
-  + background maintenance balance the session ledger to the round.
+  + background maintenance balance the session ledger to the round, and
+  per tenant: Σ over tenants of attributed rounds + maintain + churn +
+  recovery = session delta exactly.  With ``pipelined_report`` the k
+  per-ticket ``height + k`` convergecasts collapse into ONE shared
+  ``height + Σk − 1`` wave per cohort
+  (:meth:`~repro.engine.core.WalkEngine._report_convergecast`), billed
+  shared and apportioned like the sweeps.
 * **Deadline-driven maintenance.**  Instead of the engine's unconditional
   full-quota sweep after every request, each tick ends with
   ``engine.maintain(round_budget=...)``: the emptiest/most-demanded shard
-  refills first and the budget defers the rest (see
-  :meth:`~repro.engine.pool.PoolManager.maintain`).
+  refills first and the budget defers the rest, with queued tickets'
+  shards fed in as demand weighted by their tenant's fair-share weight
+  (see :meth:`~repro.engine.pool.PoolManager.maintain`).
 
 The exactness contract is unchanged: every draw inside a merged sweep is a
 uniform unused token of its connector (Lemma A.2, without replacement), so
 scheduled endpoints keep the exact ``P^ℓ`` law per walk, independent walks
-across requests.
+across requests — including chunks of one request split across cohorts.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -69,6 +97,7 @@ from repro.serve.model import (
     WalkTicket,
     _percentile,
 )
+from repro.serve.tenants import DEFAULT_TENANT, TenantRegistry
 from repro.walks.many_walks import ManyWalksResult, _parallel_tails
 from repro.walks.params import many_walks_params
 
@@ -79,27 +108,66 @@ REASON_QUEUE_FULL = "queue-full"
 REASON_SHARD_BUDGET = "shard-refill-exceeds-budget"
 
 
+@dataclass
+class _CohortEntry:
+    """One cohort's slice of a ticket: walks ``[start, start + k)``.
+
+    Whole tickets ride as a single entry (``start == 0, k == ticket.k``);
+    walk-count packing may split a ticket into chunks served by
+    consecutive cohorts, each chunk one entry.
+    """
+
+    ticket: WalkTicket
+    start: int
+    k: int
+
+
+class _Partial:
+    """Accumulated state of a ticket served across one or more cohorts."""
+
+    __slots__ = ("destinations", "trajectories", "phase_rounds", "drew")
+
+    def __init__(self) -> None:
+        self.destinations: list[int] = []
+        self.trajectories: list[np.ndarray] = []
+        self.phase_rounds: dict[str, int] = {}
+        self.drew = False
+
+
 class WalkScheduler:
     """Round-driven scheduler for a stream of walk requests on one engine.
 
     Usage::
 
         engine = WalkEngine(graph, seed=7, record_paths=False)
-        sched = engine.scheduler(max_batch_requests=8, maintain_round_budget=64)
-        tickets = [sched.submit([0, 17, 33], 4096, deadline=5000)
+        tenants = TenantRegistry.parse("free:1:0,pro:4:0")
+        sched = engine.scheduler(tenants=tenants, max_batch_walks=64,
+                                 pipelined_report=True,
+                                 maintain_round_budget=64)
+        tickets = [sched.submit([0, 17, 33], 4096, deadline=5000,
+                                tenant="pro")
                    for _ in range(32)]
-        sched.drain()                      # tick until the queue is empty
+        sched.drain()                      # tick until the queues are empty
         done = [t for t in tickets if t.status == "done"]
-        print(sched.stats())               # queue/admit/reject/deadline telemetry
+        print(sched.stats())               # incl. per-tenant telemetry
 
     The scheduler owns no network state of its own — everything is charged
     on the engine's session ledger, with shared scheduling work in the
     ``"serve"`` phase family.  Construction attaches the scheduler to the
     engine (``engine.stats().serve`` surfaces its telemetry); attaching a
-    second scheduler replaces the first.
+    second scheduler replaces the first.  With no registry and no tenant
+    tags every request rides the auto-registered default tenant, and the
+    scheduler is exactly the PR-4 single-stream scheduler.
     """
 
-    def __init__(self, engine: WalkEngine, *, policy: ServePolicy | None = None, **knobs) -> None:
+    def __init__(
+        self,
+        engine: WalkEngine,
+        *,
+        policy: ServePolicy | None = None,
+        tenants: TenantRegistry | None = None,
+        **knobs,
+    ) -> None:
         if policy is not None and knobs:
             raise WalkError("pass either policy= or individual policy knobs, not both")
         self.engine = engine
@@ -108,6 +176,11 @@ class WalkScheduler:
             raise WalkError("max_queue_depth must be >= 1")
         if self.policy.max_batch_requests < 1:
             raise WalkError("max_batch_requests must be >= 1")
+        if self.policy.max_batch_walks is not None and self.policy.max_batch_walks < 1:
+            raise WalkError("max_batch_walks must be >= 1 (or None for request-count cohorts)")
+        if self.policy.drr_quantum < 1:
+            raise WalkError("drr_quantum must be >= 1")
+        self.tenants = tenants if tenants is not None else TenantRegistry()
         engine._scheduler = self
         self.root: int | None = None  # shared-tree root, pinned at first cohort
         # True once any trajectory request was admitted while the engine
@@ -115,8 +188,18 @@ class WalkScheduler:
         # paths even if that ticket lands in a later cohort than the one
         # that installs the pool.
         self._trajectories_requested = False
-        self._heap: list[tuple[int, float, int]] = []
+        # One (priority, deadline, ticket_id) heap per tenant, visited in
+        # registry registration order by deficit round robin.  The cursor
+        # persists across cohorts: a tenant whose turn a full cohort cut
+        # short resumes it (same deficit, no fresh quantum) in the next
+        # one — without this, tenants early in registration order would
+        # eat every cohort's budget and permanently truncate the last.
+        self._queues: dict[str, list[tuple[int, float, int]]] = {}
+        self._deficits: dict[str, float] = {}
+        self._drr_cursor = 0
+        self._drr_resume = False
         self._tickets: dict[int, WalkTicket] = {}
+        self._partials: dict[int, _Partial] = {}
         self._next_id = 0
         self._ticks = 0
         self._cohorts = 0
@@ -128,6 +211,8 @@ class WalkScheduler:
         self._walks_served = 0
         self._refill_calls = 0
         self._prefetch_noted = 0
+        self._cohort_splits = 0
+        self._throttled_ticks = 0
         self._rejects_by_reason: dict[str, int] = {}
         # Crash-fault serving state: tickets parked on a crashed source
         # (ticket_id -> heap key, re-queued when the source recovers), and
@@ -149,6 +234,7 @@ class WalkScheduler:
         *,
         deadline: int | None = None,
         priority: int = 0,
+        tenant: str | None = None,
         record_paths: bool | None = None,
         report_to_source: bool = True,
     ) -> WalkTicket:
@@ -159,6 +245,10 @@ class WalkScheduler:
         complete within that many *simulated rounds* from now; ``None``
         falls back to the policy default.  Smaller ``priority`` values are
         served first; ties (and the default priority 0) are FIFO.
+        ``tenant`` names the submitting client (``None`` → the default
+        tenant); unknown names auto-register at weight 1 with no quota —
+        pre-register via the :class:`~repro.serve.TenantRegistry` to give
+        a client a weight or a round quota.
 
         Malformed requests (bad source, non-positive length, trajectory
         request on an endpoint-only pool) raise :class:`WalkError` — those
@@ -166,7 +256,7 @@ class WalkScheduler:
         shard below watermark whose estimated refill cost exceeds the
         request's round budget — return a ``REJECTED`` ticket instead:
         rejection is a scheduling outcome, costs zero ledger rounds, and is
-        counted in :meth:`stats`.
+        counted in :meth:`stats` (globally and per tenant).
         """
         if isinstance(sources, (int, np.integer)):
             sources = (int(sources),)
@@ -188,6 +278,9 @@ class WalkScheduler:
         budget = deadline if deadline is not None else self.policy.default_deadline
         if budget is not None and budget < 1:
             raise WalkError(f"deadline must be >= 1 round, got {budget}")
+        tenant_name = tenant if tenant is not None else DEFAULT_TENANT
+        owner = self.tenants.ensure(tenant_name)
+        owner.submitted += 1
         now = self.engine.network.rounds
         ticket = WalkTicket(
             ticket_id=self._next_id,
@@ -195,6 +288,7 @@ class WalkScheduler:
             priority=int(priority),
             submitted_round=now,
             deadline_round=now + budget if budget is not None else None,
+            tenant=tenant_name,
         )
         self._next_id += 1
         self._submitted += 1
@@ -203,10 +297,12 @@ class WalkScheduler:
             ticket.status = REJECTED
             ticket.reject_reason = reason
             self._rejected += 1
+            owner.rejected += 1
             self._rejects_by_reason[reason] = self._rejects_by_reason.get(reason, 0) + 1
             self._tickets[ticket.ticket_id] = ticket
             return ticket
         self._admitted += 1
+        owner.admitted += 1
         if record_paths and pool is None:
             # Cold engine and the request was ADMITTED: remember the wish
             # so whichever cohort installs the pool prepares it
@@ -214,7 +310,7 @@ class WalkScheduler:
             self._trajectories_requested = True
         self._tickets[ticket.ticket_id] = ticket
         heapq.heappush(
-            self._heap,
+            self._queues.setdefault(tenant_name, []),
             (
                 ticket.priority,
                 float(ticket.deadline_round) if ticket.deadline_round is not None else math.inf,
@@ -255,9 +351,13 @@ class WalkScheduler:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self) -> int:
-        # Parked tickets are still queued work (they re-enter the heap at
-        # recovery), so they count against the admission bound too.
-        return len(self._heap) + len(self._parked)
+        # Parked tickets are still queued work (they re-enter their queue
+        # at recovery), so they count against the admission bound too.  A
+        # split ticket counts once until its last chunk completes.
+        return sum(len(q) for q in self._queues.values()) + len(self._parked)
+
+    def _has_queued(self) -> bool:
+        return any(self._queues.values())
 
     def ticket(self, ticket_id: int) -> WalkTicket:
         return self._tickets[ticket_id]
@@ -265,8 +365,10 @@ class WalkScheduler:
     def tick(self) -> TickReport:
         """One scheduling round: service a cohort, then budgeted maintenance.
 
-        Pops up to ``max_batch_requests`` tickets in (priority, deadline,
-        FIFO) order, services them as ONE merged interleaved batch, and
+        Refills every tenant's quota bucket, forms a cohort by deficit
+        round robin over the tenant queues — whole tickets up to
+        ``max_batch_requests``, or walk chunks up to ``max_batch_walks``
+        when packing — services it as ONE merged interleaved batch, and
         closes with the deadline-driven maintenance sweep under the
         policy's round budget.  Safe to call with an empty queue — an idle
         tick costs only the (possibly zero-cost) maintenance check.
@@ -288,12 +390,18 @@ class WalkScheduler:
         rounds_before = net.rounds
         self._ticks += 1
         self._poll_faults()
+        self.tenants.refill()
+        for name, queue in self._queues.items():
+            owner = self.tenants.get(name)
+            if queue and owner.throttled:
+                owner.throttled_ticks += 1
+                self._throttled_ticks += 1
         cohort = self._form_cohort()
         refill_calls = 0
         if cohort:
             self._cohorts += 1
             refill_calls = self._service_cohort(cohort)
-        elif self._parked and not self._heap:
+        elif self._parked and not self._has_queued():
             # Every remaining request sits on a crashed source: advance
             # simulated time toward the scheduled recovery (idle rounds
             # billed to "serve/recovery", exponentially backed off).
@@ -306,7 +414,7 @@ class WalkScheduler:
         self._note_shard_backoff(maintain)
         return TickReport(
             tick=self._ticks,
-            serviced=tuple(t.ticket_id for t in cohort),
+            serviced=tuple(e.ticket.ticket_id for e in cohort),
             rounds=net.rounds - rounds_before,
             queue_depth=self.queue_depth,
             refill_calls=refill_calls,
@@ -327,38 +435,142 @@ class WalkScheduler:
             self.root = None
         if self._parked:
             for ticket_id, key in list(self._parked.items()):
-                sources = self._tickets[ticket_id].request.sources
-                if all(live[s] for s in sources):
+                ticket = self._tickets[ticket_id]
+                if all(live[s] for s in ticket.request.sources):
                     del self._parked[ticket_id]
-                    heapq.heappush(self._heap, key)
+                    heapq.heappush(self._queues[ticket.tenant], key)
 
-    def _form_cohort(self) -> list[WalkTicket]:
-        """Pop serviceable tickets; park crashed-source ones for retry.
+    def _park_if_crashed(self, ticket: WalkTicket) -> bool:
+        """Park a crashed-source ticket for retry; True if parked.
 
         Parking preserves the ticket's heap key, so a recovered ticket
-        re-enters the queue with its original (priority, deadline, FIFO)
-        position.  A crashed source with no scheduled recovery makes the
-        request unservable — that raises rather than parking forever.
+        re-enters its tenant's queue with its original (priority, deadline,
+        FIFO) position.  A crashed source with no scheduled recovery makes
+        the request unservable — that raises rather than parking forever.
         """
         faults = self.engine._faults
-        live = faults.live if faults is not None else None
-        cohort: list[WalkTicket] = []
-        while self._heap and len(cohort) < self.policy.max_batch_requests:
-            key = heapq.heappop(self._heap)
-            ticket = self._tickets[key[2]]
-            if live is not None and not all(live[s] for s in ticket.request.sources):
-                for s in ticket.request.sources:
-                    if not live[s] and not faults.recovery_pending(s):
-                        raise WalkError(
-                            f"ticket {ticket.ticket_id}: source {s} is crashed with no "
-                            "scheduled recovery; request cannot be served"
-                        )
-                ticket.retries += 1
-                self._ticket_retries += 1
-                self._parked[ticket.ticket_id] = key
-                continue
-            cohort.append(ticket)
-        return cohort
+        if faults is None:
+            return False
+        live = faults.live
+        if all(live[s] for s in ticket.request.sources):
+            return False
+        for s in ticket.request.sources:
+            if not live[s] and not faults.recovery_pending(s):
+                raise WalkError(
+                    f"ticket {ticket.ticket_id}: source {s} is crashed with no "
+                    "scheduled recovery; request cannot be served"
+                )
+        ticket.retries += 1
+        self._ticket_retries += 1
+        return True
+
+    def _form_cohort(self) -> list[_CohortEntry]:
+        """Deficit-round-robin cohort formation across the tenant queues.
+
+        The rotation visits tenants in **registration order**
+        (:attr:`~repro.serve.tenants.TenantRegistry.order`) from a cursor
+        that persists across cohorts.  Arriving at a backlogged,
+        unthrottled tenant grants it ``weight × drr_quantum`` walks of
+        deficit, and its queue head is taken while the deficit covers the
+        head's walk count; the rotation keeps cycling (granting a fresh
+        quantum per arrival) until the cohort budget fills or no tenant
+        has eligible work.  When a full cohort cuts a tenant's turn short
+        the cursor stays on it and the next cohort *resumes* the turn —
+        same deficit, no fresh quantum — so one full rotation always
+        grants walks in exact ``weight`` proportion no matter how the
+        budget slices rotations into cohorts, and each tenant's share of
+        served walks (hence of attributed rounds) converges to
+        ``weight / Σ weights`` under backlog.  A tenant's deficit resets
+        when its queue drains (no banking credit while idle) and persists
+        while backlogged (a big ticket is not starved — the deficit keeps
+        growing until it covers it).
+
+        With ``max_batch_walks`` unset (default) the cohort is whole
+        tickets, capped at ``max_batch_requests`` — the PR-4 cohort, and
+        with a single tenant the pop order is bit-identical to the PR-4
+        heap.  With it set, the cohort packs walks up to the Σk budget and
+        the final ticket is *split* when only part of it fits: the taken
+        chunk rides this cohort, the rest stays at the head of its
+        tenant's queue (same key) for the next one.  Crashed-source
+        tickets are parked for retry exactly as before.  The whole
+        schedule is a deterministic function of (cursor, registration
+        order, per-tenant heap order) with ticket id — global submission
+        order — as the final tie-break, so fixed-seed replays are
+        bit-reproducible.
+        """
+        order = self.tenants.order
+        if not order:
+            return []
+        walk_budget = self.policy.max_batch_walks
+        request_budget = self.policy.max_batch_requests if walk_budget is None else None
+        entries: list[_CohortEntry] = []
+        walks_packed = 0
+        n = len(order)
+        i = self._drr_cursor % n
+        resume = self._drr_resume
+        self._drr_resume = False
+        visited = 0
+        any_eligible = False
+        while True:
+            name = order[i]
+            queue = self._queues.get(name)
+            owner = self.tenants.get(name)
+            if queue and not owner.throttled:
+                any_eligible = True
+                if not resume:
+                    self._deficits[name] = (
+                        self._deficits.get(name, 0.0) + owner.weight * self.policy.drr_quantum
+                    )
+                while queue:
+                    if request_budget is not None and len(entries) >= request_budget:
+                        self._drr_cursor, self._drr_resume = i, True
+                        return entries
+                    key = queue[0]
+                    ticket = self._tickets[key[2]]
+                    if self._park_if_crashed(ticket):
+                        heapq.heappop(queue)
+                        self._parked[ticket.ticket_id] = key
+                        continue
+                    remaining = ticket.k - ticket.walks_served
+                    take = remaining
+                    if walk_budget is not None:
+                        room = walk_budget - walks_packed
+                        if room <= 0:
+                            self._drr_cursor, self._drr_resume = i, True
+                            return entries
+                        take = min(remaining, room)
+                    if self._deficits.get(name, 0.0) < take:
+                        break  # turn over — the rotation moves on
+                    heapq.heappop(queue)
+                    if take < remaining:
+                        # Split: the chunk rides this cohort, the ticket
+                        # keeps its key (and queue position) for the rest.
+                        heapq.heappush(queue, key)
+                        self._cohort_splits += 1
+                    entries.append(_CohortEntry(ticket=ticket, start=ticket.walks_served, k=take))
+                    self._deficits[name] -= take
+                    walks_packed += take
+                    if take < remaining:
+                        # The walk budget is exactly exhausted (take was
+                        # capped by room); return before re-popping the
+                        # same head.
+                        self._drr_cursor, self._drr_resume = i, True
+                        return entries
+            if queue is not None and not queue:
+                self._deficits[name] = 0.0
+            resume = False
+            i = (i + 1) % n
+            visited += 1
+            if visited % n == 0:
+                if not any_eligible:
+                    # Every queue is empty, throttled, or fully parked.
+                    self._drr_cursor = i
+                    return entries
+                # Some tenant still has work but deficits were short: keep
+                # rotating — each arrival grants quantum (take >= 1,
+                # weight > 0), so a head ticket is eventually covered and
+                # termination is guaranteed.
+                any_eligible = False
 
     def _excluded_shards(self) -> list[int]:
         """Shards currently skipped by the refill backoff schedule."""
@@ -392,37 +604,43 @@ class WalkScheduler:
     def _note_prefetch_demand(self) -> None:
         """Speculative prefetch: queue contents steer the maintenance order.
 
-        The tickets still waiting in the heap name exactly the shards the
-        *next* cohorts will stitch through; feeding them to
+        The tickets still waiting in the tenant queues name exactly the
+        shards the *next* cohorts will stitch through; feeding them to
         :meth:`~repro.engine.pool.PoolManager.note_demand` makes the
-        deadline-budgeted maintain about to run warm those shards first
-        (each queued walk counts as one token of extra urgency).  Pure
+        deadline-budgeted maintain about to run warm those shards first,
+        each queued walk weighted by its tenant's fair-share weight — the
+        share of upcoming cohorts DRR will actually grant it.  Pure
         ordering pressure — the budget and refill amounts are untouched,
         and demand expires with the sweep, so a drained queue stops
         steering.
         """
         manager = self.engine.pool_manager
-        if not self.policy.speculative_prefetch or manager is None or not self._heap:
+        if not self.policy.speculative_prefetch or manager is None or not self._has_queued():
             return
-        shards = [
-            manager.shard_of(s)
-            for _, _, ticket_id in self._heap
-            for s in self._tickets[ticket_id].request.sources
-        ]
-        manager.note_demand(shards)
-        self._prefetch_noted += len(shards)
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            shards = [
+                manager.shard_of(s)
+                for _, _, ticket_id in queue
+                for s in self._tickets[ticket_id].request.sources
+            ]
+            manager.note_demand(shards, weight=self.tenants.get(name).weight)
+            self._prefetch_noted += len(shards)
 
     def drain(self, *, max_ticks: int = 100_000) -> list[WalkTicket]:
-        """Tick until the queue is empty; returns every completed ticket.
+        """Tick until the queues are empty; returns every completed ticket.
 
         Parked tickets count as queued work: drain keeps ticking (waiting
         simulated time toward scheduled recoveries when nothing else is
-        serviceable) until every admitted ticket completes.  A parked
-        ticket whose source will never recover surfaces as
+        serviceable) until every admitted ticket completes.  Throttled
+        tenants make progress too — their buckets refill every tick, so a
+        quota defers work, it never wedges the drain.  A parked ticket
+        whose source will never recover surfaces as
         :class:`~repro.errors.WalkError` from the tick that tries it.
         """
         ticks = 0
-        while self._heap or self._parked:
+        while self._has_queued() or self._parked:
             self.tick()
             ticks += 1
             if ticks >= max_ticks:
@@ -432,7 +650,7 @@ class WalkScheduler:
     # ------------------------------------------------------------------
     # Cohort servicing
     # ------------------------------------------------------------------
-    def _ensure_pool(self, cohort: list[WalkTicket]) -> None:
+    def _ensure_pool(self, cohort: list[_CohortEntry]) -> None:
         """Warm a cold engine with the cohort-shaped k-enlarged λ policy.
 
         Preparation is session warm-up, not cohort work: Phase 1 charges to
@@ -455,12 +673,12 @@ class WalkScheduler:
                 allow_unreached=self.engine._faults is not None,
             )
         d_est = max(1, 2 * tree.height)
-        k_total = sum(t.k for t in cohort)
-        length_max = max(t.request.length for t in cohort)
+        k_total = sum(e.k for e in cohort)
+        length_max = max(e.ticket.request.length for e in cohort)
         wants_paths = (
             self.engine._default_record_paths
             or self._trajectories_requested
-            or any(t.request.record_paths for t in cohort)
+            or any(e.ticket.request.record_paths for e in cohort)
         )
         params = many_walks_params(
             k_total,
@@ -474,12 +692,12 @@ class WalkScheduler:
             return
         self.engine._install_pool(params.lam, params.eta, wants_paths, d_est)
 
-    def _service_cohort(self, cohort: list[WalkTicket]) -> int:
+    def _service_cohort(self, cohort: list[_CohortEntry]) -> int:
         """Serve one cohort as a single merged interleaved batch."""
         engine = self.engine
         net = engine.network
         if self.root is None:
-            self.root = cohort[0].request.source
+            self.root = cohort[0].ticket.request.source
         self._ensure_pool(cohort)
         pool = engine.pool
 
@@ -492,12 +710,14 @@ class WalkScheduler:
                 allow_unreached=engine._faults is not None,
             )
 
-        # One slot per walk across every request of the cohort.  With no
+        # One slot per walk across every entry of the cohort (an entry is a
+        # whole ticket, or one chunk of a walk-count-split one).  With no
         # pool (naive regime) nothing is ever active in the sweep loop and
         # all walks complete as one merged parallel-tail phase.
         slots: list[_WalkSlot] = []
-        ticket_slots: list[tuple[WalkTicket, slice, bool]] = []
-        for ticket in cohort:
+        entry_slots: list[tuple[_CohortEntry, slice, bool]] = []
+        for entry in cohort:
+            ticket = entry.ticket
             req = ticket.request
             # submit() rejects trajectory requests a pathless pool cannot
             # serve, and a cold-engine trajectory wish makes _ensure_pool
@@ -520,7 +740,7 @@ class WalkScheduler:
                 engine._faults is not None and pool is not None and pool.record_paths
             )
             start = len(slots)
-            for s in req.sources:
+            for s in req.sources[entry.start : entry.start + entry.k]:
                 slots.append(
                     _WalkSlot(
                         source=int(s),
@@ -530,7 +750,7 @@ class WalkScheduler:
                         chunks=[np.array([s], dtype=np.int64)] if track else None,
                     )
                 )
-            ticket_slots.append((ticket, slice(start, len(slots)), rp))
+            entry_slots.append((entry, slice(start, len(slots)), rp))
 
         refill_calls = 0
         if pool is not None:
@@ -550,73 +770,110 @@ class WalkScheduler:
             net, pre_tails, engine.rng, record_paths=any_rp, phase="serve/tail"
         )
 
-        # Per-request private work + capture/delta attribution.
+        pipelined = self.policy.pipelined_report
+        if pipelined:
+            # Cross-request pipelining: ONE shared convergecast carries the
+            # whole cohort's reports in height + Σk − 1 rounds (vs. one
+            # height + k wave per ticket), billed to the shared
+            # "serve/report" phase and apportioned below like the sweeps.
+            # A lone reporting entry has no pipelining partner: the helper
+            # then bills the PR-3 height + k formula — the identical
+            # charge, just on the shared phase instead of a private delta.
+            report_ks = [e.k for e, _, _ in entry_slots if e.ticket.request.report_to_source]
+            engine._report_convergecast(tree, report_ks, phase="serve/report")
+
+        # Per-entry private work + capture/delta accumulation into tickets;
+        # completion fires when a ticket's last chunk lands.
         private_total = 0
-        for ticket, span, rp in ticket_slots:
+        entry_private: list[int] = []
+        finished: list[_CohortEntry] = []
+        for entry, span, rp in entry_slots:
+            ticket = entry.ticket
             req = ticket.request
-            k = req.k
             snapshot = net.ledger.capture()
-            if req.report_to_source:
+            if not pipelined and req.report_to_source:
                 # Pipelined destination→source convergecast on the shared
-                # tree, the PR-3 formula: O(height + k) per request.
-                with net.phase("report"):
-                    net.ledger.charge(tree.height + k, messages=2 * k, congestion=k)
+                # tree, the PR-3 formula: O(height + k) per entry.
+                engine._report_convergecast(tree, [entry.k], phase="report")
             delta = net.ledger.delta_since(snapshot)
             private_total += delta.rounds
+            entry_private.append(delta.rounds)
 
             my_slots = slots[span]
-            trajectories = None
+            part = self._partials.setdefault(ticket.ticket_id, _Partial())
+            part.destinations.extend(destinations[span])
             if rp:
-                trajectories = []
                 for slot, tail in zip(my_slots, tail_paths[span]):
                     assert tail is not None and slot.chunks is not None
-                    trajectories.append(np.concatenate(slot.chunks + [tail]))
-                    if len(trajectories[-1]) != req.length + 1:
+                    part.trajectories.append(np.concatenate(slot.chunks + [tail]))
+                    if len(part.trajectories[-1]) != req.length + 1:
                         raise WalkError("scheduled trajectory has wrong length")
-            ticket.result = ManyWalksResult(
-                sources=[slot.source for slot in my_slots],
-                length=req.length,
-                destinations=destinations[span],
-                positions=trajectories,
-                mode="scheduled",
-                rounds=delta.rounds,
-                lam=pool.lam if pool is not None else 0,
-                phase_rounds=dict(delta.phase_rounds),
-            )
-            ticket.rounds = delta.rounds
-            ticket.status = DONE
+            part.drew = part.drew or any(slot.draws for slot in my_slots)
+            for name, rounds in delta.phase_rounds.items():
+                part.phase_rounds[name] = part.phase_rounds.get(name, 0) + rounds
+
+            owner = self.tenants.get(ticket.tenant)
+            ticket.rounds += delta.rounds
+            ticket.walks_served += entry.k
+            ticket.cohorts += 1
             ticket.serviced_tick = self._ticks
-            if pool is not None and any(slot.draws for slot in my_slots):
-                pool.queries += 1
-            engine._queries += 1
-            self._completed += 1
-            self._walks_served += k
+            owner.walks_served += entry.k
+            self._walks_served += entry.k
+            if ticket.walks_served == req.k:
+                part = self._partials.pop(ticket.ticket_id)
+                ticket.result = ManyWalksResult(
+                    sources=[int(s) for s in req.sources],
+                    length=req.length,
+                    destinations=part.destinations,
+                    positions=part.trajectories if rp else None,
+                    mode="scheduled",
+                    rounds=ticket.rounds,
+                    lam=pool.lam if pool is not None else 0,
+                    phase_rounds=dict(part.phase_rounds),
+                )
+                ticket.status = DONE
+                if pool is not None and part.drew:
+                    pool.queries += 1
+                engine._queries += 1
+                self._completed += 1
+                owner.completed += 1
+                finished.append(entry)
 
         # Apportion the cohort's shared rounds (sweeps, tails, refills,
-        # setup — everything not in a private delta) by walk count, largest
-        # requests first for the remainder, so attributed rounds sum
-        # EXACTLY to the cohort's ledger delta.  Recovery rounds billed
-        # mid-cohort ("serve/recovery": fault cascades, slot truncation,
-        # idle waits) are session failure cost, not request work — they
-        # stay out of attribution, extending the ledger-balance identity
-        # to Σ attributed + maintain + churn + recovery = session delta.
+        # setup, pipelined reports — everything not in a private delta) by
+        # walk count, largest entries first for the remainder, so
+        # attributed rounds sum EXACTLY to the cohort's ledger delta.
+        # Recovery rounds billed mid-cohort ("serve/recovery": fault
+        # cascades, slot truncation, idle waits) are session failure cost,
+        # not request work — they stay out of attribution, extending the
+        # ledger-balance identity to Σ per-tenant attributed + maintain +
+        # churn + recovery = session delta.  Each tenant's quota bucket is
+        # debited with exactly the rounds attributed to it here.
         cohort_delta = net.ledger.delta_since(cohort_snapshot)
         cohort_recovery = cohort_delta.phase_rounds.get("serve/recovery", 0)
         shared = cohort_delta.rounds - private_total - cohort_recovery
         total_walks = len(slots)
-        shares = [shared * t.k // total_walks for t, _, _ in ticket_slots]
+        shares = [shared * e.k // total_walks for e, _, _ in entry_slots]
         remainder = shared - sum(shares)
         order = sorted(range(len(cohort)), key=lambda i: (-cohort[i].k, i))
         for j in range(remainder):
             shares[order[j % len(shares)]] += 1
         now = net.rounds
-        for (ticket, _, _), share in zip(ticket_slots, shares):
-            ticket.rounds_attributed = ticket.rounds + share
-            ticket.completed_round = now
-            ticket.latency_rounds = now - ticket.submitted_round
-            if ticket.deadline_round is not None and now > ticket.deadline_round:
-                ticket.deadline_missed = True
-                self._deadline_misses += 1
+        done_now = {e.ticket.ticket_id for e in finished}
+        for (entry, _, _), share, private in zip(entry_slots, shares, entry_private):
+            ticket = entry.ticket
+            attributed = private + share
+            ticket.rounds_attributed += attributed
+            owner = self.tenants.get(ticket.tenant)
+            owner.rounds_attributed += attributed
+            owner.debit(attributed)
+            if ticket.ticket_id in done_now:
+                ticket.completed_round = now
+                ticket.latency_rounds = now - ticket.submitted_round
+                if ticket.deadline_round is not None and now > ticket.deadline_round:
+                    ticket.deadline_missed = True
+                    self._deadline_misses += 1
+                    owner.deadline_misses += 1
         return refill_calls
 
     # ------------------------------------------------------------------
@@ -657,11 +914,14 @@ class WalkScheduler:
             ticket_retries=self._ticket_retries,
             backoff_waits=faults.backoff_waits if faults is not None else 0,
             refill_backoffs=self._refill_backoffs,
+            tenants=self.tenants.stats(),
+            cohort_splits=self._cohort_splits,
+            throttled_ticks=self._throttled_ticks,
         )
 
     def __repr__(self) -> str:
         return (
             f"WalkScheduler(queue={self.queue_depth}, submitted={self._submitted}, "
             f"completed={self._completed}, rejected={self._rejected}, "
-            f"ticks={self._ticks})"
+            f"tenants={len(self.tenants)}, ticks={self._ticks})"
         )

@@ -19,7 +19,10 @@ Both disciplines draw i.i.d. requests from a :class:`TrafficSpec` — a
 hot/cold source mixture (the adversarial shape of the PR-3 fairness
 tests), a walk-length menu, and a batch-width menu — and return every
 ticket so callers can slice outcomes by class (hot vs. cold, deadline
-hit vs. miss).
+hit vs. miss).  A spec may carry a ``tenant`` tag; the multi-tenant
+composite (:func:`run_tenant_loop`) drives one tagged spec per tenant
+through a shared scheduler so weighted-fair admission and quotas can be
+observed per client.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ __all__ = [
     "run_closed_loop",
     "run_fault_loop",
     "run_open_loop",
+    "run_tenant_loop",
     "sample_request_args",
 ]
 
@@ -50,6 +54,9 @@ class TrafficSpec:
     are uniform menus for walk length and batch width.  ``deadline`` (a
     round budget) and ``priority`` are applied verbatim to every request;
     ``None`` deadline defers to the scheduler policy's default.
+    ``tenant`` tags every request with a client name (``None`` → the
+    scheduler's default tenant), which is how a stream lands on its
+    weight and quota bucket in a multi-tenant scheduler.
     """
 
     n: int
@@ -59,6 +66,7 @@ class TrafficSpec:
     hot_source: int = 0
     deadline: int | None = None
     priority: int = 0
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -84,6 +92,7 @@ def sample_request_args(spec: TrafficSpec, rng: np.random.Generator) -> dict:
         "length": length,
         "deadline": spec.deadline,
         "priority": spec.priority,
+        "tenant": spec.tenant,
     }
 
 
@@ -218,3 +227,45 @@ def run_fault_loop(
         ticks=ticks,
         drain=drain,
     )
+
+
+def run_tenant_loop(
+    scheduler: WalkScheduler,
+    specs: list[TrafficSpec],
+    rng: np.random.Generator,
+    *,
+    rate: float,
+    ticks: int,
+    drain: bool = True,
+) -> dict[str, list[WalkTicket]]:
+    """Open-loop Poisson traffic from several tenants through one scheduler.
+
+    Each spec is one tenant's stream (its ``tenant`` tag routes it to the
+    matching weight/quota bucket; an untagged spec rides the default
+    tenant) and every tick submits ``Poisson(rate)`` requests *per spec*,
+    in spec order, before running one scheduling round — so all tenants
+    offer the same load and the scheduler's weighted-fair admission, not
+    arrival luck, decides the service split.  Returns the tickets keyed
+    by tenant name so callers can compare attributed rounds, misses, and
+    throttling per client.
+    """
+    if rate < 0:
+        raise WalkError("rate must be >= 0")
+    if ticks < 1:
+        raise WalkError("ticks must be >= 1")
+    if not specs:
+        raise WalkError("run_tenant_loop needs at least one TrafficSpec")
+    from repro.serve.tenants import DEFAULT_TENANT
+
+    tickets: dict[str, list[WalkTicket]] = {}
+    for _ in range(ticks):
+        for spec in specs:
+            name = spec.tenant if spec.tenant is not None else DEFAULT_TENANT
+            bucket = tickets.setdefault(name, [])
+            for _ in range(int(rng.poisson(rate))):
+                args = sample_request_args(spec, rng)
+                bucket.append(scheduler.submit(**args))
+        scheduler.tick()
+    if drain:
+        scheduler.drain()
+    return tickets

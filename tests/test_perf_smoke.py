@@ -24,6 +24,7 @@ import bench_faults  # noqa: E402
 import bench_many_walks  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
 import bench_serve  # noqa: E402
+import bench_tenants  # noqa: E402
 
 
 class TestBenchHarnessSmoke:
@@ -143,6 +144,45 @@ class TestBenchHarnessSmoke:
             assert row["request_rounds_after"] < row["request_rounds_before"], row
             if row["k"] == 64:
                 assert row["rounds_speedup"] > 2.0, row
+
+    def test_packed_tenant_serving_beats_per_request_live(self):
+        # Live tier-1 guard for the PR-7 multi-tenant tier: the same
+        # 9-request 3-tenant mixed-length workload costs fewer simulated
+        # rounds through Σk-packed cohorts with the shared pipelined
+        # report than through per-request serving, and ticket splitting
+        # actually exercises.  Simulated rounds are deterministic — no
+        # wall-clock flake risk.
+        section = bench_tenants.bench_tenants(**bench_tenants.QUICK_TENANTS)
+        row = section["rows"][0]
+        assert row["requests"] == 9
+        assert row["cohort_splits"] > 0, row
+        assert row["pipelined_report_rounds"] > 0, row
+        assert row["rounds_speedup"] >= 1.3, row
+        assert row["fairness_max_rel_dev"] < 0.25, row
+
+    def test_committed_multi_tenant_section(self):
+        # The PR-7 acceptance bar: on the committed n=10k sweep the
+        # packed+pipelined multi-tenant scheduler beats per-request
+        # serving by >= 1.3x total simulated rounds at every recorded
+        # k in {16, 64, 256}, with the saturated fairness split staying
+        # within 10% relative of the 1:2:4 weight shares.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("multi_tenant")
+        assert section is not None, "run benchmarks/bench_tenants.py to regenerate"
+        assert section["schema"] == "bench_multi_tenant/v1"
+        assert section["n"] == 10_000
+        ks = {row["k"] for row in section["rows"]}
+        assert {16, 64, 256} <= ks
+        for row in section["rows"]:
+            assert row["requests"] == 9
+            assert len(set(row["lengths"])) > 1, "workload must mix lengths"
+            assert row["rounds_speedup"] >= 1.3, row
+            assert row["cohort_splits"] > 0, row
+            assert row["fairness_max_rel_dev"] < 0.10, row
+            assert (
+                row["packed_throughput_per_1k_rounds"]
+                > row["per_request_throughput_per_1k_rounds"]
+            ), row
 
     def test_incremental_churn_beats_rebuild_live(self):
         # Live tier-1 guard for the PR-5 churn subsystem: absorbing a 1%
