@@ -1,15 +1,21 @@
 # Developer entry points.  Tier-1 verify is `make test` (equivalently
-# `PYTHONPATH=src python -m pytest -x -q`); the lint gate also runs inside
-# it via tests/test_lint.py.
+# `PYTHONPATH=src python -m pytest -x -q`); the lint and static-analysis
+# gates also run inside it via tests/test_lint.py and
+# tests/test_static_analysis.py.
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults bench-tenants
+.PHONY: test lint analyze slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults bench-tenants
 
 test:
 	$(PY) -m pytest -x -q
 
-lint:
+# AST invariant analyzer (repro.analysis): phase registry, bulk-only token
+# paths, seeded RNG, fast-path pairing, capture balance, dead imports.
+analyze:
+	$(PY) -m repro.analysis src
+
+lint: analyze
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \

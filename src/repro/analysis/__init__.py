@@ -1,0 +1,44 @@
+"""``repro.analysis`` — static AST enforcement of the repo's invariants.
+
+Run as a CLI (``python -m repro.analysis src``, ``make analyze``) or from
+the tier-1 gate (``tests/test_static_analysis.py``).  See
+:mod:`repro.analysis.core` for the framework and
+:mod:`repro.analysis.rules` for the invariants checked; audited exceptions
+are suppressed line-by-line with ``# repro: allow-<rule>``.
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    Rule,
+    SourceFile,
+    analyze_paths,
+    attr_chain,
+    iter_python_files,
+)
+from repro.analysis.rules import (
+    BulkOnlyRule,
+    CaptureBalanceRule,
+    DeadImportRule,
+    FastPathPairingRule,
+    PhaseRegistryRule,
+    SeededRngRule,
+    default_rules,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "analyze_paths",
+    "attr_chain",
+    "iter_python_files",
+    "BulkOnlyRule",
+    "CaptureBalanceRule",
+    "DeadImportRule",
+    "FastPathPairingRule",
+    "PhaseRegistryRule",
+    "SeededRngRule",
+    "default_rules",
+]

@@ -1,0 +1,78 @@
+"""CLI for the invariant analyzer: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 means zero unsuppressed findings — the contract the tier-1
+gate and ``make analyze`` rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.rules import default_rules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root anchoring relative references such as pytest node ids",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print findings only, no summary"
+    )
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:20s} {rule.description}")
+        return 0
+    if args.rules:
+        known = {rule.name for rule in rules}
+        unknown = [name for name in args.rules if name not in known]
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)} (see --list-rules)")
+        rules = [rule for rule in rules if rule.name in set(args.rules)]
+
+    root = Path(args.root)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+    report = analyze_paths([Path(p) for p in args.paths], rules, root=root)
+
+    for finding in report.parse_errors + report.findings:
+        print(finding.format(root))
+    if not args.quiet:
+        print(
+            f"{len(report.findings) + len(report.parse_errors)} finding(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{report.files_checked} file(s) checked"
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Framework for the AST invariant analyzer.
+
+The repo's correctness story rests on standing invariants (exact ledger
+attribution, bulk-only token creation, bit-reproducible seeded RNG, the
+charged fast-path contract) that are enforced *dynamically* by tests but
+violated *statically* — a typo'd phase name or an unseeded RNG call is
+visible in the source long before any chi-square trips.  This module is
+the dependency-free machinery the rules in :mod:`repro.analysis.rules`
+plug into:
+
+* :class:`SourceFile` — one parsed unit (path, source, AST, lines),
+  shared by every rule so each file is read and parsed once;
+* :class:`Rule` — the base class: a ``name``, a ``description``, an
+  ``applies_to`` path filter, and a ``check`` returning
+  :class:`Finding` objects;
+* pragma suppression — a finding on a line carrying
+  ``# repro: allow-<rule>`` is recorded as suppressed, for audited
+  exceptions (the pragma names the rule, so one exception never blankets
+  the others);
+* :func:`analyze_paths` — the file walker + runner the CLI
+  (``python -m repro.analysis``) and the tier-1 gate
+  (``tests/test_static_analysis.py``) share.
+
+The AST walk originally inlined in ``tests/test_lint.py`` (dead top-level
+imports) now lives here as just another rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "analyze_paths",
+    "attr_chain",
+    "iter_python_files",
+]
+
+#: ``# repro: allow-<rule>`` — audited, rule-scoped suppression.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9_-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation anchored to a source line."""
+
+    rule: str
+    path: Path
+    lineno: int
+    message: str
+
+    def format(self, root: Path | None = None) -> str:
+        path = self.path
+        if root is not None:
+            try:
+                path = path.relative_to(root)
+            except ValueError:
+                pass
+        return f"{path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file, shared across rules."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    @classmethod
+    def parse(cls, path: Path) -> "SourceFile":
+        source = path.read_text()
+        return cls(path=path, source=source, tree=ast.parse(source), lines=source.splitlines())
+
+    def line(self, lineno: int) -> str:
+        """Physical source line (1-indexed); empty string out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def allowed_rules(self, lineno: int) -> set[str]:
+        """Rule names suppressed by pragmas on ``lineno``."""
+        return set(PRAGMA_RE.findall(self.line(lineno)))
+
+
+class Rule:
+    """Base class for one statically checkable invariant."""
+
+    #: Short kebab-case identifier — also the pragma suffix
+    #: (``# repro: allow-<name>``).
+    name: str = ""
+    #: One-line description shown by ``--list-rules``.
+    description: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule runs on ``path`` (exemptions live here)."""
+        return True
+
+    def check(self, src: SourceFile, *, root: Path) -> list[Finding]:
+        """Return every violation in ``src`` (suppression handled by the runner)."""
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name, path=src.path, lineno=getattr(node, "lineno", 1), message=message
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def format(self, root: Path | None = None) -> str:
+        out = [f.format(root) for f in self.parse_errors + self.findings]
+        out.append(
+            f"{len(self.findings) + len(self.parse_errors)} finding(s), "
+            f"{len(self.suppressed)} suppressed, {self.files_checked} file(s) checked"
+        )
+        return "\n".join(out)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` stream."""
+    seen: set[Path] = set()
+    for path in paths:
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for p in candidates:
+            r = p.resolve()
+            if r not in seen:
+                seen.add(r)
+                yield p
+
+
+def attr_chain(node: ast.AST) -> str:
+    """Dotted name of an attribute/name chain (``net.ledger.capture``).
+
+    Non-name links (calls, subscripts) truncate the chain at that point —
+    ``foo().bar`` renders as ``bar`` — which is the right behavior for
+    rules matching on receiver spelling.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule],
+    *,
+    root: Path | str | None = None,
+) -> AnalysisReport:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``root`` anchors relative references inside rules (e.g. the pytest node
+    ids of ``fast-path-pairing``); it defaults to the current directory.
+    A finding whose source line carries ``# repro: allow-<rule>`` moves to
+    ``report.suppressed``.  Unparseable files become ``parse_errors`` —
+    the analyzer never crashes on bad input, it reports it.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    report = AnalysisReport()
+    for path in iter_python_files(Path(p) for p in paths):
+        try:
+            src = SourceFile.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            report.parse_errors.append(
+                Finding(rule="parse", path=path, lineno=lineno, message=f"cannot parse: {exc}")
+            )
+            continue
+        report.files_checked += 1
+        for rule in rules:
+            if not rule.applies_to(path):
+                continue
+            for finding in rule.check(src, root=root):
+                if rule.name in src.allowed_rules(finding.lineno):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (str(f.path), f.lineno, f.rule))
+    return report

@@ -35,6 +35,12 @@ from repro.apps.distribution_test import (
     recommended_sample_count,
 )
 from repro.congest.network import Network
+from repro.congest.phases import (
+    BASELINE_POWER_ITERATION,
+    BASELINE_SETUP,
+    MIXING_BUCKET_UPCAST,
+    MIXING_SETUP,
+)
 from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.engine.model import ResultBase
 from repro.errors import ConvergenceError, GraphError
@@ -121,7 +127,7 @@ def estimate_mixing_time(
     pi = stationary_distribution(graph)
     tester = BucketingIdentityTester(pi, threshold=theta)
     tree_cache: dict[int, BfsTree] = {}
-    with net.phase("mixing-setup"):
+    with net.phase(MIXING_SETUP):
         tree = build_bfs_tree(net, source, cache=tree_cache)
 
     probes: list[MixingProbe] = []
@@ -139,7 +145,7 @@ def estimate_mixing_time(
             network=net,
         )
         verdict = tester.test(np.asarray(result.destinations, dtype=np.int64))
-        with net.phase("mixing-bucket-upcast"):
+        with net.phase(MIXING_BUCKET_UPCAST):
             net.ledger.charge(
                 tester.aggregation_rounds(tree.height, k),
                 messages=graph.n,
@@ -210,12 +216,12 @@ def power_iteration_mixing_time(
     inv_wdeg = 1.0 / graph.weighted_degrees
 
     tree_cache: dict[int, BfsTree] = {}
-    with net.phase("baseline-setup"):
+    with net.phase(BASELINE_SETUP):
         tree = build_bfs_tree(net, source, cache=tree_cache)
 
     next_check = 1
     step = 0
-    with net.phase("baseline-power-iteration"):
+    with net.phase(BASELINE_POWER_ITERATION):
         while step < limit:
             # One distributed averaging step: every edge carries one value.
             contrib = mass[graph.csr_source] * graph.csr_weight * inv_wdeg[graph.csr_source]

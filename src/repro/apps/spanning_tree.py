@@ -25,6 +25,13 @@ import numpy as np
 
 from repro.apps.wilson import cover_time_of, first_entry_tree
 from repro.congest.network import Network
+from repro.congest.phases import (
+    PHASE1,
+    RST_COVER_CHECK,
+    RST_PICK_EDGES,
+    RST_REGENERATE,
+    RST_SETUP,
+)
 from repro.congest.primitives import BfsTree, build_bfs_tree, charged_convergecast
 from repro.engine.model import ResultBase
 from repro.errors import ConvergenceError, GraphError
@@ -125,7 +132,7 @@ def random_spanning_tree(
     length = initial_length if initial_length is not None else graph.n
 
     tree_cache: dict[int, BfsTree] = {}
-    with net.phase("rst-setup"):
+    with net.phase(RST_SETUP):
         bfs = build_bfs_tree(net, root, cache=tree_cache)
 
     phases: list[PhaseRecord] = []
@@ -143,7 +150,7 @@ def random_spanning_tree(
             network=net,
         )
         assert result.positions is not None
-        with net.phase("rst-cover-check"):
+        with net.phase(RST_COVER_CHECK):
             winner = _cover_check(net, bfs, result.positions, graph.n)
         phases.append(
             PhaseRecord(
@@ -162,15 +169,15 @@ def random_spanning_tree(
         assert cover_time is not None
         truncated = trajectory[: cover_time + 1]
 
-        with net.phase("rst-regenerate"):
+        with net.phase(RST_REGENERATE):
             # Every node must learn its first-visit position.  The paper
             # charges this at most one Phase-1 equivalent (§2.2); for the
             # naive-parallel mode the token already told every node.
             if result.mode == "stitched":
-                phase1 = net.ledger.phases.get("phase1")
+                phase1 = net.ledger.phases.get(PHASE1)
                 net.ledger.charge(phase1.rounds if phase1 else 0, messages=0, congestion=1)
 
-        with net.phase("rst-pick-edges"):
+        with net.phase(RST_PICK_EDGES):
             # Each non-root node asks the neighbor visited just before its
             # first visit for the shared edge — one local exchange round.
             net.ledger.charge(1, messages=graph.n - 1, congestion=1)

@@ -47,6 +47,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.congest.phases import POOL_REFILL_CHURN
 from repro.errors import ReproError
 from repro.graphs import (
     Graph,
@@ -312,7 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ("churn events", est.churn_events),
                 ("tokens evicted (churn)", est.churn_tokens_evicted),
                 ("tokens regenerated (churn)", est.churn_tokens_regenerated),
-                ("churn refill rounds", est.phase_rounds.get("pool-refill/churn", 0)),
+                ("churn refill rounds", est.phase_rounds.get(POOL_REFILL_CHURN, 0)),
             ]
         )
     if faulty:

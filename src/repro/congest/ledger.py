@@ -14,6 +14,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.congest.phases import UNATTRIBUTED
+from repro.errors import WalkError
+
 __all__ = ["LedgerSnapshot", "PhaseStats", "RoundLedger"]
 
 
@@ -62,7 +65,7 @@ class RoundLedger:
 
     @property
     def current_phase(self) -> str:
-        return self._phase_stack[-1] if self._phase_stack else "unattributed"
+        return self._phase_stack[-1] if self._phase_stack else UNATTRIBUTED
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
@@ -78,7 +81,13 @@ class RoundLedger:
             yield stats
         finally:
             popped = self._phase_stack.pop()
-            assert popped == name, "phase stack corrupted"
+            if popped != name:
+                # Not an assert: under `python -O` asserts vanish and the
+                # stack corruption would silently misattribute every
+                # subsequent charge.
+                raise WalkError(
+                    f"phase stack corrupted: popped {popped!r} while closing {name!r}"
+                )
 
     def charge(self, rounds: int, messages: int = 0, congestion: int = 0) -> None:
         """Record ``rounds`` rounds / ``messages`` messages in the current phase."""

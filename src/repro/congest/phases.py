@@ -1,0 +1,157 @@
+"""The registry of legal ledger phase names.
+
+Every cost the :class:`~repro.congest.ledger.RoundLedger` attributes is
+filed under a *phase* name, and the repo's accounting identities (request
+deltas, the ``Σ attributed + maintain + churn + recovery = session delta``
+balance, the golden-ledger freezes) all key on those names as plain
+strings.  A typo'd name does not error — it silently opens a fresh phase
+and the rounds leak out of whatever family a test or telemetry sum was
+watching.  This module is the single place a phase name may be spelled:
+
+* every constant below registers itself in :data:`ALL_PHASES`;
+* production code imports the constant (never re-spells the string);
+* the ``phase-registry`` rule of :mod:`repro.analysis` statically flags
+  any raw phase literal under ``src/repro`` — unregistered literals are
+  typos, registered ones should use the constant.
+
+Families (:data:`PHASE_FAMILIES`) are the ``prefix`` arguments accepted by
+:meth:`~repro.congest.ledger.RoundLedger.phase_total`: a family name such
+as ``"pool-refill"`` may double as a plain phase (reactive refills charge
+it directly) while also prefixing sub-phases (``"pool-refill/maintain"``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ALL_PHASES",
+    "BASELINE_POWER_ITERATION",
+    "BASELINE_SETUP",
+    "BATCH_SAMPLE",
+    "GET_MORE_WALKS",
+    "MH_SETUP",
+    "MH_WALK",
+    "MIXING_BUCKET_UPCAST",
+    "MIXING_SETUP",
+    "NAIVE",
+    "NAIVE_PARALLEL",
+    "NAIVE_TAIL",
+    "PHASE1",
+    "PHASE_FAMILIES",
+    "POOL_REFILL",
+    "POOL_REFILL_CHURN",
+    "POOL_REFILL_MAINTAIN",
+    "POOL_REFILL_SERVE",
+    "REGENERATE",
+    "REPORT",
+    "RST_COVER_CHECK",
+    "RST_PICK_EDGES",
+    "RST_REGENERATE",
+    "RST_SETUP",
+    "SAMPLE_DESTINATION",
+    "SERVE_FAMILY",
+    "SERVE_RECOVERY",
+    "SERVE_REPORT",
+    "SERVE_SAMPLE",
+    "SERVE_SETUP",
+    "SERVE_STITCH_ROUTE",
+    "SERVE_TAIL",
+    "SETUP",
+    "STITCH_ROUTE",
+    "UNATTRIBUTED",
+    "is_registered",
+]
+
+_REGISTRY: set[str] = set()
+
+
+def _phase(name: str) -> str:
+    """Declare ``name`` as a legal phase and return it."""
+    _REGISTRY.add(name)
+    return name
+
+
+# -- Core walk phases (the paper's own decomposition) ----------------------
+
+#: Phase 1: every node performs ⌈η·deg⌉ short walks (Algorithm 1, step 1).
+PHASE1 = _phase("phase1")
+#: GET-MORE-WALKS replenishment outside any pool (Algorithm 2).
+GET_MORE_WALKS = _phase("get-more-walks")
+#: Warm-up BFS + diameter estimate before stitching.
+SETUP = _phase("setup")
+#: Connector → root → destination routing of each stitched token.
+STITCH_ROUTE = _phase("stitch-route")
+#: Interleaved-sweep SAMPLE-DESTINATION draws of the engine batch path.
+BATCH_SAMPLE = _phase("batch-sample")
+#: The SAMPLE-DESTINATION primitive run standalone (Algorithm 3).
+SAMPLE_DESTINATION = _phase("sample-destination")
+#: Step-by-step baseline walk (also the λ ≥ ℓ short-query branch).
+NAIVE = _phase("naive")
+#: The < 2λ tail every stitched walk finishes with, step by step.
+NAIVE_TAIL = _phase("naive-tail")
+#: k independent naive walks advanced in lock-step (many-walks baseline).
+NAIVE_PARALLEL = _phase("naive-parallel")
+#: Destination → source report convergecast (height + k pipelined).
+REPORT = _phase("report")
+#: Trajectory regeneration replay (§ applications, Lemma 2.5 replay).
+REGENERATE = _phase("regenerate")
+#: Costs charged outside any ``with ledger.phase(...)`` block.
+UNATTRIBUTED = _phase("unattributed")
+
+# -- Pool refill family (engine/pool: request vs. background attribution) --
+
+#: Reactive mid-request refills (dry connector during stitching).
+POOL_REFILL = _phase("pool-refill")
+#: Background watermark sweeps (PoolManager.maintain) — session cost,
+#: excluded from request deltas.
+POOL_REFILL_MAINTAIN = _phase("pool-refill/maintain")
+#: Churn-driven shard regeneration after GraphDelta eviction.
+POOL_REFILL_CHURN = _phase("pool-refill/churn")
+#: Reactive refills inside a scheduler cohort sweep.
+POOL_REFILL_SERVE = _phase("pool-refill/serve")
+
+# -- Serving family (serve/scheduler cohort phases) ------------------------
+
+#: Cohort setup BFS (shared tree build / λ policy warm-up).
+SERVE_SETUP = _phase("serve/setup")
+#: Cohort interleaved SAMPLE-DESTINATION sweeps.
+SERVE_SAMPLE = _phase("serve/sample")
+#: Cohort stitched-token routing.
+SERVE_STITCH_ROUTE = _phase("serve/stitch-route")
+#: Merged cross-request naive tails.
+SERVE_TAIL = _phase("serve/tail")
+#: Cross-request pipelined report convergecast (height + Σk − 1).
+SERVE_REPORT = _phase("serve/report")
+#: Crash/recovery cascades, slot truncation, parked-slot idle waits —
+#: session failure cost, excluded from attribution.
+SERVE_RECOVERY = _phase("serve/recovery")
+
+# -- Application phases (apps/) --------------------------------------------
+
+MH_SETUP = _phase("mh-setup")
+MH_WALK = _phase("mh-walk")
+MIXING_SETUP = _phase("mixing-setup")
+MIXING_BUCKET_UPCAST = _phase("mixing-bucket-upcast")
+BASELINE_SETUP = _phase("baseline-setup")
+BASELINE_POWER_ITERATION = _phase("baseline-power-iteration")
+RST_SETUP = _phase("rst-setup")
+RST_COVER_CHECK = _phase("rst-cover-check")
+RST_REGENERATE = _phase("rst-regenerate")
+RST_PICK_EDGES = _phase("rst-pick-edges")
+
+#: Every registered phase name (frozen once the module finishes loading).
+ALL_PHASES: frozenset[str] = frozenset(_REGISTRY)
+
+#: The ``"serve"`` family has no plain-phase member (every serve charge is a
+#: sub-phase), so the prefix is registered here rather than via ``_phase``.
+SERVE_FAMILY = "serve"
+
+#: Legal ``prefix`` arguments to :meth:`RoundLedger.phase_total` — every
+#: phase name (a family may be a plain phase too) plus pure prefixes.
+PHASE_FAMILIES: frozenset[str] = frozenset(
+    {SERVE_FAMILY} | {name.split("/", 1)[0] for name in ALL_PHASES}
+)
+
+
+def is_registered(name: str) -> bool:
+    """True if ``name`` is a legal phase or family prefix."""
+    return name in ALL_PHASES or name in PHASE_FAMILIES

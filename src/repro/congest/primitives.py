@@ -31,6 +31,7 @@ from repro.congest.network import Network
 from repro.congest.protocol import Protocol, ProtocolAPI
 from repro.errors import ProtocolError
 from repro.graphs.graph import Graph
+from repro.util.contracts import charged_fast_path
 
 __all__ = [
     "BfsTree",
@@ -200,6 +201,9 @@ def _flood_cost(graph: Graph, root: int, depth: np.ndarray) -> tuple[int, int]:
     return rounds, messages
 
 
+@charged_fast_path(
+    equivalence_test="tests/test_congest_primitives.py::test_tree_and_ledger_identical"
+)
 def build_bfs_tree(
     network: Network,
     root: int,

@@ -40,12 +40,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import (
+    BATCH_SAMPLE,
+    NAIVE,
+    POOL_REFILL,
+    REPORT,
+    SERVE_RECOVERY,
+    STITCH_ROUTE,
+)
 from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.engine.model import EngineStats, WalkRequest
 from repro.engine.pool import MaintenanceReport, PoolManager
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
 from repro.util.rng import make_rng
+from repro.util.contracts import charged_fast_path
 from repro.walks.get_more_walks import get_more_walks_batch
 from repro.walks.many_walks import (
     ManyWalksResult,
@@ -669,7 +678,7 @@ class WalkEngine:
             record_paths=record_paths,
             tree_cache=self._tree_cache,
             defer_tail=defer_tail,
-            gmw_phase="pool-refill",
+            gmw_phase=POOL_REFILL,
             refill_record_paths=pool.record_paths,
             allow_unreached=self._faults is not None,
         )
@@ -707,7 +716,7 @@ class WalkEngine:
             else:
                 rp = pool.record_paths if pool is not None else self._default_record_paths
             positions_list = self.graph.walk(source, length, self.rng)
-            with net.phase("naive"):
+            with net.phase(NAIVE):
                 net.deliver_sequential(length)
             served = _SingleServed(
                 destination=positions_list[-1],
@@ -729,7 +738,7 @@ class WalkEngine:
             )
 
         if request.report_to_source:
-            with net.phase("report"):
+            with net.phase(REPORT):
                 net.deliver_sequential(source_tree.depth[served.destination])
 
         if pool is not None and served.mode == "stitched":
@@ -758,7 +767,10 @@ class WalkEngine:
             self.maintain()
         return result
 
-    def _report_convergecast(self, tree, ks, *, phase: str = "report") -> None:
+    @charged_fast_path(
+        equivalence_test="tests/test_tenants.py::test_pipelined_report_bills_shared_phase_only"
+    )
+    def _report_convergecast(self, tree, ks, *, phase: str = REPORT) -> None:
         """Charge the destinations→sources report convergecast on ``tree``.
 
         Destinations route their IDs to sources over the BFS tree; up to k
@@ -937,9 +949,9 @@ class WalkEngine:
         slots: list[_WalkSlot],
         *,
         base_tree: BfsTree,
-        sample_phase: str = "batch-sample",
-        route_phase: str = "stitch-route",
-        refill_phase: str = "pool-refill",
+        sample_phase: str = BATCH_SAMPLE,
+        route_phase: str = STITCH_ROUTE,
+        refill_phase: str = POOL_REFILL,
     ) -> int:
         """Advance every slot to its pre-tail frontier in interleaved sweeps.
 
@@ -986,7 +998,7 @@ class WalkEngine:
             if faults is not None:
                 fired, mutated = faults.poll()
                 if fired:
-                    with net.phase("serve/recovery"):
+                    with net.phase(SERVE_RECOVERY):
                         # Topology changed: the shared tree is stale, and a
                         # crashed root cannot anchor sampling — re-root.
                         if not faults.live[root]:
@@ -1290,7 +1302,7 @@ class WalkEngine:
             fault_walks_restarted=(
                 self._faults.walks_restarted if self._faults is not None else 0
             ),
-            fault_recovery_rounds=self.network.ledger.phase_rounds("serve/recovery"),
+            fault_recovery_rounds=self.network.ledger.phase_rounds(SERVE_RECOVERY),
         )
 
     def __repr__(self) -> str:

@@ -47,13 +47,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.congest.faults import FaultSchedule, FaultStep, FaultyNetwork
+from repro.congest.phases import SERVE_RECOVERY
 from repro.dynamic.delta import GraphDelta
 from repro.engine.model import _jsonify
 from repro.errors import WalkError
 
 __all__ = ["FaultController", "FaultReport", "RECOVERY_PHASE"]
 
-RECOVERY_PHASE = "serve/recovery"
+RECOVERY_PHASE = SERVE_RECOVERY
 
 
 @dataclass(frozen=True)

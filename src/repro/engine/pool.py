@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import POOL_REFILL_CHURN, POOL_REFILL_MAINTAIN
 from repro.errors import WalkError
 from repro.walks.get_more_walks import get_more_walks_batch
 from repro.walks.short_walks import token_counts
@@ -52,14 +53,14 @@ __all__ = ["CHURN_PHASE", "MAINTAIN_PHASE", "MaintenanceReport", "PoolManager", 
 #: Ledger sub-phase background refill sweeps charge to (reactive mid-request
 #: refills keep charging plain ``"pool-refill"``; ``RoundLedger.phase_total
 #: ("pool-refill")`` sums the family).
-MAINTAIN_PHASE = "pool-refill/maintain"
+MAINTAIN_PHASE = POOL_REFILL_MAINTAIN
 
 #: Ledger sub-phase for churn-driven regeneration: after a
 #: :class:`~repro.dynamic.delta.GraphDelta` evicts invalidated tokens,
 #: :meth:`PoolManager.restore_shards` launches their replacements under this
 #: name — same accounting contract as :data:`MAINTAIN_PHASE` (on the session
 #: ledger, summed by the ``pool-refill`` family, never in a request delta).
-CHURN_PHASE = "pool-refill/churn"
+CHURN_PHASE = POOL_REFILL_CHURN
 
 
 def default_num_shards(n: int) -> int:

@@ -84,6 +84,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.congest.phases import (
+    POOL_REFILL_MAINTAIN,
+    POOL_REFILL_SERVE,
+    REPORT,
+    SERVE_FAMILY,
+    SERVE_RECOVERY,
+    SERVE_REPORT,
+    SERVE_SAMPLE,
+    SERVE_SETUP,
+    SERVE_STITCH_ROUTE,
+    SERVE_TAIL,
+)
 from repro.congest.primitives import build_bfs_tree
 from repro.engine.core import WalkEngine, _WalkSlot
 from repro.engine.model import WalkRequest
@@ -665,7 +677,7 @@ class WalkScheduler:
             return
         net = self.engine.network
         assert self.root is not None  # _service_cohort pins it before calling
-        with net.phase("serve/setup"):
+        with net.phase(SERVE_SETUP):
             tree = build_bfs_tree(
                 net,
                 self.root,
@@ -702,7 +714,7 @@ class WalkScheduler:
         pool = engine.pool
 
         cohort_snapshot = net.ledger.capture()
-        with net.phase("serve/setup"):
+        with net.phase(SERVE_SETUP):
             tree = build_bfs_tree(
                 net,
                 self.root,
@@ -758,16 +770,16 @@ class WalkScheduler:
                 pool,
                 slots,
                 base_tree=tree,
-                sample_phase="serve/sample",
-                route_phase="serve/stitch-route",
-                refill_phase="pool-refill/serve",
+                sample_phase=SERVE_SAMPLE,
+                route_phase=SERVE_STITCH_ROUTE,
+                refill_phase=POOL_REFILL_SERVE,
             )
             self._refill_calls += refill_calls
 
         pre_tails = [(slot.current, slot.remaining) for slot in slots]
         any_rp = any(slot.record for slot in slots)
         destinations, tail_paths = _parallel_tails(
-            net, pre_tails, engine.rng, record_paths=any_rp, phase="serve/tail"
+            net, pre_tails, engine.rng, record_paths=any_rp, phase=SERVE_TAIL
         )
 
         pipelined = self.policy.pipelined_report
@@ -780,7 +792,7 @@ class WalkScheduler:
             # then bills the PR-3 height + k formula — the identical
             # charge, just on the shared phase instead of a private delta.
             report_ks = [e.k for e, _, _ in entry_slots if e.ticket.request.report_to_source]
-            engine._report_convergecast(tree, report_ks, phase="serve/report")
+            engine._report_convergecast(tree, report_ks, phase=SERVE_REPORT)
 
         # Per-entry private work + capture/delta accumulation into tickets;
         # completion fires when a ticket's last chunk lands.
@@ -794,7 +806,7 @@ class WalkScheduler:
             if not pipelined and req.report_to_source:
                 # Pipelined destination→source convergecast on the shared
                 # tree, the PR-3 formula: O(height + k) per entry.
-                engine._report_convergecast(tree, [entry.k], phase="report")
+                engine._report_convergecast(tree, [entry.k], phase=REPORT)
             delta = net.ledger.delta_since(snapshot)
             private_total += delta.rounds
             entry_private.append(delta.rounds)
@@ -850,7 +862,7 @@ class WalkScheduler:
         # churn + recovery = session delta.  Each tenant's quota bucket is
         # debited with exactly the rounds attributed to it here.
         cohort_delta = net.ledger.delta_since(cohort_snapshot)
-        cohort_recovery = cohort_delta.phase_rounds.get("serve/recovery", 0)
+        cohort_recovery = cohort_delta.phase_rounds.get(SERVE_RECOVERY, 0)
         shared = cohort_delta.rounds - private_total - cohort_recovery
         total_walks = len(slots)
         shares = [shared * e.k // total_walks for e, _, _ in entry_slots]
@@ -901,16 +913,16 @@ class WalkScheduler:
             p99_rounds_per_request=_percentile(attributed, 99),
             p50_latency_rounds=_percentile(latencies, 50),
             p99_latency_rounds=_percentile(latencies, 99),
-            serve_rounds=ledger.phase_total("serve"),
-            serve_refill_rounds=ledger.phase_rounds("pool-refill/serve"),
-            maintain_rounds=ledger.phase_rounds("pool-refill/maintain"),
+            serve_rounds=ledger.phase_total(SERVE_FAMILY),
+            serve_refill_rounds=ledger.phase_rounds(POOL_REFILL_SERVE),
+            maintain_rounds=ledger.phase_rounds(POOL_REFILL_MAINTAIN),
             rejects_by_reason=dict(self._rejects_by_reason),
             prefetch_shards_noted=self._prefetch_noted,
             crashes_seen=faults.crashes_seen if faults is not None else 0,
             recoveries_seen=faults.recoveries_seen if faults is not None else 0,
             walks_recovered=faults.walks_recovered if faults is not None else 0,
             walks_restarted=faults.walks_restarted if faults is not None else 0,
-            recovery_rounds=ledger.phase_rounds("serve/recovery"),
+            recovery_rounds=ledger.phase_rounds(SERVE_RECOVERY),
             ticket_retries=self._ticket_retries,
             backoff_waits=faults.backoff_waits if faults is not None else 0,
             refill_backoffs=self._refill_backoffs,

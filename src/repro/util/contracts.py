@@ -1,0 +1,47 @@
+"""Source-level contract markers checked by :mod:`repro.analysis`.
+
+The standing *charged fast-path contract* (ROADMAP invariant #1) says a
+wall-clock optimization may replace the event-driven protocol only if it
+bills the ledger the exact same rounds/messages/congestion, and only if a
+test proves the equivalence.  :func:`charged_fast_path` makes that pairing
+machine-checkable: the decorated function names the pytest node that pins
+its equivalence, and the ``fast-path-pairing`` analyzer rule verifies the
+named test actually exists (so a renamed or deleted test breaks the gate,
+not the invariant).
+
+The decorator is deliberately a no-op at runtime — it only attaches
+metadata — so decorating a hot path costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["FAST_PATH_ATTR", "charged_fast_path"]
+
+#: Attribute under which the equivalence-test node id is stored.
+FAST_PATH_ATTR = "__charged_fast_path__"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def charged_fast_path(*, equivalence_test: str) -> Callable[[_F], _F]:
+    """Mark a function as a charged fast path pinned by ``equivalence_test``.
+
+    ``equivalence_test`` is a pytest node id relative to the repo root,
+    ``"tests/test_file.py::test_name"`` (the test name is looked up anywhere
+    in the module, including inside test classes).  The analyzer requires it
+    to be a string literal at the decoration site so the pairing is visible
+    statically.
+    """
+    if "::" not in equivalence_test:
+        raise ValueError(
+            "equivalence_test must be a pytest node id 'path::test_name', "
+            f"got {equivalence_test!r}"
+        )
+
+    def mark(fn: _F) -> _F:
+        setattr(fn, FAST_PATH_ATTR, equivalence_test)
+        return fn
+
+    return mark

@@ -19,7 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import GET_MORE_WALKS
 from repro.errors import WalkError
+from repro.util.contracts import charged_fast_path
 from repro.walks.store import WalkStore
 
 __all__ = ["get_more_walks", "get_more_walks_batch"]
@@ -35,7 +37,7 @@ def get_more_walks(
     *,
     randomized_lengths: bool = True,
     record_paths: bool = True,
-    phase: str = "get-more-walks",
+    phase: str = GET_MORE_WALKS,
 ) -> int:
     """Launch ``count`` new short walks from ``source``; returns rounds charged.
 
@@ -96,6 +98,9 @@ def get_more_walks(
     return network.rounds - rounds_before
 
 
+@charged_fast_path(
+    equivalence_test="tests/test_pool_manager.py::test_single_source_matches_legacy_refill"
+)
 def get_more_walks_batch(
     network: Network,
     store: WalkStore,
@@ -106,7 +111,7 @@ def get_more_walks_batch(
     *,
     randomized_lengths: bool = True,
     record_paths: bool = True,
-    phase: str = "get-more-walks",
+    phase: str = GET_MORE_WALKS,
 ) -> int:
     """Replenish *many* nodes' pools in one interleaved sweep; returns rounds.
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import NAIVE_PARALLEL, NAIVE_TAIL, REPORT
 from repro.congest.primitives import BfsTree
 from repro.engine.model import ResultBase
 from repro.errors import WalkError
@@ -63,7 +64,7 @@ def _parallel_naive(
     rng: np.random.Generator,
     *,
     record_paths: bool,
-    phase: str = "naive-parallel",
+    phase: str = NAIVE_PARALLEL,
 ) -> tuple[list[int], list[np.ndarray] | None]:
     """All k tokens walk simultaneously; congestion charged per iteration.
 
@@ -95,7 +96,7 @@ def _parallel_tails(
     rng: np.random.Generator,
     *,
     record_paths: bool,
-    phase: str = "naive-tail",
+    phase: str = NAIVE_TAIL,
 ) -> tuple[list[int], list[np.ndarray | None]]:
     """Complete all deferred tails simultaneously (see stitch_walk docs).
 
@@ -188,7 +189,7 @@ def _run_many_walks(
         if report_to_source:
             # Destinations route their IDs to sources over the BFS tree; up
             # to k messages may funnel through one tree edge, pipelined.
-            with net.phase("report"):
+            with net.phase(REPORT):
                 net.ledger.charge(base_tree.height + k, messages=2 * k, congestion=k)
         return ManyWalksResult(
             sources=list(sources),
@@ -251,7 +252,7 @@ def _run_many_walks(
                 raise WalkError("stitched + tail trajectory has wrong length")
 
     if report_to_source:
-        with net.phase("report"):
+        with net.phase(REPORT):
             for destination in destinations:
                 net.deliver_sequential(base_tree.depth[destination])
 

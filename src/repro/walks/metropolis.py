@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import MH_SETUP, MH_WALK
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
 from repro.util.rng import make_rng
@@ -96,13 +97,13 @@ def _run_metropolis_walk(
         raise WalkError(f"walk length must be >= 1, got {length}")
     rounds_before = net.rounds
 
-    with net.phase("mh-setup"):
+    with net.phase(MH_SETUP):
         # Every node tells each neighbor (degree, pi); full-edge congestion 1.
         net.ledger.charge(1, messages=graph.n_slots, congestion=1)
 
     positions = metropolis_walk(graph, source, length, rng, target)
     moves = sum(1 for a, b in zip(positions[:-1], positions[1:]) if a != b)
-    with net.phase("mh-walk"):
+    with net.phase(MH_WALK):
         net.deliver_sequential(moves, messages_per_hop=1)
 
     return WalkResult(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.congest.message import Message
 from repro.congest.network import Network
+from repro.congest.phases import NAIVE, REPORT
 from repro.congest.protocol import Protocol, ProtocolAPI
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
@@ -84,10 +85,10 @@ def _run_naive_walk(
     rounds_before = net.rounds
 
     positions = graph.walk(source, length, rng)
-    with net.phase("naive"):
+    with net.phase(NAIVE):
         net.deliver_sequential(length)
     if report_to_source:
-        with net.phase("report"):
+        with net.phase(REPORT):
             net.deliver_sequential(length)
 
     return WalkResult(

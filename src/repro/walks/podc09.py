@@ -21,6 +21,7 @@ different parameters and length policy.
 from __future__ import annotations
 
 from repro.congest.network import Network
+from repro.congest.phases import REPORT
 from repro.congest.primitives import BfsTree
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
@@ -93,7 +94,7 @@ def _run_podc09_walk(
     )
 
     if report_to_source:
-        with net.phase("report"):
+        with net.phase(REPORT):
             net.deliver_sequential(source_tree.depth[destination])
 
     return WalkResult(

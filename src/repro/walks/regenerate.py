@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import REGENERATE
 from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.errors import WalkError
 from repro.walks.single_walk import WalkResult
@@ -116,7 +117,7 @@ def regenerate_walk(
     result: WalkResult,
     *,
     tree_cache: dict[int, BfsTree] | None = None,
-    phase: str = "regenerate",
+    phase: str = REGENERATE,
 ) -> RegenerationResult:
     """Charge the regeneration protocol and return per-node positions.
 

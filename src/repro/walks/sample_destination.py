@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import SAMPLE_DESTINATION
 from repro.congest.primitives import BfsTree, build_bfs_tree, charged_broadcast, charged_convergecast
 from repro.walks.store import TokenRecord, WalkStore
 
@@ -122,7 +123,7 @@ def sample_destination(
     rng: np.random.Generator,
     *,
     tree_cache: dict[int, BfsTree] | None = None,
-    phase: str = "sample-destination",
+    phase: str = SAMPLE_DESTINATION,
     allow_unreached: bool = False,
 ) -> tuple[TokenRecord | None, BfsTree]:
     """Sample-and-retire one unused short walk of ``source``.

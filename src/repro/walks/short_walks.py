@@ -26,7 +26,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import PHASE1
 from repro.errors import WalkError
+from repro.util.contracts import charged_fast_path
 from repro.walks.store import WalkStore
 
 __all__ = ["perform_short_walks", "token_counts"]
@@ -48,6 +50,9 @@ def token_counts(degrees: np.ndarray, eta: float, *, degree_proportional: bool) 
     return counts.astype(np.int64)
 
 
+@charged_fast_path(
+    equivalence_test="tests/test_ledger_golden.py::test_single_random_walk_matches_seed"
+)
 def perform_short_walks(
     network: Network,
     store: WalkStore,
@@ -57,7 +62,7 @@ def perform_short_walks(
     counts: np.ndarray,
     randomized_lengths: bool = True,
     record_paths: bool = True,
-    phase: str = "phase1",
+    phase: str = PHASE1,
 ) -> int:
     """Run Phase 1; returns rounds charged.
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.network import Network
+from repro.congest.phases import GET_MORE_WALKS, NAIVE, NAIVE_TAIL, REPORT, SETUP, STITCH_ROUTE
 from repro.congest.primitives import BfsTree, build_bfs_tree
 from repro.engine.model import ResultBase
 from repro.errors import WalkError
@@ -101,7 +102,7 @@ def estimate_diameter(
     ``allow_unreached`` tolerates isolated (crashed) nodes: the estimate
     then covers the source's live component only.
     """
-    with network.phase("setup"):
+    with network.phase(SETUP):
         tree = build_bfs_tree(
             network, source, cache=tree_cache, allow_unreached=allow_unreached
         )
@@ -122,7 +123,7 @@ def stitch_walk(
     record_paths: bool,
     tree_cache: dict[int, BfsTree] | None,
     defer_tail: bool = False,
-    gmw_phase: str = "get-more-walks",
+    gmw_phase: str = GET_MORE_WALKS,
     refill_record_paths: bool | None = None,
     allow_unreached: bool = False,
 ) -> tuple[int, np.ndarray | None, list[TokenRecord], list[int], int, int]:
@@ -182,7 +183,7 @@ def stitch_walk(
             )
             if record is None:
                 raise WalkError("GET-MORE-WALKS produced no walks (engine bug)")
-        with network.phase("stitch-route"):
+        with network.phase(STITCH_ROUTE):
             network.deliver_sequential(tree.depth[record.destination])
         segments.append(record)
         if record_paths:
@@ -195,7 +196,7 @@ def stitch_walk(
     remaining = length - completed
     if remaining > 0 and not defer_tail:
         tail = network.graph.walk(current, remaining, rng)
-        with network.phase("naive-tail"):
+        with network.phase(NAIVE_TAIL):
             network.deliver_sequential(remaining)
         current = tail[-1]
         if record_paths:
@@ -246,11 +247,11 @@ def _run_single_walk(
 
     if params.use_naive:
         positions_list = graph.walk(source, length, rng)
-        with net.phase("naive"):
+        with net.phase(NAIVE):
             net.deliver_sequential(length)
         destination = positions_list[-1]
         if report_to_source:
-            with net.phase("report"):
+            with net.phase(REPORT):
                 net.deliver_sequential(source_tree.depth[destination])
         return WalkResult(
             source=source,
@@ -292,7 +293,7 @@ def _run_single_walk(
     )
 
     if report_to_source:
-        with net.phase("report"):
+        with net.phase(REPORT):
             net.deliver_sequential(source_tree.depth[destination])
 
     return WalkResult(

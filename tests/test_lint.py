@@ -5,29 +5,30 @@ Two layers:
 * ``ruff check`` with the repo's ``ruff.toml`` — runs when ruff is
   installed (skipped otherwise, so offline/minimal environments still pass
   the gate);
-* a dependency-free AST dead-import check that always runs: every name
-  bound by a top-level import must be referenced somewhere outside the
-  import statement itself (package ``__init__`` re-export modules are
-  exempt — their imports exist to populate ``__all__``).
+* the dependency-free AST dead-import check that always runs — the walk
+  itself lives in :mod:`repro.analysis` (``DeadImportRule``) since PR 8;
+  this test just points it at every checked directory.  Every name bound
+  by a top-level import must be referenced somewhere outside the import
+  statement itself (package ``__init__`` re-export modules are exempt —
+  their imports exist to populate ``__all__``).
+
+The deeper invariant rules (phase registry, bulk-only token paths, seeded
+RNG, fast-path pairing, capture balance) run in
+``tests/test_static_analysis.py`` over ``src`` only.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import shutil
 import subprocess
 from pathlib import Path
 
 import pytest
 
+from repro.analysis import DeadImportRule, analyze_paths
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_DIRS = ("src", "tests", "benchmarks", "examples")
-
-
-def _iter_py_files():
-    for d in CHECKED_DIRS:
-        yield from sorted((REPO_ROOT / d).rglob("*.py"))
 
 
 def test_ruff_clean():
@@ -42,45 +43,12 @@ def test_ruff_clean():
     assert proc.returncode == 0, f"ruff check failed:\n{proc.stdout}\n{proc.stderr}"
 
 
-def _unused_imports(path: Path) -> list[str]:
-    src = path.read_text()
-    tree = ast.parse(src)
-    lines = src.splitlines()
-    import_spans: list[tuple[int, int]] = []
-    bound: list[tuple[str, int]] = []  # (name, first import line)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            import_spans.append((node.lineno, node.end_lineno or node.lineno))
-            for alias in node.names:
-                bound.append((alias.asname or alias.name.split(".")[0], node.lineno))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            import_spans.append((node.lineno, node.end_lineno or node.lineno))
-            for alias in node.names:
-                if alias.name != "*":
-                    bound.append((alias.asname or alias.name, node.lineno))
-
-    def inside_import(lineno: int) -> bool:
-        return any(lo <= lineno <= hi for lo, hi in import_spans)
-
-    unused = []
-    for name, lineno in bound:
-        pattern = re.compile(r"\b" + re.escape(name) + r"\b")
-        used = any(
-            pattern.search(line)
-            for i, line in enumerate(lines, 1)
-            if not inside_import(i)
-        )
-        if not used:
-            unused.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: unused import {name!r}")
-    return unused
-
-
 def test_no_dead_top_level_imports():
-    problems: list[str] = []
-    for path in _iter_py_files():
-        if path.name == "__init__.py":
-            continue  # re-export modules: imports exist to populate __all__
-        problems.extend(_unused_imports(path))
+    report = analyze_paths(
+        [REPO_ROOT / d for d in CHECKED_DIRS], [DeadImportRule()], root=REPO_ROOT
+    )
+    assert not report.parse_errors, "unparseable files:\n" + "\n".join(
+        f.format(REPO_ROOT) for f in report.parse_errors
+    )
+    problems = [f.format(REPO_ROOT) for f in report.findings]
     assert not problems, "dead imports found:\n" + "\n".join(problems)
