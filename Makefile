@@ -5,13 +5,14 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint analyze slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults bench-tenants
+.PHONY: test lint analyze slow bench-hotpaths bench-engine-reuse bench-batch-walks bench-serve bench-churn bench-faults bench-tenants bench-obs
 
 test:
 	$(PY) -m pytest -x -q
 
 # AST invariant analyzer (repro.analysis): phase registry, bulk-only token
-# paths, seeded RNG, fast-path pairing, capture balance, dead imports.
+# paths, seeded RNG, fast-path pairing, capture balance, dead imports,
+# observer passivity.
 analyze:
 	$(PY) -m repro.analysis src
 
@@ -46,3 +47,6 @@ bench-faults:
 
 bench-tenants:
 	$(PY) benchmarks/bench_tenants.py
+
+bench-obs:
+	$(PY) benchmarks/bench_obs.py

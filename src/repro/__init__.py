@@ -21,6 +21,8 @@ as thin wrappers over a one-shot engine.  Package tour (see README):
   control, deadlines, merged cohort serving) and synthetic workloads
 * :mod:`repro.dynamic`   — graph churn: batched edge deltas, incremental
   pool invalidation, charged regeneration, churn workloads
+* :mod:`repro.obs`       — passive round-time observability: span tracing
+  (Chrome trace / JSONL), metrics (Prometheus text), overhead-free probes
 * :mod:`repro.graphs`    — graph substrate and generators
 * :mod:`repro.congest`   — the CONGEST-model simulator
 * :mod:`repro.markov`    — exact Markov-chain ground truth

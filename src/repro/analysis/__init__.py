@@ -21,6 +21,7 @@ from repro.analysis.rules import (
     CaptureBalanceRule,
     DeadImportRule,
     FastPathPairingRule,
+    ObsPassivityRule,
     PhaseRegistryRule,
     SeededRngRule,
     default_rules,
@@ -38,6 +39,7 @@ __all__ = [
     "CaptureBalanceRule",
     "DeadImportRule",
     "FastPathPairingRule",
+    "ObsPassivityRule",
     "PhaseRegistryRule",
     "SeededRngRule",
     "default_rules",

@@ -28,6 +28,13 @@ protocol's accounting discipline becomes a checkable property of the
 ``dead-import``
     The dependency-free dead-import walk formerly inlined in
     ``tests/test_lint.py``.
+``obs-passivity``
+    The observability layer observes; it never perturbs.  Wall-clock
+    reads inside ``src/repro`` go through the audited wrapper
+    ``repro.obs.clock`` only, and code under ``src/repro/obs/`` never
+    calls simulation mutators (``charge``, ``add_batch``, eviction,
+    topology refresh, ...) or draws randomness — either would change
+    golden ledgers or replay streams the moment tracing is switched on.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ __all__ = [
     "CaptureBalanceRule",
     "DeadImportRule",
     "FastPathPairingRule",
+    "ObsPassivityRule",
     "PhaseRegistryRule",
     "SeededRngRule",
     "default_rules",
@@ -57,6 +65,14 @@ def _in_production_tree(path: Path) -> bool:
     parts = path.resolve().parts
     for i in range(len(parts) - 1):
         if parts[i : i + 2] == _PRODUCTION_MARKER:
+            return True
+    return False
+
+
+def _in_obs_tree(path: Path) -> bool:
+    parts = path.resolve().parts
+    for i in range(len(parts) - 2):
+        if parts[i : i + 3] == ("src", "repro", "obs"):
             return True
     return False
 
@@ -499,6 +515,127 @@ class DeadImportRule(Rule):
         return findings
 
 
+class ObsPassivityRule(Rule):
+    """The observability layer observes; it never perturbs the simulation."""
+
+    name = "obs-passivity"
+    description = (
+        "wall-clock reads in src/repro go through repro.obs.clock only, and "
+        "src/repro/obs/ never calls simulation mutators or draws randomness"
+    )
+
+    #: The perf-timer family (``time.time`` is ``seeded-rng``'s beat).
+    CLOCK_ATTRS = frozenset(
+        {
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+            "thread_time",
+            "thread_time_ns",
+        }
+    )
+    #: Methods that advance or mutate simulation state — poison in a hook
+    #: that runs mid-charge: the golden ledgers would shift the moment
+    #: tracing is switched on.
+    MUTATOR_METHODS = frozenset(
+        {
+            "charge",
+            "merge_step",
+            "add_batch",
+            "add_token",
+            "evict_rows",
+            "apply_delta",
+            "refresh_topology",
+            "restore_shards",
+            "rebuild_quotas",
+        }
+    )
+    #: RNG draws and seeded-generator factories — an observer consuming
+    #: stream state changes every replay it watches.
+    RNG_CALLS = frozenset(
+        {
+            "integers",
+            "choice",
+            "shuffle",
+            "permutation",
+            "normal",
+            "uniform",
+            "make_rng",
+            "derive_rng",
+            "spawn_rngs",
+            "default_rng",
+        }
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        # clock.py *is* the audited wall-clock wrapper.
+        return not path.as_posix().endswith("obs/clock.py")
+
+    def check(self, src: SourceFile, *, root: Path) -> list[Finding]:
+        findings: list[Finding] = []
+        if not _in_production_tree(src.path):
+            return findings
+        in_obs = _in_obs_tree(src.path)
+
+        time_names = {"time"}
+        clock_aliases: set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_names.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self.CLOCK_ATTRS:
+                        clock_aliases.add(alias.asname or alias.name)
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if not chain:
+                continue
+            parts = chain.split(".")
+            is_clock = (
+                len(parts) == 2 and parts[0] in time_names and parts[1] in self.CLOCK_ATTRS
+            ) or (len(parts) == 1 and parts[0] in clock_aliases)
+            if is_clock:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{chain}() reads the wall clock inside src/repro: route "
+                        "timing through repro.obs.clock, the audited wrapper",
+                    )
+                )
+            elif in_obs and len(parts) >= 2 and (
+                parts[-1] in self.MUTATOR_METHODS or parts[-1].startswith("deliver")
+            ):
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{chain}() mutates simulation state from the observability "
+                        "layer: observers are passive (golden ledgers must stay "
+                        "bit-identical with tracing on)",
+                    )
+                )
+            elif in_obs and parts[-1] in self.RNG_CALLS:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{chain}() draws from (or constructs) an RNG inside the "
+                        "observability layer: an observer consuming stream state "
+                        "perturbs every replay it watches",
+                    )
+                )
+        return findings
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every rule, in reporting order."""
     return [
@@ -508,4 +645,5 @@ def default_rules() -> list[Rule]:
         FastPathPairingRule(),
         CaptureBalanceRule(),
         DeadImportRule(),
+        ObsPassivityRule(),
     ]

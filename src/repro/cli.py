@@ -128,6 +128,31 @@ def parse_graph_spec(spec: str) -> Graph:
     raise ValueError(f"unknown graph family {parts[0]!r}")
 
 
+def _attach_obs(engine, args: argparse.Namespace):
+    """Attach the tracing/metrics sinks requested by ``--trace``/``--metrics-out``."""
+    if args.trace is None and args.metrics_out is None:
+        return None, None
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer() if args.trace is not None else None
+    metrics = MetricsRegistry() if args.metrics_out is not None else None
+    engine.attach_observability(tracer=tracer, metrics=metrics)
+    return tracer, metrics
+
+
+def _write_obs(args: argparse.Namespace, tracer, metrics) -> None:
+    # Sink paths go to stderr so --json stdout stays machine-parseable.
+    if tracer is not None:
+        path = tracer.write(args.trace)
+        print(
+            f"trace: {path} ({len(tracer.spans)} spans, {tracer.dropped} dropped)",
+            file=sys.stderr,
+        )
+    if metrics is not None:
+        path = metrics.write(args.metrics_out)
+        print(f"metrics: {path} ({len(metrics)} series)", file=sys.stderr)
+
+
 def _cmd_walk(args: argparse.Namespace) -> int:
     from repro.engine import WalkEngine
 
@@ -176,8 +201,10 @@ def _cmd_walks(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph)
     sources = [(args.source + i * args.stride) % graph.n for i in range(args.k)]
     engine = WalkEngine(graph, seed=args.seed, record_paths=False)
+    tracer, metrics = _attach_obs(engine, args)
     res = engine.walks(sources, args.length, batch=not args.serial)
     stats = engine.stats()
+    _write_obs(args, tracer, metrics)
     if args.json:
         print(json.dumps({**res.to_dict(), "stats": stats.to_dict()}, indent=2))
         return 0
@@ -212,6 +239,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     graph = parse_graph_spec(args.graph)
     engine = WalkEngine(graph, seed=args.seed, record_paths=False, auto_maintain=False)
+    tracer, metrics = _attach_obs(engine, args)
     registry = None
     if args.tenants:
         from repro.serve import TenantRegistry
@@ -284,6 +312,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scheduler, spec, rng, concurrency=args.concurrency, total=args.requests
         )
     stats = scheduler.stats()
+    _write_obs(args, tracer, metrics)
     if args.json:
         payload = {"scheduler": stats.to_dict(), "engine": engine.stats().to_dict()}
         if churn_reports:
@@ -391,6 +420,14 @@ def _cmd_mixing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import format_report, load_spans, summarize
+
+    spans = load_spans(args.path)
+    print(format_report(summarize(spans, top=args.top)))
+    return 0
+
+
 def _cmd_lowerbound(args: argparse.Namespace) -> int:
     from repro.graphs import build_lower_bound_graph, round_bound
     from repro.lowerbound import IntervalMergingVerifier, PathVerificationInstance
@@ -408,6 +445,22 @@ def _cmd_lowerbound(args: argparse.Namespace) -> int:
     ]
     print(render_table(["quantity", "value"], rows, title=f"PATH-VERIFICATION on G_n (n={args.n})"))
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a round-time trace here: .jsonl → span lines, anything "
+        "else → Chrome trace JSON (Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write Prometheus text-exposition metrics here after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -463,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result plus engine stats (shards, watermarks) as JSON",
     )
+    _add_obs_flags(walks)
     walks.set_defaults(fn=_cmd_walks)
 
     serve = sub.add_parser(
@@ -568,7 +622,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit scheduler + engine telemetry as machine-readable JSON",
     )
+    _add_obs_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    report = sub.add_parser(
+        "trace-report", help="summarize a trace written by --trace"
+    )
+    report.add_argument("path", help="Chrome-trace JSON or .jsonl span file")
+    report.add_argument("--top", type=int, default=10, help="phases to list")
+    report.set_defaults(fn=_cmd_trace_report)
 
     rst = sub.add_parser("rst", help="sample a uniform random spanning tree")
     rst.add_argument("--graph", required=True)

@@ -55,12 +55,21 @@ class PhaseStats:
 
 @dataclass
 class RoundLedger:
-    """Cumulative cost accounting across an algorithm execution."""
+    """Cumulative cost accounting across an algorithm execution.
+
+    ``observer`` is the passive observability hook (``repro.obs.Probe``
+    or anything with the same ``phase_pushed``/``phase_popped``/
+    ``charged``/``delta_measured`` surface).  It defaults to ``None`` and
+    every hook site is a single ``is not None`` check, so un-observed
+    ledgers — the golden-ledger fast path — pay nothing.  Observers only
+    *read* the ledger; they must never charge it.
+    """
 
     rounds: int = 0
     messages: int = 0
     max_congestion: int = 0
     phases: dict[str, PhaseStats] = field(default_factory=dict)
+    observer: object | None = None
     _phase_stack: list[str] = field(default_factory=list)
 
     @property
@@ -77,6 +86,11 @@ class RoundLedger:
         stats = self.phases.setdefault(name, PhaseStats())
         stats.invocations += 1
         self._phase_stack.append(name)
+        # Captured at entry so push/pop notifications stay symmetric even
+        # if the observer is installed or swapped while the phase is open.
+        obs = self.observer
+        if obs is not None:
+            obs.phase_pushed(name, self)
         try:
             yield stats
         finally:
@@ -88,6 +102,8 @@ class RoundLedger:
                 raise WalkError(
                     f"phase stack corrupted: popped {popped!r} while closing {name!r}"
                 )
+            if obs is not None:
+                obs.phase_popped(name, self)
 
     def charge(self, rounds: int, messages: int = 0, congestion: int = 0) -> None:
         """Record ``rounds`` rounds / ``messages`` messages in the current phase."""
@@ -98,6 +114,9 @@ class RoundLedger:
         self.max_congestion = max(self.max_congestion, congestion)
         name = self.current_phase
         self.phases.setdefault(name, PhaseStats()).merge_step(rounds, messages, congestion)
+        obs = self.observer
+        if obs is not None:
+            obs.charged(name, rounds, messages, congestion)
 
     def phase_rounds(self, name: str) -> int:
         stats = self.phases.get(name)
@@ -145,13 +164,17 @@ class RoundLedger:
             if dr or dm:
                 phase_rounds[name] = dr
                 phase_messages[name] = dm
-        return LedgerSnapshot(
+        delta = LedgerSnapshot(
             rounds=self.rounds - snapshot.rounds,
             messages=self.messages - snapshot.messages,
             max_congestion=self.max_congestion,
             phase_rounds=phase_rounds,
             phase_messages=phase_messages,
         )
+        obs = self.observer
+        if obs is not None:
+            obs.delta_measured(self, snapshot, delta)
+        return delta
 
     def snapshot(self) -> dict[str, int]:
         """Flat summary used by benches and reports."""

@@ -53,6 +53,7 @@ from repro.engine.model import EngineStats, WalkRequest
 from repro.engine.pool import MaintenanceReport, PoolManager
 from repro.errors import WalkError
 from repro.graphs.graph import Graph
+from repro.obs.probe import Probe
 from repro.util.rng import make_rng
 from repro.util.contracts import charged_fast_path
 from repro.walks.get_more_walks import get_more_walks_batch
@@ -207,8 +208,12 @@ class WalkEngine:
         self._pool_manager: PoolManager | None = None
         self._queries = 0
         self._full_preparations = 0
-        self._refills = 0
+        # Reactive GET-MORE-WALKS calls of *retired* pools: the live count
+        # stays on ``pool.refills`` (single home), this bucket preserves
+        # the session total across pool re-preparations.
+        self._refills_retired = 0
         self._background_refill_tokens = 0
+        self.obs = Probe()  # inert until attach_observability()
         self._scheduler = None  # attached repro.serve.WalkScheduler, if any
         self._churn = None  # lazily attached repro.dynamic.ChurnController
         self._faults = None  # attached repro.engine.faults.FaultController
@@ -261,6 +266,8 @@ class WalkEngine:
             self.network, self.rng, round_budget=round_budget, exclude_shards=exclude_shards
         )
         self._background_refill_tokens += report.tokens_added
+        if self.obs.metrics is not None and report.swept:
+            self._emit_pool_metrics(report)
         return report
 
     def apply_churn(self, delta, *, round_budget: int | None = None):
@@ -323,6 +330,75 @@ class WalkEngine:
             self._faults = FaultController(self)
         return self._faults.apply_step(schedule_step, round_budget=round_budget)
 
+    def attach_observability(self, *, tracer=None, metrics=None) -> Probe:
+        """Install a passive observer (tracing and/or metrics) on this session.
+
+        Creates a fresh :class:`~repro.obs.probe.Probe` wired to the given
+        sinks (a :class:`~repro.obs.trace.Tracer` and/or a
+        :class:`~repro.obs.metrics.MetricsRegistry`), installs it as the
+        session ledger's observer, and exposes it as ``engine.obs`` — the
+        scheduler, fault, and churn layers all report context and events
+        through it.  Passing no sinks installs an *inert* probe: every hook
+        fires and early-returns, which is exactly the "disabled"
+        configuration the ``obs_overhead`` bench prices.  Engines that
+        never call this keep ``ledger.observer = None``, so the hot charge
+        path pays one ``is not None`` test and nothing else.
+
+        The observer is strictly passive — simulated rounds, sampled
+        walks, and RNG streams are bit-identical with and without it
+        (proved by ``tests/test_obs.py``).  Returns the installed probe.
+        """
+        probe = Probe(tracer=tracer, metrics=metrics)
+        self.obs = probe
+        self.network.ledger.observer = probe
+        probe.attached(self.network.ledger)
+        return probe
+
+    def _emit_pool_metrics(self, report: MaintenanceReport | None = None) -> None:
+        """Refresh pool occupancy gauges on the metrics registry (no-op when off)."""
+        metrics = self.obs.metrics
+        manager = self._pool_manager
+        pool = self._pool
+        if metrics is None or manager is None or pool is None:
+            return
+        if report is not None:
+            metrics.counter(
+                "repro_maintenance_sweeps_total", "Background watermark sweeps run."
+            ).inc(1)
+            metrics.counter(
+                "repro_tokens_added_total", "Pool tokens created by refills, by kind."
+            ).inc(report.tokens_added, kind="maintain")
+        store = pool.store
+        metrics.gauge("repro_pool_tokens_unused", "Unused tokens in the live pool.").set(
+            pool.unused
+        )
+        metrics.gauge(
+            "repro_pool_tokens_created", "Tokens created into the live pool (cumulative)."
+        ).set(store.tokens_created)
+        metrics.gauge(
+            "repro_pool_tokens_consumed", "Tokens consumed from the live pool (cumulative)."
+        ).set(store.tokens_consumed)
+        shard_unused = manager.shard_unused()
+        if shard_unused is not None:
+            below = sum(
+                1
+                for shard in manager.shards
+                if shard_unused[shard.shard_id] < shard.low_watermark
+            )
+            metrics.gauge(
+                "repro_shards_below_watermark", "Shards currently under their watermark."
+            ).set(below)
+            metrics.gauge(
+                "repro_shard_unused_min", "Occupancy of the emptiest shard."
+            ).set(int(shard_unused.min()))
+            metrics.gauge(
+                "repro_shard_unused_max", "Occupancy of the fullest shard."
+            ).set(int(shard_unused.max()))
+        metrics.gauge(
+            "repro_pool_outstanding_deficit",
+            "Tokens still owed to deferred/below-watermark shards.",
+        ).set(manager.outstanding_deficit())
+
     def scheduler(self, *, tenants=None, **policy):
         """Attach a :class:`~repro.serve.WalkScheduler` to this session.
 
@@ -383,6 +459,8 @@ class WalkEngine:
         """Run Phase 1 and make its token pool the session's live pool."""
         if lam < 1:
             raise WalkError(f"lambda must be >= 1, got {lam}")
+        if self._pool is not None:
+            self._refills_retired += self._pool.refills
         store = WalkStore()
         counts = token_counts(self.graph.degrees, eta, degree_proportional=True)
         perform_short_walks(
@@ -560,6 +638,18 @@ class WalkEngine:
                     f"algorithm {request.algorithm!r} takes no params= override"
                 )
         self._queries += 1
+        with self.obs.annotate(
+            scope="request", algorithm=request.algorithm, k=len(request.sources)
+        ):
+            return self._dispatch(request, params=params, target=target)
+
+    def _dispatch(
+        self,
+        request: WalkRequest,
+        *,
+        params: WalkParams | None = None,
+        target: np.ndarray | None = None,
+    ):
         algo = request.algorithm
         if algo == "paper":
             if request.many:
@@ -684,7 +774,6 @@ class WalkEngine:
         )
         gmw_calls = out[4]
         pool.refills += gmw_calls
-        self._refills += gmw_calls
         if self._pool_manager is not None:
             for record in out[2]:
                 self._pool_manager.record_served(record.source)
@@ -1069,7 +1158,6 @@ class WalkEngine:
                 )
                 total_gmw += len(deficits)
                 pool.refills += len(deficits)
-                self._refills += len(deficits)
 
             # One shared-tree flood per sweep (the protocol's Sweep 1,
             # amortized over every group instead of run per draw).
@@ -1258,7 +1346,7 @@ class WalkEngine:
         return EngineStats(
             queries=self._queries,
             full_preparations=self._full_preparations,
-            refills=self._refills,
+            refills=self._refills_retired + (pool.refills if pool is not None else 0),
             tokens_prepared=pool.store.tokens_created if pool is not None else 0,
             tokens_consumed=pool.store.tokens_consumed if pool is not None else 0,
             pool_unused=pool.unused if pool is not None else 0,

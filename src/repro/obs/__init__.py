@@ -1,0 +1,49 @@
+"""repro.obs — passive observability over the simulated-round timeline.
+
+Round-accurate span tracing (:class:`Tracer` → Chrome trace / JSONL), a
+deterministic metrics registry (:class:`MetricsRegistry` → Prometheus
+text), and the zero-cost-when-off :class:`Probe` indirection that the
+ledger, engine, scheduler, fault, and churn layers all report through::
+
+    engine = WalkEngine(graph, seed=7)
+    tracer, metrics = Tracer(), MetricsRegistry()
+    engine.attach_observability(tracer=tracer, metrics=metrics)
+    ...  # serve traffic as usual — bit-identical to the untraced run
+    tracer.write("trace.json")     # load in Perfetto / chrome://tracing
+    metrics.write("metrics.prom")  # Prometheus text exposition
+
+The observer is strictly passive: it never charges the ledger and never
+touches an RNG (enforced statically by the ``obs-passivity`` analyzer
+rule), so golden ledgers and sampled walks stay bit-identical with
+tracing on.  Wall-clock access for overhead benches lives behind the
+audited wrapper in :mod:`repro.obs.clock`.
+"""
+
+from repro.obs.clock import Stopwatch, perf_counter
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.probe import Probe
+from repro.obs.report import format_report, load_spans, summarize
+from repro.obs.trace import DEFAULT_RING_SIZE, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_RING_SIZE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Probe",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "format_report",
+    "load_spans",
+    "perf_counter",
+    "summarize",
+]

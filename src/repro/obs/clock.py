@@ -1,0 +1,52 @@
+"""Audited wall-clock access — the only wall clock under ``src/repro``.
+
+The complexity measure everything in this repo reports is *simulated*
+round-time from the :class:`~repro.congest.ledger.RoundLedger`; wall
+clocks in library code would make traces nondeterministic and break
+fixed-seed replay.  The ``obs-passivity`` analyzer rule therefore bans
+``time.perf_counter`` (and ``monotonic``/``process_time``/``thread_time``)
+everywhere under ``src/repro`` *except* this module, so optional
+wall-clock profiling — bench overhead measurement, future kernel
+profiling for the n ≥ 10⁶ scaling work — stays one grep wide and every
+use is audited.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch", "perf_counter"]
+
+
+def perf_counter() -> float:
+    """Monotonic wall-clock seconds (the audited exception)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer for off-ledger profiling.
+
+    Re-enterable: each ``with`` block adds to ``elapsed``, so one
+    stopwatch can meter many disjoint slices of the same activity::
+
+        sw = Stopwatch()
+        for _ in range(ticks):
+            with sw:
+                sched.tick()
+        print(sw.elapsed)
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> Stopwatch:
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._started is not None:
+            self.elapsed += perf_counter() - self._started
+            self._started = None

@@ -1,0 +1,162 @@
+"""Trace summarization behind ``python -m repro trace-report``.
+
+Loads either export format (Chrome trace-event JSON or span JSONL) back
+into span dicts and rolls them up three ways: top phases by exclusive
+rounds, a per-tenant flame rollup over request scopes, and the
+critical-path cohort (the single most expensive cohort scope — the first
+place to look when P99 moves).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["format_report", "load_spans", "summarize"]
+
+
+def _span_from_chrome_event(event: dict) -> dict | None:
+    ph = event.get("ph")
+    if ph not in ("X", "i"):
+        return None
+    args = dict(event.get("args", {}))
+    rounds = int(event.get("dur", 0))
+    return {
+        "cat": event.get("cat", "instant" if ph == "i" else "phase"),
+        "name": event.get("name", "?"),
+        "start_round": int(event.get("ts", 0)),
+        "end_round": int(event.get("ts", 0)) + rounds,
+        "rounds": rounds,
+        "self_rounds": int(args.pop("self_rounds", rounds)),
+        "messages": int(args.pop("messages", 0)),
+        "congestion": int(args.pop("congestion", 0)),
+        "args": args,
+    }
+
+
+def load_spans(path: str | Path) -> list[dict]:
+    """Read a trace file (Chrome JSON or JSONL) back into span dicts."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and "traceEvents" in data:
+        spans = [_span_from_chrome_event(ev) for ev in data["traceEvents"]]
+        return [s for s in spans if s is not None]
+    if isinstance(data, list):  # a bare list of span dicts
+        return [dict(s) for s in data]
+    # JSONL: one span dict per line
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def summarize(spans: list[dict], top: int = 10) -> dict:
+    """Roll a span list up into the trace-report structure."""
+    phase_agg: dict[str, dict] = {}
+    tenant_agg: dict[str, dict] = {}
+    critical: dict | None = None
+    instants: dict[str, int] = {}
+    for span in spans:
+        cat = span.get("cat", "phase")
+        args = span.get("args", {})
+        if cat == "phase":
+            cell = phase_agg.setdefault(
+                span["name"], {"spans": 0, "rounds": 0, "self_rounds": 0, "messages": 0}
+            )
+            cell["spans"] += 1
+            cell["rounds"] += span.get("rounds", 0)
+            cell["self_rounds"] += span.get("self_rounds", span.get("rounds", 0))
+            cell["messages"] += span.get("messages", 0)
+        elif cat == "scope":
+            tenant = str(args.get("tenant", "")) or None
+            if tenant is not None:
+                cell = tenant_agg.setdefault(
+                    tenant, {"scopes": 0, "rounds": 0, "attributed": 0}
+                )
+                cell["scopes"] += 1
+                cell["rounds"] += span.get("rounds", 0)
+            if "cohort" in args and (
+                critical is None or span.get("rounds", 0) > critical["rounds"]
+            ):
+                critical = {
+                    "name": span.get("name", "?"),
+                    "cohort": args.get("cohort"),
+                    "rounds": span.get("rounds", 0),
+                    "start_round": span.get("start_round", 0),
+                    "args": dict(args),
+                }
+        elif cat == "instant":
+            instants[span["name"]] = instants.get(span["name"], 0) + 1
+            # The scheduler stamps apportioned cohort shares as
+            # "attribution" instants — the tenant rollup's real signal
+            # (scope deltas are private work only, 0 under pipelining).
+            if span["name"] == "attribution" and args.get("tenant"):
+                cell = tenant_agg.setdefault(
+                    str(args["tenant"]), {"scopes": 0, "rounds": 0, "attributed": 0}
+                )
+                cell["attributed"] += int(args.get("rounds", 0))
+    phases = sorted(
+        ({"name": name, **cell} for name, cell in phase_agg.items()),
+        key=lambda row: (-row["self_rounds"], row["name"]),
+    )
+    return {
+        "span_count": len(spans),
+        "total_self_rounds": sum(c["self_rounds"] for c in phase_agg.values()),
+        "phases": phases[:top],
+        "tenants": {
+            name: tenant_agg[name] for name in sorted(tenant_agg)
+        },
+        "critical_cohort": critical,
+        "events": dict(sorted(instants.items())),
+    }
+
+
+def format_report(summary: dict) -> str:
+    """Render a summary dict as the human-readable trace report."""
+    lines = [
+        f"trace-report: {summary['span_count']} spans, "
+        f"{summary['total_self_rounds']} attributed rounds",
+        "",
+        "top phases (by exclusive rounds):",
+    ]
+    if summary["phases"]:
+        width = max(len(row["name"]) for row in summary["phases"])
+        for row in summary["phases"]:
+            lines.append(
+                f"  {row['name']:<{width}}  self {row['self_rounds']:>8}  "
+                f"incl {row['rounds']:>8}  msgs {row['messages']:>8}  x{row['spans']}"
+            )
+    else:
+        lines.append("  (no phase spans)")
+    if summary["tenants"]:
+        lines.append("")
+        lines.append("per-tenant rollup (attributed rounds):")
+        shown = {
+            name: cell.get("attributed", 0) or cell["rounds"]
+            for name, cell in summary["tenants"].items()
+        }
+        total = sum(shown.values()) or 1
+        for name, cell in summary["tenants"].items():
+            lines.append(
+                f"  {name:>10}  rounds {shown[name]:>8} ({shown[name] / total:5.1%})"
+                f"  scopes {cell['scopes']}"
+            )
+    critical = summary.get("critical_cohort")
+    if critical:
+        lines.append("")
+        lines.append(
+            f"critical-path cohort: #{critical['cohort']} — {critical['rounds']} rounds "
+            f"starting at round {critical['start_round']}"
+        )
+    if summary.get("events"):
+        lines.append("")
+        lines.append(
+            "events: "
+            + ", ".join(f"{name} x{n}" for name, n in summary["events"].items())
+        )
+    return "\n".join(lines)

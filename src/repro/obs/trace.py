@@ -1,0 +1,349 @@
+"""Round-time span tracing with Chrome-trace / JSONL export.
+
+Spans are stamped in *simulated* round-time: a phase span opens when the
+ledger pushes the phase and closes when it pops, carrying the exact
+rounds/messages charged in between; a scope span is emitted whenever
+``delta_since`` measures a request delta, carrying that delta verbatim.
+No wall clock is read anywhere, so a fixed seed reproduces the trace
+byte-for-byte.
+
+Two exact balance identities hold (and are tested in
+``tests/test_obs.py``):
+
+* globally, ``Σ phase-span self_rounds + unattributed_rounds ==
+  ledger.rounds − attached_round`` — every simulated round after attach
+  is owned by exactly one span (or the explicit unattributed bucket);
+* per phase name, ``Σ self_rounds == ledger.phases[name].rounds`` minus
+  the phase's pre-attach rounds — the trace is the ledger's per-phase
+  attribution, just laid out on a timeline.
+
+``self_rounds`` is inclusive rounds minus the inclusive rounds of child
+phases, i.e. exactly the rounds the ledger attributed to this phase
+while it was innermost — correct even for same-name nesting.
+
+The Chrome export renders 1 round as 1 microsecond of trace time, so
+Perfetto/``chrome://tracing`` timelines read directly in rounds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.congest.ledger import LedgerSnapshot, RoundLedger
+
+__all__ = ["DEFAULT_RING_SIZE", "Span", "Tracer"]
+
+DEFAULT_RING_SIZE = 65_536
+
+PHASE = "phase"
+SCOPE = "scope"
+INSTANT = "instant"
+
+_PID = 1
+_TID_BY_CAT = {PHASE: 1, SCOPE: 2, INSTANT: 3}
+_TID_NAMES = {1: "ledger phases", 2: "request scopes", 3: "events"}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed trace span, stamped in simulated rounds."""
+
+    seq: int
+    cat: str  # "phase" | "scope" | "instant"
+    name: str
+    start_round: int
+    end_round: int
+    rounds: int  # inclusive (children counted)
+    self_rounds: int  # exclusive (rounds charged while innermost)
+    messages: int
+    self_messages: int
+    congestion: int  # worst congestion charged while innermost
+    depth: int  # phase-stack depth at open (0 for scopes/instants)
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "cat": self.cat,
+            "name": self.name,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+            "rounds": self.rounds,
+            "self_rounds": self.self_rounds,
+            "messages": self.messages,
+            "self_messages": self.self_messages,
+            "congestion": self.congestion,
+            "depth": self.depth,
+            "args": dict(self.args),
+        }
+
+
+class _Frame:
+    """Mutable open-phase record; becomes a Span at pop."""
+
+    __slots__ = (
+        "name",
+        "start_round",
+        "start_messages",
+        "child_rounds",
+        "child_messages",
+        "congestion",
+        "depth",
+        "args",
+    )
+
+
+class Tracer:
+    """Ring-buffered span sink driven by a :class:`~repro.obs.probe.Probe`.
+
+    The ring (``deque(maxlen=ring_size)``) drops *oldest* spans first and
+    counts drops explicitly, so a long session degrades to "recent
+    history" rather than unbounded memory.  Balance counters
+    (``unattributed_rounds`` etc.) are scalars and never drop.
+    """
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        self.ring_size = ring_size
+        self.spans: deque[Span] = deque(maxlen=ring_size)
+        self.emitted = 0
+        self.attached_round = 0
+        self.attached_messages = 0
+        self.attached_snapshot: LedgerSnapshot | None = None
+        self.unattributed_rounds = 0
+        self.unattributed_messages = 0
+        self.orphan_pops = 0  # pops with no matching push (observer swapped mid-phase)
+        self._stack: list[_Frame] = []
+        self._seq = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self.spans)
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # hooks — driven by Probe, which is driven by the ledger
+
+    def attached(self, ledger: RoundLedger) -> None:
+        self.attached_round = ledger.rounds
+        self.attached_messages = ledger.messages
+        # Baseline for the per-phase balance identity, never delta'd:
+        # pre-attach phase rounds are subtracted span-side, not measured.
+        self.attached_snapshot = ledger.capture()  # repro: allow-capture-balance
+
+    def phase_push(self, name: str, ledger: RoundLedger, args: dict) -> None:
+        frame = _Frame()
+        frame.name = name
+        frame.start_round = ledger.rounds
+        frame.start_messages = ledger.messages
+        frame.child_rounds = 0
+        frame.child_messages = 0
+        frame.congestion = 0
+        frame.depth = len(self._stack)
+        frame.args = dict(args) if args else {}
+        self._stack.append(frame)
+
+    def phase_pop(self, name: str, ledger: RoundLedger) -> Span | None:
+        if not self._stack:
+            self.orphan_pops += 1
+            return None
+        frame = self._stack.pop()
+        rounds = ledger.rounds - frame.start_round
+        messages = ledger.messages - frame.start_messages
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_rounds += rounds
+            parent.child_messages += messages
+        span = Span(
+            seq=self._next_seq(),
+            cat=PHASE,
+            name=name,
+            start_round=frame.start_round,
+            end_round=ledger.rounds,
+            rounds=rounds,
+            self_rounds=rounds - frame.child_rounds,
+            messages=messages,
+            self_messages=messages - frame.child_messages,
+            congestion=frame.congestion,
+            depth=frame.depth,
+            args=frame.args,
+        )
+        self._emit(span)
+        return span
+
+    def charged(self, rounds: int, messages: int, congestion: int) -> None:
+        if self._stack:
+            top = self._stack[-1]
+            if congestion > top.congestion:
+                top.congestion = congestion
+        else:
+            self.unattributed_rounds += rounds
+            self.unattributed_messages += messages
+
+    def scope(
+        self,
+        name: str,
+        ledger: RoundLedger,
+        snapshot: LedgerSnapshot,
+        delta: LedgerSnapshot,
+        args: dict,
+    ) -> Span:
+        span = Span(
+            seq=self._next_seq(),
+            cat=SCOPE,
+            name=name,
+            start_round=snapshot.rounds,
+            end_round=ledger.rounds,
+            rounds=delta.rounds,
+            self_rounds=delta.rounds,
+            messages=delta.messages,
+            self_messages=delta.messages,
+            congestion=delta.max_congestion,
+            depth=0,
+            args=dict(args) if args else {},
+        )
+        self._emit(span)
+        return span
+
+    def instant(self, name: str, ledger: RoundLedger, args: dict) -> Span:
+        span = Span(
+            seq=self._next_seq(),
+            cat=INSTANT,
+            name=name,
+            start_round=ledger.rounds,
+            end_round=ledger.rounds,
+            rounds=0,
+            self_rounds=0,
+            messages=0,
+            self_messages=0,
+            congestion=0,
+            depth=0,
+            args=dict(args) if args else {},
+        )
+        self._emit(span)
+        return span
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _emit(self, span: Span) -> None:
+        self.spans.append(span)
+        self.emitted += 1
+
+    # ------------------------------------------------------------------
+    # balance accessors (used by the span-vs-ledger identity tests)
+
+    def self_rounds_by_phase(self) -> dict[str, int]:
+        """Σ ``self_rounds`` per phase name over the retained ring."""
+        out: dict[str, int] = {}
+        for span in self.spans:
+            if span.cat == PHASE:
+                out[span.name] = out.get(span.name, 0) + span.self_rounds
+        return out
+
+    def total_self_rounds(self) -> int:
+        return sum(s.self_rounds for s in self.spans if s.cat == PHASE)
+
+    def total_self_messages(self) -> int:
+        return sum(s.self_messages for s in self.spans if s.cat == PHASE)
+
+    # ------------------------------------------------------------------
+    # export
+
+    def span_dicts(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(d, sort_keys=True, default=str) + "\n" for d in self.span_dicts()
+        )
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON (Perfetto/``chrome://tracing`` loadable).
+
+        ``ts``/``dur`` are simulated rounds rendered as microseconds;
+        phases, scopes, and instants land on separate named tracks.
+        """
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "repro (simulated rounds; 1 round = 1us)"},
+            }
+        ]
+        for tid, label in sorted(_TID_NAMES.items()):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": label},
+                }
+            )
+        for span in self.spans:
+            args = {
+                "self_rounds": span.self_rounds,
+                "messages": span.messages,
+                "congestion": span.congestion,
+                **span.args,
+            }
+            if span.cat == INSTANT:
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": _PID,
+                        "tid": _TID_BY_CAT[INSTANT],
+                        "name": span.name,
+                        "ts": span.start_round,
+                        "s": "p",
+                        "args": args,
+                    }
+                )
+            else:
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": _PID,
+                        "tid": _TID_BY_CAT[span.cat],
+                        "cat": span.cat,
+                        "name": span.name,
+                        "ts": span.start_round,
+                        "dur": span.rounds,
+                        "args": args,
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated rounds (1 round rendered as 1us)",
+                "attached_round": self.attached_round,
+                "unattributed_rounds": self.unattributed_rounds,
+                "dropped_spans": self.dropped,
+                "ring_size": self.ring_size,
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace: ``.jsonl`` → span lines, anything else → Chrome JSON."""
+        target = Path(path)
+        if target.suffix == ".jsonl":
+            target.write_text(self.to_jsonl())
+        else:
+            target.write_text(
+                json.dumps(self.to_chrome_trace(), sort_keys=True, default=str) + "\n"
+            )
+        return target

@@ -215,16 +215,13 @@ class WalkScheduler:
         self._next_id = 0
         self._ticks = 0
         self._cohorts = 0
-        self._submitted = 0
-        self._admitted = 0
-        self._rejected = 0
-        self._completed = 0
-        self._deadline_misses = 0
-        self._walks_served = 0
+        # Submission/completion totals live on the per-tenant counters
+        # only (every ticket has an owner, the default tenant included);
+        # stats() derives the session totals via _tenant_total so the same
+        # quantity is never maintained in two places.
         self._refill_calls = 0
         self._prefetch_noted = 0
         self._cohort_splits = 0
-        self._throttled_ticks = 0
         self._rejects_by_reason: dict[str, int] = {}
         # Crash-fault serving state: tickets parked on a crashed source
         # (ticket_id -> heap key, re-queued when the source recovers), and
@@ -303,18 +300,28 @@ class WalkScheduler:
             tenant=tenant_name,
         )
         self._next_id += 1
-        self._submitted += 1
         reason = self._admission_reason(request, budget)
+        metrics = self.engine.obs.metrics
         if reason is not None:
             ticket.status = REJECTED
             ticket.reject_reason = reason
-            self._rejected += 1
             owner.rejected += 1
             self._rejects_by_reason[reason] = self._rejects_by_reason.get(reason, 0) + 1
             self._tickets[ticket.ticket_id] = ticket
+            if metrics is not None:
+                metrics.counter(
+                    "repro_admission_rejects_total",
+                    "Requests rejected at admission, by tenant and reason.",
+                ).inc(1, tenant=tenant_name, reason=reason)
+                metrics.counter(
+                    "repro_requests_total", "Submitted requests, by tenant and outcome."
+                ).inc(1, tenant=tenant_name, outcome="rejected")
             return ticket
-        self._admitted += 1
         owner.admitted += 1
+        if metrics is not None:
+            metrics.counter(
+                "repro_requests_total", "Submitted requests, by tenant and outcome."
+            ).inc(1, tenant=tenant_name, outcome="admitted")
         if record_paths and pool is None:
             # Cold engine and the request was ADMITTED: remember the wish
             # so whichever cohort installs the pool prepares it
@@ -407,7 +414,6 @@ class WalkScheduler:
             owner = self.tenants.get(name)
             if queue and owner.throttled:
                 owner.throttled_ticks += 1
-                self._throttled_ticks += 1
         cohort = self._form_cohort()
         refill_calls = 0
         if cohort:
@@ -424,6 +430,8 @@ class WalkScheduler:
             exclude_shards=self._excluded_shards() or None,
         )
         self._note_shard_backoff(maintain)
+        if self.engine.obs.metrics is not None:
+            self._emit_tick_metrics()
         return TickReport(
             tick=self._ticks,
             serviced=tuple(e.ticket.ticket_id for e in cohort),
@@ -706,6 +714,15 @@ class WalkScheduler:
 
     def _service_cohort(self, cohort: list[_CohortEntry]) -> int:
         """Serve one cohort as a single merged interleaved batch."""
+        # The annotation context rides every phase span opened inside the
+        # cohort (setup, sweeps, tails, reports) and names the cohort-level
+        # delta's scope span; it costs nothing when tracing is off.
+        with self.engine.obs.annotate(
+            scope="cohort", cohort=self._cohorts, tick=self._ticks
+        ):
+            return self._service_cohort_impl(cohort)
+
+    def _service_cohort_impl(self, cohort: list[_CohortEntry]) -> int:
         engine = self.engine
         net = engine.network
         if self.root is None:
@@ -802,12 +819,15 @@ class WalkScheduler:
         for entry, span, rp in entry_slots:
             ticket = entry.ticket
             req = ticket.request
-            snapshot = net.ledger.capture()
-            if not pipelined and req.report_to_source:
-                # Pipelined destination→source convergecast on the shared
-                # tree, the PR-3 formula: O(height + k) per entry.
-                engine._report_convergecast(tree, [entry.k], phase=REPORT)
-            delta = net.ledger.delta_since(snapshot)
+            with engine.obs.annotate(
+                scope="ticket", ticket=ticket.ticket_id, tenant=ticket.tenant
+            ):
+                snapshot = net.ledger.capture()
+                if not pipelined and req.report_to_source:
+                    # Pipelined destination→source convergecast on the shared
+                    # tree, the PR-3 formula: O(height + k) per entry.
+                    engine._report_convergecast(tree, [entry.k], phase=REPORT)
+                delta = net.ledger.delta_since(snapshot)
             private_total += delta.rounds
             entry_private.append(delta.rounds)
 
@@ -830,7 +850,11 @@ class WalkScheduler:
             ticket.cohorts += 1
             ticket.serviced_tick = self._ticks
             owner.walks_served += entry.k
-            self._walks_served += entry.k
+            metrics = engine.obs.metrics
+            if metrics is not None:
+                metrics.counter("repro_walks_served_total", "Walks served, by tenant.").inc(
+                    entry.k, tenant=ticket.tenant
+                )
             if ticket.walks_served == req.k:
                 part = self._partials.pop(ticket.ticket_id)
                 ticket.result = ManyWalksResult(
@@ -847,7 +871,6 @@ class WalkScheduler:
                 if pool is not None and part.drew:
                     pool.queries += 1
                 engine._queries += 1
-                self._completed += 1
                 owner.completed += 1
                 finished.append(entry)
 
@@ -872,6 +895,8 @@ class WalkScheduler:
             shares[order[j % len(shares)]] += 1
         now = net.rounds
         done_now = {e.ticket.ticket_id for e in finished}
+        metrics = engine.obs.metrics
+        tracer = engine.obs.tracer
         for (entry, _, _), share, private in zip(entry_slots, shares, entry_private):
             ticket = entry.ticket
             attributed = private + share
@@ -879,18 +904,76 @@ class WalkScheduler:
             owner = self.tenants.get(ticket.tenant)
             owner.rounds_attributed += attributed
             owner.debit(attributed)
+            if tracer is not None:
+                # The ticket's scope span carries only its private delta (0
+                # under pipelined reports); the apportioned share exists
+                # only here, so stamp it into the trace for the per-tenant
+                # rollup of trace-report.
+                tracer.instant(
+                    "attribution",
+                    net.ledger,
+                    {"tenant": ticket.tenant, "ticket": ticket.ticket_id, "rounds": attributed},
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "repro_rounds_attributed_total", "Cohort rounds attributed, by tenant."
+                ).inc(attributed, tenant=ticket.tenant)
             if ticket.ticket_id in done_now:
                 ticket.completed_round = now
                 ticket.latency_rounds = now - ticket.submitted_round
                 if ticket.deadline_round is not None and now > ticket.deadline_round:
                     ticket.deadline_missed = True
-                    self._deadline_misses += 1
                     owner.deadline_misses += 1
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_tickets_completed_total", "Tickets completed, by tenant."
+                    ).inc(1, tenant=ticket.tenant)
+                    metrics.histogram(
+                        "repro_ticket_latency_rounds",
+                        "Submit-to-complete latency in simulated rounds, by tenant.",
+                    ).observe(ticket.latency_rounds, tenant=ticket.tenant)
+                    metrics.histogram(
+                        "repro_ticket_service_rounds",
+                        "Attributed service rounds per completed ticket, by tenant.",
+                    ).observe(ticket.rounds_attributed, tenant=ticket.tenant)
         return refill_calls
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def _tenant_total(self, field: str) -> int:
+        """Session total derived from the per-tenant counters (single home).
+
+        Every ticket has an owner (the default tenant included), so the
+        per-tenant counters ARE the session counters; deriving the totals
+        here instead of double-incrementing scalars removes the telemetry
+        duplication the obs layer cross-checks against.
+        """
+        return sum(getattr(t, field) for t in self.tenants.tenants.values())
+
+    def _emit_tick_metrics(self) -> None:
+        """Per-tick gauges: queue depth and tenant fairness deviation."""
+        metrics = self.engine.obs.metrics
+        if metrics is None:
+            return
+        metrics.counter("repro_ticks_total", "Scheduler ticks run.").inc(1)
+        metrics.gauge(
+            "repro_queue_depth", "Queued + parked tickets (admission-bound depth)."
+        ).set(self.queue_depth)
+        tenants = self.tenants.tenants
+        total = sum(t.rounds_attributed for t in tenants.values())
+        weight_sum = sum(t.weight for t in tenants.values())
+        if total > 0 and weight_sum > 0:
+            gauge = metrics.gauge(
+                "repro_tenant_fairness_dev",
+                "Relative deviation of a tenant's attributed-rounds share "
+                "from its weight share (signed).",
+            )
+            for name, t in tenants.items():
+                target = t.weight / weight_sum
+                if target > 0:
+                    gauge.set(t.rounds_attributed / total / target - 1.0, tenant=name)
+
     def stats(self) -> SchedulerStats:
         """Scheduler telemetry; also surfaced via ``engine.stats().serve``."""
         ledger = self.engine.network.ledger
@@ -899,15 +982,15 @@ class WalkScheduler:
         latencies = [t.latency_rounds for t in done if t.latency_rounds is not None]
         faults = self.engine._faults
         return SchedulerStats(
-            submitted=self._submitted,
-            admitted=self._admitted,
-            rejected=self._rejected,
-            completed=self._completed,
-            deadline_misses=self._deadline_misses,
+            submitted=self._tenant_total("submitted"),
+            admitted=self._tenant_total("admitted"),
+            rejected=self._tenant_total("rejected"),
+            completed=self._tenant_total("completed"),
+            deadline_misses=self._tenant_total("deadline_misses"),
             queue_depth=self.queue_depth,
             ticks=self._ticks,
             cohorts=self._cohorts,
-            walks_served=self._walks_served,
+            walks_served=self._tenant_total("walks_served"),
             refill_calls=self._refill_calls,
             p50_rounds_per_request=_percentile(attributed, 50),
             p99_rounds_per_request=_percentile(attributed, 99),
@@ -928,12 +1011,14 @@ class WalkScheduler:
             refill_backoffs=self._refill_backoffs,
             tenants=self.tenants.stats(),
             cohort_splits=self._cohort_splits,
-            throttled_ticks=self._throttled_ticks,
+            throttled_ticks=self._tenant_total("throttled_ticks"),
         )
 
     def __repr__(self) -> str:
         return (
-            f"WalkScheduler(queue={self.queue_depth}, submitted={self._submitted}, "
-            f"completed={self._completed}, rejected={self._rejected}, "
+            f"WalkScheduler(queue={self.queue_depth}, "
+            f"submitted={self._tenant_total('submitted')}, "
+            f"completed={self._tenant_total('completed')}, "
+            f"rejected={self._tenant_total('rejected')}, "
             f"tenants={len(self.tenants)}, ticks={self._ticks})"
         )

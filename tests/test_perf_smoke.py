@@ -22,6 +22,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 import bench_churn  # noqa: E402
 import bench_faults  # noqa: E402
 import bench_many_walks  # noqa: E402
+import bench_obs  # noqa: E402
 import bench_perf_hotpaths as bench  # noqa: E402
 import bench_serve  # noqa: E402
 import bench_tenants  # noqa: E402
@@ -252,6 +253,34 @@ class TestBenchHarnessSmoke:
                 assert row["recovery_rounds"] < row["discard_recovery_rounds"], row
             if row["crash_rate"] == 0.01:
                 assert row["recovery_speedup"] >= 2.0, row
+
+    def test_obs_overhead_harness_live(self):
+        # Live tier-1 guard for the PR-9 observability layer: the quick
+        # config runs all three attachment configs and the bench itself
+        # asserts identical simulated rounds across them (passivity).
+        # Wall-clock *ratios* are asserted only on the committed section
+        # below — a loaded CI machine can never flake the tier-1 gate.
+        section = bench_obs.bench_obs_overhead(**bench_obs.QUICK_OBS)
+        assert section["schema"] == "bench_obs_overhead/v1"
+        assert section["rounds"] > 0
+        assert section["spans"] > 0 and section["spans_dropped"] == 0
+        assert section["metrics_series"] > 0
+        assert section["baseline_s"] > 0 and section["traced_s"] > 0
+        assert json.loads(json.dumps(section)) == section
+
+    def test_committed_obs_overhead_section(self):
+        # The PR-9 acceptance bar: on the committed full-workload run the
+        # never-attached/inert-attach gap is <= 3% wall-clock (zero cost
+        # when off) and full tracing+metrics stays <= 25% at the default
+        # ring size.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("obs_overhead")
+        assert section is not None, "run benchmarks/bench_obs.py to regenerate"
+        assert section["schema"] == "bench_obs_overhead/v1"
+        assert section["ring_size"] == 65_536
+        assert section["spans_dropped"] == 0
+        assert section["overhead_disabled"] <= section["limits"]["disabled"] == 0.03
+        assert section["overhead_traced"] <= section["limits"]["traced"] == 0.25
 
     def test_committed_engine_reuse_section(self):
         # bench_engine_reuse.py appends this section; the committed numbers

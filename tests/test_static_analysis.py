@@ -24,6 +24,7 @@ from repro.analysis import (
     CaptureBalanceRule,
     DeadImportRule,
     FastPathPairingRule,
+    ObsPassivityRule,
     PhaseRegistryRule,
     SeededRngRule,
     analyze_paths,
@@ -388,6 +389,93 @@ class TestDeadImportRule:
         init = tmp_path / "__init__.py"
         init.write_text("import os\n")
         assert not analyze_paths([init], [DeadImportRule()], root=REPO_ROOT).findings
+
+
+# ----------------------------------------------------------------------
+# Rule 7: obs-passivity
+# ----------------------------------------------------------------------
+class TestObsPassivityRule:
+    """Wall-clock only via obs/clock.py; no mutators/RNG inside obs/."""
+
+    @staticmethod
+    def run_at(rule, tmp_path: Path, rel: str, source: str):
+        # The rule only polices the production tree, so fixtures must
+        # live at a src/repro/... path (run_rule's flat tmp file is
+        # outside the rule's jurisdiction by design).
+        fixture = tmp_path / rel
+        fixture.parent.mkdir(parents=True, exist_ok=True)
+        fixture.write_text(source)
+        return analyze_paths([fixture], [rule], root=REPO_ROOT)
+
+    def test_true_positive_wall_clock_in_production(self, tmp_path):
+        src = (
+            "import time\n"
+            "from time import monotonic\n"
+            "def f():\n"
+            "    return time.perf_counter() + monotonic()\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/engine/x.py", src)
+        assert len(report.findings) == 2
+        assert all("wall clock" in f.message for f in report.findings)
+
+    def test_clock_module_is_exempt_and_repo_clock_uses_perf_counter(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.perf_counter()\n"
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/clock.py", src)
+        assert not report.findings
+        # The real wrapper would trip the rule anywhere else — the
+        # exemption is what makes it the single audited wall-clock home.
+        real = REPO_ROOT / "src" / "repro" / "obs" / "clock.py"
+        assert "perf_counter" in real.read_text()
+        assert not ObsPassivityRule().applies_to(real)
+
+    def test_true_positive_mutator_and_rng_inside_obs(self, tmp_path):
+        src = (
+            "def hook(ledger, store, rng):\n"
+            '    ledger.charge("phase1", rounds=1, messages=0)\n'
+            "    store.add_batch([1])\n"
+            "    return rng.integers(0, 10)\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/bad.py", src)
+        messages = [f.message for f in report.findings]
+        assert len(messages) == 3
+        assert sum("mutates simulation state" in m for m in messages) == 2
+        assert sum("RNG" in m for m in messages) == 1
+
+    def test_true_negative_mutators_fine_outside_obs_and_passive_obs(self, tmp_path):
+        engine_src = (
+            "def serve(ledger, store):\n"
+            '    ledger.charge("phase1", rounds=1, messages=0)\n'
+            "    store.add_batch([1])\n"
+        )
+        report = self.run_at(
+            ObsPassivityRule(), tmp_path, "src/repro/engine/y.py", engine_src
+        )
+        assert not report.findings
+        obs_src = (
+            "def hook(ledger, sink):\n"
+            "    sink.append(ledger.rounds)\n"
+            "    return ledger.capture()\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/ok.py", obs_src)
+        assert not report.findings
+
+    def test_outside_production_tree_is_ignored(self, tmp_path):
+        report = run_rule(
+            ObsPassivityRule(),
+            tmp_path,
+            "import time\n\ndef bench():\n    return time.perf_counter()\n",
+        )
+        assert not report.findings
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = (
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter()  # repro: allow-obs-passivity\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/engine/z.py", src)
+        assert not report.findings
+        assert len(report.suppressed) == 1
 
 
 # ----------------------------------------------------------------------
