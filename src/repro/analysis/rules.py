@@ -521,7 +521,8 @@ class ObsPassivityRule(Rule):
     name = "obs-passivity"
     description = (
         "wall-clock reads in src/repro go through repro.obs.clock only, and "
-        "src/repro/obs/ never calls simulation mutators or draws randomness"
+        "src/repro/obs/ never calls simulation mutators, draws randomness, "
+        "stages heatmap attribution, or settles charges outside the probe"
     )
 
     #: The perf-timer family (``time.time`` is ``seeded-rng``'s beat).
@@ -631,6 +632,36 @@ class ObsPassivityRule(Rule):
                         f"{chain}() draws from (or constructs) an RNG inside the "
                         "observability layer: an observer consuming stream state "
                         "perturbs every replay it watches",
+                    )
+                )
+            elif in_obs and parts[-1] in ("stage_edges", "stage_counts"):
+                # Staging is the *charge path's* declaration of where its
+                # messages travel; an observer staging its own attribution
+                # would fabricate congestion that no charge backs.
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{chain}() stages heatmap attribution from inside the "
+                        "observability layer: only the charge path "
+                        "(network/primitives/engine) may declare edge traffic",
+                    )
+                )
+            elif (
+                in_obs
+                and parts[-1] == "settle_charge"
+                and src.path.name != "probe.py"
+            ):
+                # Settlement is driven exclusively by the ledger's charged
+                # hook via the probe — any other caller would double-book
+                # staged entries and break the conservation identity.
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        f"{chain}() settles a heatmap charge outside the probe: "
+                        "settlement happens once, from the ledger's charged "
+                        "hook, or the conservation identity breaks",
                     )
                 )
         return findings

@@ -129,21 +129,41 @@ def parse_graph_spec(spec: str) -> Graph:
 
 
 def _attach_obs(engine, args: argparse.Namespace):
-    """Attach the tracing/metrics sinks requested by ``--trace``/``--metrics-out``."""
-    if args.trace is None and args.metrics_out is None:
-        return None, None
-    from repro.obs import MetricsRegistry, Tracer
+    """Attach the obs sinks requested by ``--trace``/``--metrics-out``/
+    ``--heatmap-out``/``--slo``/``--dashboard`` (the last three only exist
+    on commands that declare them)."""
+    heatmap_out = getattr(args, "heatmap_out", None)
+    slo_specs = getattr(args, "slo", None) or []
+    want_slo = bool(slo_specs) or getattr(args, "dashboard", False)
+    if (
+        args.trace is None
+        and args.metrics_out is None
+        and heatmap_out is None
+        and not want_slo
+    ):
+        return None, None, None, None
+    from repro.obs import HeatmapSink, MetricsRegistry, SloMonitor, SloSpec, Tracer
 
     tracer = Tracer() if args.trace is not None else None
     metrics = MetricsRegistry() if args.metrics_out is not None else None
-    engine.attach_observability(tracer=tracer, metrics=metrics)
-    return tracer, metrics
+    heatmap = HeatmapSink() if heatmap_out is not None else None
+    slo = (
+        SloMonitor(specs=[SloSpec.parse(spec) for spec in slo_specs])
+        if want_slo
+        else None
+    )
+    engine.attach_observability(tracer=tracer, metrics=metrics, heatmap=heatmap, slo=slo)
+    return tracer, metrics, heatmap, slo
 
 
-def _write_obs(args: argparse.Namespace, tracer, metrics) -> None:
+def _write_obs(args: argparse.Namespace, tracer, metrics, heatmap=None) -> None:
     # Sink paths go to stderr so --json stdout stays machine-parseable.
     if tracer is not None:
-        path = tracer.write(args.trace)
+        # The heatmap's Perfetto counter track rides along in one file.
+        path = tracer.write(
+            args.trace,
+            extra_events=heatmap.counter_events() if heatmap is not None else (),
+        )
         print(
             f"trace: {path} ({len(tracer.spans)} spans, {tracer.dropped} dropped)",
             file=sys.stderr,
@@ -151,6 +171,50 @@ def _write_obs(args: argparse.Namespace, tracer, metrics) -> None:
     if metrics is not None:
         path = metrics.write(args.metrics_out)
         print(f"metrics: {path} ({len(metrics)} series)", file=sys.stderr)
+    if heatmap is not None and getattr(args, "heatmap_out", None):
+        path = heatmap.write(args.heatmap_out)
+        print(
+            f"heatmap: {path} ({heatmap.located_messages()} located, "
+            f"{heatmap.residual_messages()} residual messages)",
+            file=sys.stderr,
+        )
+
+
+def _dashboard_frame(scheduler, slo, alerts, *, color: bool) -> str:
+    """Build one per-tick dashboard frame from live scheduler + SLO state."""
+    from repro.obs import format_dashboard
+    from repro.obs.slo import ALL_TENANTS
+
+    rules = [
+        {"tenant": rule.spec.tenant or ALL_TENANTS, "burn": rule.last_burn}
+        for rule in slo._rules  # noqa: SLF001 - dashboard reads live rule state
+    ]
+    rows = []
+    for name in scheduler.tenants.order:
+        tenant = scheduler.tenants.get(name)
+        burn = max(
+            (r["burn"] for r in rules if r["tenant"] in (name, ALL_TENANTS)),
+            default=0.0,
+        )
+        rows.append(
+            {
+                "tenant": name,
+                "p50": slo.percentile(name, 0.50),
+                "p95": slo.percentile(name, 0.95),
+                "attributed": tenant.rounds_attributed,
+                "quota_debt": max(0, -int(tenant.balance)),
+                "status": slo.status(name),
+                "burn": burn,
+            }
+        )
+    return format_dashboard(
+        tick=slo.last_tick,
+        round_now=slo.last_round,
+        queue_depth=slo.last_queue_depth,
+        rows=rows,
+        alerts=alerts,
+        color=color,
+    )
 
 
 def _cmd_walk(args: argparse.Namespace) -> int:
@@ -201,10 +265,10 @@ def _cmd_walks(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph)
     sources = [(args.source + i * args.stride) % graph.n for i in range(args.k)]
     engine = WalkEngine(graph, seed=args.seed, record_paths=False)
-    tracer, metrics = _attach_obs(engine, args)
+    tracer, metrics, heatmap, _slo = _attach_obs(engine, args)
     res = engine.walks(sources, args.length, batch=not args.serial)
     stats = engine.stats()
-    _write_obs(args, tracer, metrics)
+    _write_obs(args, tracer, metrics, heatmap)
     if args.json:
         print(json.dumps({**res.to_dict(), "stats": stats.to_dict()}, indent=2))
         return 0
@@ -239,7 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     graph = parse_graph_spec(args.graph)
     engine = WalkEngine(graph, seed=args.seed, record_paths=False, auto_maintain=False)
-    tracer, metrics = _attach_obs(engine, args)
+    tracer, metrics, heatmap, slo = _attach_obs(engine, args)
     registry = None
     if args.tenants:
         from repro.serve import TenantRegistry
@@ -254,6 +318,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         maintain_round_budget=args.maintain_budget,
         default_deadline=args.deadline,
     )
+    if args.dashboard:
+        # Live dashboard: wrap scheduler.tick so each tick renders one
+        # frame (to stderr — --json stdout stays machine-parseable).
+        inner_tick = scheduler.tick
+        seen_alerts = {"n": 0}
+        use_color = sys.stderr.isatty()
+
+        def _tick_and_render(*tick_args, **tick_kwargs):
+            report = inner_tick(*tick_args, **tick_kwargs)
+            new_alerts = slo.alerts[seen_alerts["n"] :]
+            seen_alerts["n"] = len(slo.alerts)
+            print(
+                _dashboard_frame(scheduler, slo, new_alerts, color=use_color),
+                file=sys.stderr,
+            )
+            return report
+
+        scheduler.tick = _tick_and_render
     spec = TrafficSpec(
         n=graph.n,
         lengths=tuple(args.length),
@@ -312,11 +394,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             scheduler, spec, rng, concurrency=args.concurrency, total=args.requests
         )
     stats = scheduler.stats()
-    _write_obs(args, tracer, metrics)
+    _write_obs(args, tracer, metrics, heatmap)
     if args.json:
         payload = {"scheduler": stats.to_dict(), "engine": engine.stats().to_dict()}
         if churn_reports:
             payload["churn"] = [r.to_dict() for r in churn_reports]
+        if slo is not None:
+            payload["slo"] = slo.summary()
         print(json.dumps(payload, indent=2))
         return 0
     rows = [
@@ -421,10 +505,14 @@ def _cmd_mixing(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
-    from repro.obs import format_report, load_spans, summarize
+    from pathlib import Path
+
+    from repro.obs import format_report, load_metrics, load_spans, summarize
 
     spans = load_spans(args.path)
-    print(format_report(summarize(spans, top=args.top)))
+    metrics = load_metrics(args.metrics) if args.metrics else None
+    heatmap = json.loads(Path(args.heatmap).read_text()) if args.heatmap else None
+    print(format_report(summarize(spans, top=args.top), metrics=metrics, heatmap=heatmap))
     return 0
 
 
@@ -459,7 +547,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out",
         default=None,
         metavar="PATH",
-        help="write Prometheus text-exposition metrics here after the run",
+        help="write metrics here after the run: .json → registry snapshot, "
+        "anything else → Prometheus text exposition",
+    )
+    parser.add_argument(
+        "--heatmap-out",
+        default=None,
+        metavar="PATH",
+        help="write the per-edge congestion cartography (JSON summary) here; "
+        "with --trace the heatmap's Perfetto counter track is merged into "
+        "the Chrome trace",
     )
 
 
@@ -616,6 +713,21 @@ def build_parser() -> argparse.ArgumentParser:
         "tenant and adds per-tenant telemetry rows",
     )
     serve.add_argument("--queue-depth", type=int, default=256, help="admission queue bound")
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="declarative burn-rate rule (repeatable), e.g. "
+        "name=lat-pro,metric=latency,target=2000,objective=0.05,window=8,"
+        "burn=2,tenant=pro; metrics: latency, deadline_miss, reject, throttle",
+    )
+    serve.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="render a live per-tick ANSI dashboard to stderr "
+        "(tenants × p50/p95 latency, attributed rounds, quota debt, SLO status)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--json",
@@ -630,6 +742,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("path", help="Chrome-trace JSON or .jsonl span file")
     report.add_argument("--top", type=int, default=10, help="phases to list")
+    report.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="metrics snapshot JSON (--metrics-out foo.json) to fold in: "
+        "adds the SLO/alert summary section",
+    )
+    report.add_argument(
+        "--heatmap",
+        default=None,
+        metavar="PATH",
+        help="heatmap export (--heatmap-out) to fold in: adds the "
+        "congestion-cartography section",
+    )
     report.set_defaults(fn=_cmd_trace_report)
 
     rst = sub.add_parser("rst", help="sample a uniform random spanning tree")

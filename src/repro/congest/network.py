@@ -84,6 +84,12 @@ class Network:
         # ReliableTokenWalkProtocol); aggregated here so engine/scheduler
         # stats can surface them without holding protocol objects.
         self.retransmissions_seen = 0
+        # Optional congestion-cartography sink (repro.obs.heatmap).  When
+        # attached, every deliver/charge path stages its per-edge message
+        # attribution immediately before charging the ledger; detached, each
+        # site pays exactly one `is not None` test.
+        self.heatmap = None
+        self._pair_slot_index: tuple[np.ndarray, np.ndarray] | None = None
         # FIFO queue per directed edge, keyed by (src, dst).  Multi-edges
         # between the same pair pool their bandwidth, which matches the
         # multigraph-bandwidth equivalence used in Section 3.2.
@@ -120,6 +126,7 @@ class Network:
             raise ProtocolError("cannot change topology with messages in flight")
         self._queues.clear()
         self._build_multiplicity()
+        self._pair_slot_index = None  # slot ids re-keyed by the churn remap
 
     # ------------------------------------------------------------------
     # Introspection
@@ -147,6 +154,64 @@ class Network:
     def phase(self, name: str):
         """Attribute subsequent costs to phase ``name`` (context manager)."""
         return self.ledger.phase(name)
+
+    # ------------------------------------------------------------------
+    # Heatmap attribution support
+    # ------------------------------------------------------------------
+    def _pair_index(self) -> tuple[np.ndarray, np.ndarray]:
+        # Lazy (sorted pair-key, representative-slot) index: the first CSR
+        # slot (stable argsort) represents each directed (src, dst) pair,
+        # so parallel edges fold onto one canonical slot.  Invalidated by
+        # refresh_topology().
+        idx = self._pair_slot_index
+        if idx is None:
+            graph = self.graph
+            keys = graph.csr_source.astype(np.int64) * graph.n + graph.csr_target
+            order = np.argsort(keys, kind="stable").astype(np.int64)
+            idx = self._pair_slot_index = (keys[order], order)
+        return idx
+
+    def edge_slots_for_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Representative directed CSR slot per (src, dst) pair; -1 if absent."""
+        keys_sorted, order = self._pair_index()
+        keys = np.asarray(sources, dtype=np.int64) * self.graph.n + np.asarray(
+            targets, dtype=np.int64
+        )
+        if keys_sorted.size == 0:
+            return np.full(keys.shape, -1, dtype=np.int64)
+        pos = np.minimum(np.searchsorted(keys_sorted, keys), keys_sorted.size - 1)
+        return np.where(keys_sorted[pos] == keys, order[pos], -1)
+
+    def _stage_pairs(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        messages: np.ndarray,
+        congestion: np.ndarray,
+    ) -> None:
+        """Locate pairs onto slots and stage them on the attached heatmap.
+
+        Stray pairs (no live slot — e.g. a replay hop across a just-deleted
+        edge) fold sum-preservingly onto the first located slot so the
+        conservation identity survives; a batch with no located slot at all
+        stays unstaged and lands in the sink's residual bucket.
+        """
+        slots = self.edge_slots_for_pairs(sources, targets)
+        bad = slots < 0
+        if bad.any():
+            good = ~bad
+            if not good.any():
+                return
+            stray_messages = int(messages[bad].sum())
+            stray_load = int(congestion[bad].max())
+            slots = slots[good]
+            messages = messages[good].copy()
+            congestion = congestion[good].copy()
+            messages[0] += stray_messages
+            congestion[0] = max(congestion[0], stray_load)
+        self.heatmap.stage_edges(slots, messages, congestion)
 
     # ------------------------------------------------------------------
     # Batch-step execution
@@ -192,12 +257,17 @@ class Network:
             return 0
         self._check_words(words)
         counts = np.bincount(slot_arr, minlength=0)
+        heatmap = self.heatmap
         if aggregate:
             n_messages = int(np.count_nonzero(counts))
             congestion = 1
+            if heatmap is not None:
+                heatmap.stage_counts(np.minimum(counts, 1), n_messages, congestion)
         else:
             n_messages = int(slot_arr.size)
             congestion = int(counts.max())
+            if heatmap is not None:
+                heatmap.stage_counts(counts, n_messages, congestion)
         return self._charge_iteration(n_messages, congestion)
 
     def deliver_step_grouped(
@@ -231,7 +301,10 @@ class Network:
         span = int(group_arr.max()) - int(group_arr.min()) + 1
         keys = slot_arr * span + (group_arr - int(group_arr.min()))
         pair_slots = np.unique(keys) // span
-        _, per_edge = np.unique(pair_slots, return_counts=True)
+        used, per_edge = np.unique(pair_slots, return_counts=True)
+        heatmap = self.heatmap
+        if heatmap is not None:
+            heatmap.stage_edges(used, per_edge, per_edge)
         return self._charge_iteration(int(pair_slots.size), int(per_edge.max()))
 
     def deliver_pairs(
@@ -257,24 +330,58 @@ class Network:
             return 0
         self._check_words(words)
         keys = src * self.graph.n + dst
-        _, counts = np.unique(keys, return_counts=True)
+        pair_keys, counts = np.unique(keys, return_counts=True)
         if aggregate:
             n_messages = int(len(counts))
             congestion = 1
         else:
             n_messages = int(src.size)
             congestion = int(counts.max())
+        if self.heatmap is not None:
+            n = self.graph.n
+            per_pair = (
+                np.ones(pair_keys.size, dtype=np.int64) if aggregate else counts
+            )
+            self._stage_pairs(pair_keys // n, pair_keys % n, per_pair, per_pair)
         return self._charge_iteration(n_messages, congestion)
 
-    def deliver_sequential(self, hop_count: int, *, messages_per_hop: int = 1) -> int:
+    def deliver_sequential(
+        self,
+        hop_count: int,
+        *,
+        messages_per_hop: int = 1,
+        path: np.ndarray | Iterable[int] | None = None,
+    ) -> int:
         """Charge a token travelling ``hop_count`` hops, one hop per round.
 
         Convenience for walk tokens and path routing, where congestion is
         structurally impossible (a single message moves per round).
+
+        ``path`` optionally names the node sequence travelled (at least
+        ``hop_count + 1`` nodes, hop ``i`` crossing ``path[i] → path[i+1]``)
+        so an attached heatmap can attribute the traffic per edge; it is
+        ignored — never even materialized by callers — when no heatmap is
+        attached, and a too-short path simply leaves the charge in the
+        sink's residual bucket.
         """
         if hop_count < 0:
             raise ProtocolError("hop_count must be non-negative")
         if hop_count:
+            if self.heatmap is not None and path is not None:
+                nodes = np.asarray(
+                    list(path) if not isinstance(path, np.ndarray) else path,
+                    dtype=np.int64,
+                )
+                if nodes.size > hop_count:
+                    keys = nodes[:hop_count] * self.graph.n + nodes[1 : hop_count + 1]
+                    pair_keys, hops = np.unique(keys, return_counts=True)
+                    n = self.graph.n
+                    self._stage_pairs(
+                        pair_keys // n,
+                        pair_keys % n,
+                        hops * messages_per_hop,
+                        np.ones(pair_keys.size, dtype=np.int64),
+                    )
             self.ledger.charge(hop_count, messages=hop_count * messages_per_hop, congestion=1)
         return hop_count
 
@@ -334,12 +441,21 @@ class Network:
         """Pop up to ``capacity`` messages from each directed edge; charge 1 round."""
         delivered: list[Message] = []
         congestion = 0
+        heatmap = self.heatmap
+        staged: list[tuple[int, int, int, int]] | None = [] if heatmap is not None else None
         for key in list(self._queues):
             queue = self._queues[key]
-            congestion = max(congestion, len(queue))
-            for _ in range(min(self.capacity, len(queue))):
+            load = len(queue)
+            congestion = max(congestion, load)
+            take = min(self.capacity, load)
+            if staged is not None and take:
+                staged.append((key[0], key[1], take, load))
+            for _ in range(take):
                 delivered.append(queue.popleft())
             if not queue:
                 del self._queues[key]
+        if staged:
+            cols = np.asarray(staged, dtype=np.int64)
+            self._stage_pairs(cols[:, 0], cols[:, 1], cols[:, 2], cols[:, 3])
         self.ledger.charge(1, messages=len(delivered), congestion=congestion)
         return delivered

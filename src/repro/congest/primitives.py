@@ -41,6 +41,7 @@ __all__ = [
     "build_bfs_tree",
     "charged_convergecast",
     "charged_broadcast",
+    "stage_tree_funnel",
 ]
 
 
@@ -201,6 +202,83 @@ def _flood_cost(graph: Graph, root: int, depth: np.ndarray) -> tuple[int, int]:
     return rounds, messages
 
 
+def _stage_flood(network: Network, tree: BfsTree) -> None:
+    """Stage the flood's per-edge explore sends onto the attached heatmap.
+
+    Mirrors :func:`_flood_cost`'s enumeration: every joining node explores
+    each distinct non-loop neighbor except its parent (the root skips only
+    itself), one message per directed pair.  The pair arrays are cached on
+    the tree so repeated cache-hit charges stay cheap.  Any count drift
+    versus the recorded ``build_messages`` (protocol-built trees, recovery
+    trees with unreached nodes) folds onto the first pair so the staged sum
+    always equals the charge; an irreconcilable tree stays unstaged and the
+    charge lands in the sink's residual bucket instead.
+    """
+    if network.heatmap is None or tree.build_messages <= 0:
+        return
+    graph = network.graph
+    if tree.n != graph.n:
+        return
+    cached = getattr(tree, "_flood_stage", None)
+    if cached is None:
+        n = graph.n
+        non_loop = graph.csr_source != graph.csr_target
+        pair_keys = np.unique(
+            graph.csr_source[non_loop].astype(np.int64) * n + graph.csr_target[non_loop]
+        )
+        src = pair_keys // n
+        dst = pair_keys % n
+        parent = np.asarray(tree.parent, dtype=np.int64)
+        keep = (src == tree.root) | (dst != parent[src])
+        cached = (src[keep], dst[keep])
+        tree._flood_stage = cached  # type: ignore[attr-defined]
+    src, dst = cached
+    if src.size == 0:
+        return
+    messages = np.ones(src.size, dtype=np.int64)
+    drift = tree.build_messages - src.size
+    if drift:
+        if messages[0] + drift < 0:
+            return
+        messages[0] += drift
+    network._stage_pairs(src, dst, messages, np.ones(src.size, dtype=np.int64))
+
+
+def _tree_edge_arrays(tree: BfsTree) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``(non_root_nodes, their_parents)`` arrays for edge staging."""
+    cached = getattr(tree, "_tree_edges", None)
+    if cached is None:
+        nodes = np.arange(tree.n, dtype=np.int64)
+        nodes = nodes[nodes != tree.root]
+        parents = np.asarray(tree.parent, dtype=np.int64)[nodes]
+        cached = (nodes, parents)
+        tree._tree_edges = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def stage_tree_funnel(network: Network, tree: BfsTree, *, messages: int, congestion: int) -> None:
+    """Attribute a pipelined tree sweep's whole charge to the root funnel edge.
+
+    The synthetic ``charge(height + k, messages=2k, congestion=k)`` charges
+    (REPORT convergecast, slot recovery, walk regeneration) model ``k``
+    tokens pipelined up — and answers back down — the BFS tree; the busiest
+    link is the one into the root, so the cartography books the entire
+    charge on the first root-child edge.  A degenerate tree with no
+    children leaves the charge unstaged (sink residual).
+    """
+    if network.heatmap is None or messages <= 0:
+        return
+    children = tree.children[tree.root]
+    if not children:
+        return
+    network._stage_pairs(
+        np.array([children[0]], dtype=np.int64),
+        np.array([tree.root], dtype=np.int64),
+        np.array([messages], dtype=np.int64),
+        np.array([congestion], dtype=np.int64),
+    )
+
+
 @charged_fast_path(
     equivalence_test="tests/test_congest_primitives.py::test_tree_and_ledger_identical"
 )
@@ -236,6 +314,7 @@ def build_bfs_tree(
     if cache is not None and root in cache:
         tree = cache[root]
         if tree.build_rounds or tree.build_messages:
+            _stage_flood(network, tree)
             network.ledger.charge(tree.build_rounds, messages=tree.build_messages, congestion=1)
         return tree
     if use_protocol:
@@ -249,8 +328,6 @@ def build_bfs_tree(
         graph = network.graph
         depth, parent = _vectorized_bfs(graph, root, allow_unreached=allow_unreached)
         rounds, messages = _flood_cost(graph, root, depth)
-        if rounds:
-            network.ledger.charge(rounds, messages=messages, congestion=1)
         children: list[list[int]] = [[] for _ in range(graph.n)]
         parent_list = parent.tolist()
         depth_list = depth.tolist()
@@ -265,6 +342,9 @@ def build_bfs_tree(
             build_rounds=rounds,
             build_messages=messages,
         )
+        if rounds:
+            _stage_flood(network, tree)
+            network.ledger.charge(rounds, messages=messages, congestion=1)
     if cache is not None:
         cache[root] = tree
     return tree
@@ -374,6 +454,7 @@ def charged_convergecast(
 
     if participants is None:
         n_messages = tree.n - 1
+        reporters: set[int] | None = None
     else:
         closure: set[int] = set()
         for node in participants:
@@ -383,6 +464,15 @@ def charged_convergecast(
                 closure.add(hop)
         closure.discard(tree.root)
         n_messages = len(closure)
+        reporters = closure
+    if network.heatmap is not None and n_messages:
+        if reporters is None:
+            nodes, parents = _tree_edge_arrays(tree)
+        else:
+            nodes = np.array(sorted(reporters), dtype=np.int64)
+            parents = np.asarray(tree.parent, dtype=np.int64)[nodes]
+        ones = np.ones(nodes.size, dtype=np.int64)
+        network._stage_pairs(nodes, parents, ones, ones)
     network.ledger.charge(tree.height, messages=n_messages, congestion=1)
     return acc[tree.root]
 
@@ -391,4 +481,8 @@ def charged_broadcast(network: Network, tree: BfsTree, *, words: int = 1) -> Non
     """Fast-path broadcast cost: ``height`` rounds, ``n − 1`` messages."""
     if words > network.max_words:
         raise ProtocolError(f"broadcast payload of {words} words exceeds cap")
+    if network.heatmap is not None and tree.n > 1:
+        nodes, parents = _tree_edge_arrays(tree)
+        ones = np.ones(nodes.size, dtype=np.int64)
+        network._stage_pairs(parents, nodes, ones, ones)
     network.ledger.charge(tree.height, messages=tree.n - 1, congestion=1)

@@ -139,6 +139,16 @@ class ChurnController:
         rounds_before = net.rounds
         remap = engine.graph.apply_delta(delta)
         net.refresh_topology()
+        heatmap = engine.obs.heatmap
+        if heatmap is not None:
+            # Forward the slot rename so per-edge accumulators survive the
+            # CSR rebuild (deleted slots retire into per-phase buckets).
+            heatmap.apply_remap(
+                remap,
+                n=engine.graph.n,
+                edge_src=engine.graph.csr_source,
+                edge_dst=engine.graph.csr_target,
+            )
         engine._tree_cache.clear()
         self.events += 1
 

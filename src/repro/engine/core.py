@@ -48,7 +48,12 @@ from repro.congest.phases import (
     SERVE_RECOVERY,
     STITCH_ROUTE,
 )
-from repro.congest.primitives import BfsTree, build_bfs_tree
+from repro.congest.primitives import (
+    BfsTree,
+    _tree_edge_arrays,
+    build_bfs_tree,
+    stage_tree_funnel,
+)
 from repro.engine.model import EngineStats, WalkRequest
 from repro.engine.pool import MaintenanceReport, PoolManager
 from repro.errors import WalkError
@@ -330,27 +335,38 @@ class WalkEngine:
             self._faults = FaultController(self)
         return self._faults.apply_step(schedule_step, round_budget=round_budget)
 
-    def attach_observability(self, *, tracer=None, metrics=None) -> Probe:
-        """Install a passive observer (tracing and/or metrics) on this session.
+    def attach_observability(self, *, tracer=None, metrics=None, heatmap=None, slo=None) -> Probe:
+        """Install a passive observer (tracing/metrics/heatmap/SLO) on this session.
 
         Creates a fresh :class:`~repro.obs.probe.Probe` wired to the given
-        sinks (a :class:`~repro.obs.trace.Tracer` and/or a
-        :class:`~repro.obs.metrics.MetricsRegistry`), installs it as the
-        session ledger's observer, and exposes it as ``engine.obs`` — the
+        sinks (a :class:`~repro.obs.trace.Tracer`, a
+        :class:`~repro.obs.metrics.MetricsRegistry`, a
+        :class:`~repro.obs.heatmap.HeatmapSink`, and/or a
+        :class:`~repro.obs.slo.SloMonitor`), installs it as the session
+        ledger's observer, and exposes it as ``engine.obs`` — the
         scheduler, fault, and churn layers all report context and events
-        through it.  Passing no sinks installs an *inert* probe: every hook
-        fires and early-returns, which is exactly the "disabled"
-        configuration the ``obs_overhead`` bench prices.  Engines that
-        never call this keep ``ledger.observer = None``, so the hot charge
-        path pays one ``is not None`` test and nothing else.
+        through it.  A heatmap sink is additionally bound to the network's
+        charge path so deliver/charge call sites stage per-edge
+        attribution for it (congestion cartography); churn and crash
+        remaps are forwarded to it so accumulators survive slot renames.
+        Passing no sinks installs an *inert* probe: every hook fires and
+        early-returns, which is exactly the "disabled" configuration the
+        ``obs_overhead`` bench prices.  Engines that never call this keep
+        ``ledger.observer = None``, so the hot charge path pays one
+        ``is not None`` test and nothing else.
 
         The observer is strictly passive — simulated rounds, sampled
         walks, and RNG streams are bit-identical with and without it
-        (proved by ``tests/test_obs.py``).  Returns the installed probe.
+        (proved by ``tests/test_obs.py`` and ``tests/test_obs_heatmap.py``).
+        Returns the installed probe.
         """
-        probe = Probe(tracer=tracer, metrics=metrics)
+        probe = Probe(tracer=tracer, metrics=metrics, heatmap=heatmap, slo=slo)
         self.obs = probe
         self.network.ledger.observer = probe
+        self.network.heatmap = heatmap
+        if heatmap is not None:
+            graph = self.graph
+            heatmap.bind_topology(graph.n, graph.csr_source, graph.csr_target)
         probe.attached(self.network.ledger)
         return probe
 
@@ -806,7 +822,9 @@ class WalkEngine:
                 rp = pool.record_paths if pool is not None else self._default_record_paths
             positions_list = self.graph.walk(source, length, self.rng)
             with net.phase(NAIVE):
-                net.deliver_sequential(length)
+                net.deliver_sequential(
+                    length, path=positions_list if net.heatmap is not None else None
+                )
             served = _SingleServed(
                 destination=positions_list[-1],
                 mode="naive",
@@ -828,7 +846,14 @@ class WalkEngine:
 
         if request.report_to_source:
             with net.phase(REPORT):
-                net.deliver_sequential(source_tree.depth[served.destination])
+                net.deliver_sequential(
+                    source_tree.depth[served.destination],
+                    path=(
+                        source_tree.path_to_root(served.destination)
+                        if net.heatmap is not None
+                        else None
+                    ),
+                )
 
         if pool is not None and served.mode == "stitched":
             # Only queries actually served from tokens count against the
@@ -882,6 +907,7 @@ class WalkEngine:
         rounds = tree.height + k_total - (0 if len(ks) == 1 else 1)
         net = self.network
         with net.phase(phase):
+            stage_tree_funnel(net, tree, messages=2 * k_total, congestion=k_total)
             net.ledger.charge(rounds, messages=2 * k_total, congestion=k_total)
 
     def _serve_pooled_many(self, request: WalkRequest) -> ManyWalksResult:
@@ -1097,7 +1123,7 @@ class WalkEngine:
                         )
                         depth = base_tree.depth
                         height = base_tree.height
-                        self._recover_slots(slots, mutated, faults, height)
+                        self._recover_slots(slots, mutated, faults, base_tree)
 
             active = [
                 i for i in range(k) if slots[i].completed <= slots[i].length - loop_margin
@@ -1173,6 +1199,8 @@ class WalkEngine:
                 # the connector's holder set (what charged_convergecast
                 # bills), streamed as pipelined stages on the shared tree.
                 cc_messages = 0
+                cc_nodes: list[int] | None = [] if net.heatmap is not None else None
+                cc_counts: list[int] = []
                 for c, walks in groups.items():
                     closure: set[int] = set()
                     for holder in store.holders_for_source(c):
@@ -1182,14 +1210,37 @@ class WalkEngine:
                             closure.add(hop)
                     closure.discard(root)
                     cc_messages += len(closure) * len(walks)
+                    if cc_nodes is not None and closure:
+                        cc_nodes.extend(sorted(closure))
+                        cc_counts.extend([len(walks)] * len(closure))
+                if cc_nodes:
+                    nodes = np.array(cc_nodes, dtype=np.int64)
+                    parents = np.asarray(base_tree.parent, dtype=np.int64)[nodes]
+                    net._stage_pairs(
+                        nodes,
+                        parents,
+                        np.array(cc_counts, dtype=np.int64),
+                        np.ones(nodes.size, dtype=np.int64),
+                    )
                 net.ledger.charge(height + n_draws - 1, messages=cc_messages, congestion=1)
                 # Delete directives: one broadcast per draw, pipelined.
+                if net.heatmap is not None and base_tree.n > 1:
+                    t_nodes, t_parents = _tree_edge_arrays(base_tree)
+                    net._stage_pairs(
+                        t_parents,
+                        t_nodes,
+                        np.full(t_nodes.size, n_draws, dtype=np.int64),
+                        np.ones(t_nodes.size, dtype=np.int64),
+                    )
                 net.ledger.charge(
                     height + n_draws - 1, messages=n_draws * (base_tree.n - 1), congestion=1
                 )
 
             # Draw without replacement and advance every active walk.
             hops: list[int] = []
+            route_pairs: list[tuple[int, int]] | None = (
+                [] if net.heatmap is not None else None
+            )
             for c, walks in groups.items():
                 for i in walks:
                     record = store.sample_uniform_token(c, self.rng)
@@ -1206,10 +1257,25 @@ class WalkEngine:
                     slot.completed += record.length
                     slot.current = record.destination
                     hops.append(depth[c] + depth[record.destination])
+                    if route_pairs is not None:
+                        up = base_tree.path_to_root(c)
+                        route_pairs.extend(zip(up[:-1], up[1:]))
+                        down = base_tree.path_to_root(record.destination)
+                        route_pairs.extend(zip(down[1:], down[:-1]))
 
             # Route all stitched tokens concurrently: connector → root →
             # destination along shared-tree edges, pipelined.
             with net.phase(route_phase):
+                if route_pairs:
+                    arr = np.array(route_pairs, dtype=np.int64)
+                    keys = arr[:, 0] * self.graph.n + arr[:, 1]
+                    pair_keys, pair_counts = np.unique(keys, return_counts=True)
+                    net._stage_pairs(
+                        pair_keys // self.graph.n,
+                        pair_keys % self.graph.n,
+                        pair_counts,
+                        np.ones(pair_keys.size, dtype=np.int64),
+                    )
                 net.ledger.charge(
                     max(hops) + n_draws - 1, messages=sum(hops), congestion=1
                 )
@@ -1220,7 +1286,7 @@ class WalkEngine:
         slots: list[_WalkSlot],
         mutated: np.ndarray | None,
         faults,
-        tree_height: int,
+        tree: BfsTree,
     ) -> None:
         """Truncate in-flight slots broken by just-fired fault steps.
 
@@ -1248,6 +1314,7 @@ class WalkEngine:
         """
         net = self.network
         live = faults.live
+        tree_height = tree.height
         replay_cap = max(2, 2 * tree_height)
         if mutated is None:
             mutated = np.zeros(self.graph.n, dtype=bool)
@@ -1290,6 +1357,7 @@ class WalkEngine:
                 slot.current = slot.source
                 faults.walks_restarted += 1
         if touched:
+            stage_tree_funnel(net, tree, messages=2 * touched, congestion=touched)
             net.ledger.charge(tree_height + touched, messages=2 * touched, congestion=touched)
             replay_segments(net, prefixes, words=2)
 

@@ -305,6 +305,14 @@ class FaultController:
         if not delta.is_empty:
             remap = graph.apply_delta(delta)
             net.refresh_topology()
+            heatmap = engine.obs.heatmap
+            if heatmap is not None:
+                # Crash/recover rebuilds the CSR too: forward the slot
+                # rename so heatmap accumulators survive (same contract as
+                # the churn controller).
+                heatmap.apply_remap(
+                    remap, n=graph.n, edge_src=graph.csr_source, edge_dst=graph.csr_target
+                )
             engine._tree_cache.clear()
             mutated_mask[remap.mutated_nodes] = True
         else:

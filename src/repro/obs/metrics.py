@@ -9,6 +9,7 @@ state, no float accumulation ordering dependence.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 __all__ = [
@@ -94,6 +95,12 @@ class Counter(_Metric):
     def snapshot_values(self) -> dict:
         return {_labelstr(k): v for k, v in sorted(self.values.items())}
 
+    def snapshot_series(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": val}
+            for key, val in sorted(self.values.items())
+        ]
+
 
 class Gauge(_Metric):
     """Last-write-wins gauge with a running-max helper."""
@@ -117,6 +124,7 @@ class Gauge(_Metric):
 
     exposition_lines = Counter.exposition_lines
     snapshot_values = Counter.snapshot_values
+    snapshot_series = Counter.snapshot_series
 
 
 class Histogram(_Metric):
@@ -182,6 +190,17 @@ class Histogram(_Metric):
             for key, cell in sorted(self.values.items())
         }
 
+    def snapshot_series(self) -> list[dict]:
+        return [
+            {
+                "labels": dict(key),
+                "buckets": dict(zip(map(str, self.buckets), cell["counts"])),
+                "sum": cell["sum"],
+                "count": cell["count"],
+            }
+            for key, cell in sorted(self.values.items())
+        ]
+
 
 class MetricsRegistry:
     """Get-or-create registry over named metrics, with snapshot + exposition."""
@@ -197,6 +216,10 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}, not {cls.kind}"
             )
+        elif help and not metric.help:
+            # Help backfill: a hot-path call site may register the family
+            # first without text; the first documented registration wins.
+            metric.help = help
         return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -217,12 +240,19 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def snapshot(self) -> dict:
-        """JSON-able view: ``{name: {type, help, values}}``, sorted."""
+        """JSON-able view: ``{name: {type, help, values, series}}``, sorted.
+
+        ``values`` keeps the legacy flat ``"k=v,..."``-keyed mapping;
+        ``series`` carries the same data with structured label dicts, so
+        downstream tooling (``trace-report --metrics``) never re-parses
+        label strings.
+        """
         return {
             name: {
                 "type": metric.kind,
                 "help": metric.help,
                 "values": metric.snapshot_values(),
+                "series": metric.snapshot_series(),
             }
             for name, metric in sorted(self._metrics.items())
         }
@@ -237,7 +267,10 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n" if lines else ""
 
     def write(self, path: str | Path) -> Path:
-        """Write the Prometheus exposition to ``path`` and return it."""
+        """Write to ``path``: ``.json`` → snapshot JSON, else Prometheus text."""
         target = Path(path)
-        target.write_text(self.to_prometheus_text())
+        if target.suffix == ".json":
+            target.write_text(json.dumps(self.snapshot(), sort_keys=True) + "\n")
+        else:
+            target.write_text(self.to_prometheus_text())
         return target

@@ -55,16 +55,21 @@ class Probe:
     __slots__ = (
         "tracer",
         "metrics",
+        "heatmap",
+        "slo",
         "_context",
         "_merged",
         "_rounds_total",
         "_messages_total",
         "_congestion_gauge",
+        "_spans_dropped_gauge",
     )
 
-    def __init__(self, tracer=None, metrics=None) -> None:
+    def __init__(self, tracer=None, metrics=None, heatmap=None, slo=None) -> None:
         self.tracer = tracer
         self.metrics = metrics
+        self.heatmap = heatmap
+        self.slo = slo
         self._context: list[dict] = []
         self._merged: dict = {}
         if metrics is not None:
@@ -79,14 +84,28 @@ class Probe:
             self._congestion_gauge = metrics.gauge(
                 "repro_congestion_max", "Worst per-edge congestion observed."
             )
+            self._spans_dropped_gauge = (
+                metrics.gauge(
+                    "repro_trace_spans_dropped",
+                    "Spans evicted from the tracer ring buffer.",
+                )
+                if tracer is not None
+                else None
+            )
         else:
             self._rounds_total = None
             self._messages_total = None
             self._congestion_gauge = None
+            self._spans_dropped_gauge = None
 
     @property
     def active(self) -> bool:
-        return self.tracer is not None or self.metrics is not None
+        return (
+            self.tracer is not None
+            or self.metrics is not None
+            or self.heatmap is not None
+            or self.slo is not None
+        )
 
     @property
     def context(self) -> dict:
@@ -97,10 +116,12 @@ class Probe:
         """Attach ``context`` (tenant, ticket, cohort, ...) to spans opened inside.
 
         A ``scope=...`` key also names the scope span emitted for any
-        ``delta_since`` measured inside the block.  With no tracer this
-        returns a shared ``nullcontext`` — no allocation on the off path.
+        ``delta_since`` measured inside the block.  With neither a tracer
+        nor a heatmap (which attributes settled charges by the ``tenant``
+        key) this returns a shared ``nullcontext`` — no allocation on the
+        off path.
         """
-        if self.tracer is None:
+        if self.tracer is None and self.heatmap is None:
             return _NULL
         return _Annotation(self, context)
 
@@ -121,11 +142,19 @@ class Probe:
         tracer = self.tracer
         if tracer is not None:
             tracer.phase_pop(name, ledger)
+            gauge = self._spans_dropped_gauge
+            if gauge is not None:
+                gauge.set(tracer.dropped)
 
     def charged(self, phase: str, rounds: int, messages: int, congestion: int) -> None:
         tracer = self.tracer
         if tracer is not None:
             tracer.charged(rounds, messages, congestion)
+        heatmap = self.heatmap
+        if heatmap is not None:
+            heatmap.settle_charge(
+                phase, rounds, messages, congestion, tenant=self._merged.get("tenant")
+            )
         counter = self._rounds_total
         if counter is not None:
             counter.inc(rounds, phase=phase)
@@ -152,3 +181,39 @@ class Probe:
             metrics.counter("repro_events_total", "Instant events, by kind.").inc(
                 1, kind=name
             )
+
+    # ------------------------------------------------------------------
+    # streaming-SLO feed (driven by the serving scheduler)
+
+    def slo_record(self, kind: str, tenant: str | None = None, value: float | None = None) -> None:
+        """Fold one serving event into the SLO monitor's open tick frame."""
+        slo = self.slo
+        if slo is not None:
+            slo.record(kind, tenant, value)
+
+    def slo_tick(self, tick: int, round_now: int, queue_depth: int = 0, ledger=None) -> list:
+        """Close one scheduler tick: roll windows, evaluate rules, emit alerts.
+
+        Alert transitions become tracer instant events (``slo-fire`` /
+        ``slo-resolve``) and bump ``repro_slo_alerts_total``; the list of
+        transitions is returned for the caller (dashboard rendering).
+        """
+        slo = self.slo
+        if slo is None:
+            return []
+        alerts = slo.close_tick(tick, round_now, queue_depth)
+        if alerts:
+            metrics = self.metrics
+            for alert in alerts:
+                self.event(
+                    f"slo-{alert.kind}",
+                    ledger,
+                    slo=alert.spec,
+                    tenant=alert.tenant,
+                    burn=round(alert.burn, 4),
+                )
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_slo_alerts_total", "SLO alert transitions, by kind."
+                    ).inc(1, kind=alert.kind)
+        return alerts

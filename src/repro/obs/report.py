@@ -5,6 +5,11 @@ into span dicts and rolls them up three ways: top phases by exclusive
 rounds, a per-tenant flame rollup over request scopes, and the
 critical-path cohort (the single most expensive cohort scope — the first
 place to look when P99 moves).
+
+Sibling-sink exports ride along: a ``--metrics`` snapshot (the
+``MetricsRegistry.snapshot()`` JSON) adds an SLO/alert summary section,
+and a ``--heatmap`` export (``HeatmapSink.to_json()``) adds the hot-edge
+cartography section — one report covering all three files.
 """
 
 from __future__ import annotations
@@ -12,7 +17,13 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["format_report", "load_spans", "summarize"]
+__all__ = [
+    "format_report",
+    "load_metrics",
+    "load_spans",
+    "summarize",
+    "summarize_metrics",
+]
 
 
 def _span_from_chrome_event(event: dict) -> dict | None:
@@ -53,6 +64,53 @@ def load_spans(path: str | Path) -> list[dict]:
         if line:
             spans.append(json.loads(line))
     return spans
+
+
+def load_metrics(path: str | Path) -> dict:
+    """Read a ``MetricsRegistry.snapshot()`` JSON file back into a dict."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a metrics snapshot (expected a JSON object)")
+    return data
+
+
+def _series(snapshot: dict, name: str) -> list[dict]:
+    family = snapshot.get(name)
+    if not isinstance(family, dict):
+        return []
+    series = family.get("series")
+    if isinstance(series, list):
+        return series
+    # Older snapshots only carry the flat "k=v,..."-keyed mapping.
+    out = []
+    for labelstr, value in family.get("values", {}).items():
+        labels = dict(
+            pair.split("=", 1) for pair in labelstr.split(",") if "=" in pair
+        )
+        out.append({"labels": labels, "value": value})
+    return out
+
+
+def summarize_metrics(snapshot: dict) -> dict:
+    """Pull the serving/SLO signal out of a metrics snapshot."""
+    alerts = {
+        row["labels"].get("kind", "?"): row["value"]
+        for row in _series(snapshot, "repro_slo_alerts_total")
+    }
+    events = {
+        row["labels"].get("kind", "?"): row["value"]
+        for row in _series(snapshot, "repro_events_total")
+        if str(row["labels"].get("kind", "")).startswith("slo-")
+    }
+    dropped = 0
+    for row in _series(snapshot, "repro_trace_spans_dropped"):
+        dropped = max(dropped, int(row["value"]))
+    return {
+        "families": len(snapshot),
+        "alerts": alerts,
+        "slo_events": events,
+        "spans_dropped": dropped,
+    }
 
 
 def summarize(spans: list[dict], top: int = 10) -> dict:
@@ -116,8 +174,13 @@ def summarize(spans: list[dict], top: int = 10) -> dict:
     }
 
 
-def format_report(summary: dict) -> str:
-    """Render a summary dict as the human-readable trace report."""
+def format_report(summary: dict, *, metrics: dict | None = None, heatmap: dict | None = None) -> str:
+    """Render a summary dict as the human-readable trace report.
+
+    ``metrics`` is an optional ``MetricsRegistry.snapshot()`` dict (adds
+    the SLO/alert section); ``heatmap`` an optional ``HeatmapSink``
+    summary dict (adds the congestion-cartography section).
+    """
     lines = [
         f"trace-report: {summary['span_count']} spans, "
         f"{summary['total_self_rounds']} attributed rounds",
@@ -159,4 +222,51 @@ def format_report(summary: dict) -> str:
             "events: "
             + ", ".join(f"{name} x{n}" for name, n in summary["events"].items())
         )
+    if metrics is not None:
+        rolled = summarize_metrics(metrics)
+        lines.append("")
+        lines.append(f"metrics snapshot: {rolled['families']} families")
+        if rolled["alerts"]:
+            lines.append(
+                "  slo alerts: "
+                + ", ".join(
+                    f"{kind} x{int(n)}" for kind, n in sorted(rolled["alerts"].items())
+                )
+            )
+        else:
+            lines.append("  slo alerts: none")
+        if rolled["spans_dropped"]:
+            lines.append(f"  tracer spans dropped: {rolled['spans_dropped']}")
+    if heatmap is not None:
+        lines.extend(_heatmap_lines(heatmap))
     return "\n".join(lines)
+
+
+def _heatmap_lines(heatmap: dict) -> list[str]:
+    lines = ["", "congestion cartography:"]
+    messages = heatmap.get("messages", 0)
+    located = heatmap.get("located_messages", 0)
+    lines.append(
+        f"  located {located}/{messages} charged messages"
+        f" ({located / max(1, messages):.1%}) on {heatmap.get('n_slots', 0)} edge slots;"
+        f" retired {heatmap.get('retired_messages', 0)},"
+        f" residual {heatmap.get('residual_messages', 0)};"
+        f" max edge congestion {heatmap.get('max_edge_congestion', 0)}"
+    )
+    rate = heatmap.get("utilization", {}).get("*total*")
+    if rate is not None:
+        lines.append(f"  attributed messages per round: {rate}")
+    top_edges = heatmap.get("top_edges", [])
+    if top_edges:
+        lines.append("  hottest edges:")
+        for row in top_edges[:5]:
+            lines.append(
+                f"    {row['src']:>5} -> {row['dst']:<5}"
+                f"  msgs {row['messages']:>8}  cmax {row['max_congestion']}"
+            )
+    top_nodes = heatmap.get("top_nodes", [])
+    if top_nodes:
+        lines.append("  hottest nodes:")
+        for row in top_nodes[:5]:
+            lines.append(f"    {row['node']:>5}  msgs {row['messages']:>8}")
+    return lines

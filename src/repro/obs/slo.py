@@ -1,0 +1,359 @@
+"""Streaming SLO monitor: declarative burn-rate rules over tick windows.
+
+An :class:`SloSpec` declares an objective — "at most 5% of completions in
+any 8-tick window may exceed 2000 rounds of latency" — as
+``(metric, objective, window, burn_threshold)``.  The
+:class:`SloMonitor` consumes the scheduler's per-event feed (admissions,
+rejects, throttles, completions, deadline misses), closes a
+:class:`~repro.obs.window.TickFrame` per scheduler tick, and evaluates
+every rule against its window: the **burn rate** is
+``bad_fraction / objective``, and crossing ``burn_threshold`` fires an
+edge-triggered :class:`SloAlert` (with a matching ``resolve`` when the
+window drains back under).  Alerts are returned to the probe, which
+stamps them into the tracer instant stream and the
+``repro_slo_alerts_total`` metric — the monitor itself, like everything
+in ``obs/``, is strictly passive and clocked in simulated ticks/rounds.
+
+``format_dashboard`` renders the live per-tick ANSI table behind
+``python -m repro serve --dashboard``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.window import DEFAULT_LATENCY_BUCKETS, SlidingWindow
+
+__all__ = ["SloAlert", "SloMonitor", "SloSpec", "format_dashboard"]
+
+#: Metrics an SLO objective can target → the bad/total event pair.
+SLO_METRICS = ("latency", "deadline_miss", "reject", "throttle")
+
+#: Aggregate pseudo-tenant: events from every tenant fold in here too, so
+#: a spec with ``tenant=None`` watches the whole service.
+ALL_TENANTS = "*all*"
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative SLO rule.
+
+    ``objective`` is the *allowed bad fraction* (e.g. 0.05 = "at most 5%
+    bad"); ``window`` the evaluation horizon in closed scheduler ticks;
+    ``burn_threshold`` the multiple of the objective's budget at which
+    the alert fires (1.0 = firing exactly at budget).  ``tenant=None``
+    evaluates the all-tenant aggregate.  ``latency_target`` (simulated
+    rounds) is required for ``metric="latency"`` — a completion is bad
+    when its latency exceeds it.  Windows with fewer than ``min_events``
+    qualifying events never fire (cold-start guard).
+    """
+
+    name: str
+    metric: str = "latency"
+    objective: float = 0.05
+    window: int = 8
+    burn_threshold: float = 1.0
+    tenant: str | None = None
+    latency_target: int | None = None
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.metric not in SLO_METRICS:
+            raise ValueError(f"unknown SLO metric {self.metric!r}; one of {SLO_METRICS}")
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError(f"objective must be in (0, 1], got {self.objective}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1 tick, got {self.window}")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+        if self.metric == "latency" and self.latency_target is None:
+            raise ValueError("metric='latency' requires latency_target (rounds)")
+
+    @classmethod
+    def parse(cls, text: str) -> "SloSpec":
+        """Parse ``key=value`` CSV, e.g.
+        ``"name=pro-lat,metric=latency,target=2000,objective=0.05,window=8,burn=2,tenant=pro"``.
+        """
+        fields: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"SLO spec field {part!r} is not key=value")
+            key, value = part.split("=", 1)
+            key, value = key.strip(), value.strip()
+            if key in ("name", "metric", "tenant"):
+                fields[key] = value
+            elif key in ("objective", "burn"):
+                fields["burn_threshold" if key == "burn" else key] = float(value)
+            elif key in ("window", "min_events"):
+                fields[key] = int(value)
+            elif key == "target":
+                fields["latency_target"] = int(value)
+            else:
+                raise ValueError(f"unknown SLO spec field {key!r}")
+        if "name" not in fields:
+            raise ValueError(f"SLO spec {text!r} needs a name=")
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One edge-triggered alert transition (``fire`` or ``resolve``)."""
+
+    spec: str
+    metric: str
+    tenant: str
+    kind: str  # "fire" | "resolve"
+    tick: int
+    round: int
+    burn: float
+    bad_rate: float
+    bad: int
+    total: int
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "metric": self.metric,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "tick": self.tick,
+            "round": self.round,
+            "burn": round(self.burn, 6),
+            "bad_rate": round(self.bad_rate, 6),
+            "bad": self.bad,
+            "total": self.total,
+        }
+
+
+@dataclass
+class _RuleState:
+    spec: SloSpec
+    firing: bool = False
+    fired: int = 0
+    resolved: int = 0
+    last_burn: float = 0.0
+    last_bad_rate: float = 0.0
+
+
+class SloMonitor:
+    """Evaluate :class:`SloSpec` rules over per-tenant sliding windows."""
+
+    def __init__(
+        self,
+        specs: tuple[SloSpec, ...] | list[SloSpec] = (),
+        *,
+        buckets: tuple[int, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self._rules = [_RuleState(spec) for spec in specs]
+        names = [r.spec.name for r in self._rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO spec names: {names}")
+        self.buckets = buckets
+        self._window_ticks = max((r.spec.window for r in self._rules), default=8)
+        self._windows: dict[str, SlidingWindow] = {}
+        self.alerts: list[SloAlert] = []
+        self.ticks_closed = 0
+        self.last_tick = 0
+        self.last_round = 0
+        self.last_queue_depth = 0
+        self.events = 0
+
+    @property
+    def specs(self) -> list[SloSpec]:
+        return [r.spec for r in self._rules]
+
+    def _window(self, tenant: str) -> SlidingWindow:
+        win = self._windows.get(tenant)
+        if win is None:
+            win = self._windows[tenant] = SlidingWindow(
+                self._window_ticks, buckets=self.buckets
+            )
+        return win
+
+    # ------------------------------------------------------------------
+    # Feed (called by the probe, which the scheduler notifies)
+    # ------------------------------------------------------------------
+    def record(self, kind: str, tenant: str | None, value: float | None = None) -> None:
+        self.events += 1
+        if tenant is not None:
+            self._window(tenant).note(kind, value)
+        self._window(ALL_TENANTS).note(kind, value)
+
+    def close_tick(self, tick: int, round_now: int, queue_depth: int = 0) -> list[SloAlert]:
+        """Roll every window at a tick boundary and evaluate all rules.
+
+        Returns only the *transitions* (new fires / resolves); the full
+        history stays on :attr:`alerts`.
+        """
+        self.ticks_closed += 1
+        self.last_tick = tick
+        self.last_round = round_now
+        self.last_queue_depth = queue_depth
+        for win in self._windows.values():
+            win.roll(tick)
+        transitions: list[SloAlert] = []
+        for rule in self._rules:
+            spec = rule.spec
+            bad, total = self._bad_total(spec)
+            bad_rate = bad / total if total else 0.0
+            burn = bad_rate / spec.objective
+            rule.last_burn = burn
+            rule.last_bad_rate = bad_rate
+            should_fire = total >= spec.min_events and burn >= spec.burn_threshold
+            if should_fire != rule.firing:
+                rule.firing = should_fire
+                kind = "fire" if should_fire else "resolve"
+                if should_fire:
+                    rule.fired += 1
+                else:
+                    rule.resolved += 1
+                alert = SloAlert(
+                    spec=spec.name,
+                    metric=spec.metric,
+                    tenant=spec.tenant or ALL_TENANTS,
+                    kind=kind,
+                    tick=tick,
+                    round=round_now,
+                    burn=burn,
+                    bad_rate=bad_rate,
+                    bad=bad,
+                    total=total,
+                )
+                self.alerts.append(alert)
+                transitions.append(alert)
+        return transitions
+
+    def _bad_total(self, spec: SloSpec) -> tuple[int, int]:
+        win = self._windows.get(spec.tenant or ALL_TENANTS)
+        if win is None:
+            return 0, 0
+        agg = win.totals(spec.window)
+        if spec.metric == "latency":
+            return agg.latency.count_above(spec.latency_target), agg.completed
+        if spec.metric == "deadline_miss":
+            return agg.deadline_missed, agg.completed
+        if spec.metric == "reject":
+            return agg.rejected, agg.admitted + agg.rejected
+        # throttle: fraction of window ticks the tenant spent throttled.
+        return agg.throttled, agg.ticks
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def percentile(self, tenant: str | None, q: float, *, last: int | None = None) -> float:
+        win = self._windows.get(tenant if tenant is not None else ALL_TENANTS)
+        return win.percentile(q, last=last) if win is not None else 0.0
+
+    def firing(self) -> list[str]:
+        return [r.spec.name for r in self._rules if r.firing]
+
+    def status(self, tenant: str | None = None) -> str:
+        """``"firing"`` / ``"ok"`` for one tenant (or the whole service)."""
+        for rule in self._rules:
+            if rule.firing and (
+                tenant is None or (rule.spec.tenant or ALL_TENANTS) == tenant
+            ):
+                return "firing"
+        return "ok"
+
+    def tenants(self) -> list[str]:
+        return sorted(t for t in self._windows if t != ALL_TENANTS)
+
+    def summary(self) -> dict:
+        """JSON-able state: rules, burn rates, alert history, percentiles."""
+        return {
+            "schema": "slo_monitor/v1",
+            "ticks": self.ticks_closed,
+            "last_round": self.last_round,
+            "last_queue_depth": self.last_queue_depth,
+            "events": self.events,
+            "rules": {
+                r.spec.name: {
+                    "metric": r.spec.metric,
+                    "tenant": r.spec.tenant or ALL_TENANTS,
+                    "objective": r.spec.objective,
+                    "window": r.spec.window,
+                    "burn_threshold": r.spec.burn_threshold,
+                    "latency_target": r.spec.latency_target,
+                    "firing": r.firing,
+                    "fired": r.fired,
+                    "resolved": r.resolved,
+                    "burn": round(r.last_burn, 6),
+                    "bad_rate": round(r.last_bad_rate, 6),
+                }
+                for r in self._rules
+            },
+            "alerts": [a.to_dict() for a in self.alerts],
+            "tenants": {
+                tenant: {
+                    "p50_latency": _finite(self.percentile(tenant, 0.50)),
+                    "p95_latency": _finite(self.percentile(tenant, 0.95)),
+                    "status": self.status(tenant),
+                }
+                for tenant in self.tenants()
+            },
+        }
+
+
+def _finite(value: float) -> float | str:
+    return value if math.isfinite(value) else "inf"
+
+
+# ----------------------------------------------------------------------
+# ANSI dashboard
+# ----------------------------------------------------------------------
+_GREEN = "\x1b[32m"
+_RED = "\x1b[31m"
+_YELLOW = "\x1b[33m"
+_BOLD = "\x1b[1m"
+_RESET = "\x1b[0m"
+
+
+def _fmt_latency(value: float) -> str:
+    return "-" if value == 0 else ("+inf" if math.isinf(value) else f"{int(value)}")
+
+
+def format_dashboard(
+    *,
+    tick: int,
+    round_now: int,
+    queue_depth: int,
+    rows: list[dict],
+    alerts: list[SloAlert] | tuple = (),
+    color: bool = True,
+) -> str:
+    """Render one per-tick dashboard frame as an ANSI table.
+
+    ``rows`` carry per-tenant cells:
+    ``{tenant, p50, p95, attributed, quota_debt, status, burn}``.
+    """
+
+    def paint(text: str, code: str) -> str:
+        return f"{code}{text}{_RESET}" if color else text
+
+    header = paint(
+        f"tick {tick:>4} · round {round_now:>8} · queue {queue_depth:>4}", _BOLD
+    )
+    cols = f"{'tenant':<10} {'p50':>8} {'p95':>8} {'rounds':>10} {'quota debt':>11} {'burn':>6}  slo"
+    lines = [header, paint(cols, _BOLD)]
+    for row in rows:
+        status = row.get("status", "ok")
+        badge = paint("FIRING", _RED) if status == "firing" else paint("ok", _GREEN)
+        lines.append(
+            f"{row['tenant']:<10} "
+            f"{_fmt_latency(row.get('p50', 0)):>8} "
+            f"{_fmt_latency(row.get('p95', 0)):>8} "
+            f"{row.get('attributed', 0):>10} "
+            f"{row.get('quota_debt', 0):>11} "
+            f"{row.get('burn', 0.0):>6.2f}  {badge}"
+        )
+    for alert in alerts:
+        mark = paint("⚠ fire", _RED) if alert.kind == "fire" else paint("✓ resolve", _YELLOW)
+        lines.append(
+            f"  {mark} {alert.spec} [{alert.tenant}] "
+            f"burn={alert.burn:.2f} bad={alert.bad}/{alert.total} @round {alert.round}"
+        )
+    return "\n".join(lines)

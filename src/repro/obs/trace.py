@@ -268,11 +268,14 @@ class Tracer:
             json.dumps(d, sort_keys=True, default=str) + "\n" for d in self.span_dicts()
         )
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self, *, extra_events=(), extra_other: dict | None = None) -> dict:
         """Chrome trace-event JSON (Perfetto/``chrome://tracing`` loadable).
 
         ``ts``/``dur`` are simulated rounds rendered as microseconds;
         phases, scopes, and instants land on separate named tracks.
+        ``extra_events`` appends pre-built trace events (e.g. the heatmap's
+        Perfetto counter track) and ``extra_other`` merges additional keys
+        into ``otherData`` — how sibling sinks ride along in one file.
         """
         events: list[dict] = [
             {
@@ -325,25 +328,41 @@ class Tracer:
                         "args": args,
                     }
                 )
+        for event in extra_events:
+            events.append(dict(event))
+        other = {
+            "clock": "simulated rounds (1 round rendered as 1us)",
+            "attached_round": self.attached_round,
+            "unattributed_rounds": self.unattributed_rounds,
+            "dropped_spans": self.dropped,
+            "ring_size": self.ring_size,
+        }
+        if extra_other:
+            other.update(extra_other)
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {
-                "clock": "simulated rounds (1 round rendered as 1us)",
-                "attached_round": self.attached_round,
-                "unattributed_rounds": self.unattributed_rounds,
-                "dropped_spans": self.dropped,
-                "ring_size": self.ring_size,
-            },
+            "otherData": other,
         }
 
-    def write(self, path: str | Path) -> Path:
+    def write(
+        self,
+        path: str | Path,
+        *,
+        extra_events=(),
+        extra_other: dict | None = None,
+    ) -> Path:
         """Write the trace: ``.jsonl`` → span lines, anything else → Chrome JSON."""
         target = Path(path)
         if target.suffix == ".jsonl":
             target.write_text(self.to_jsonl())
         else:
             target.write_text(
-                json.dumps(self.to_chrome_trace(), sort_keys=True, default=str) + "\n"
+                json.dumps(
+                    self.to_chrome_trace(extra_events=extra_events, extra_other=extra_other),
+                    sort_keys=True,
+                    default=str,
+                )
+                + "\n"
             )
         return target

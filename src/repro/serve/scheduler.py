@@ -301,11 +301,13 @@ class WalkScheduler:
         )
         self._next_id += 1
         reason = self._admission_reason(request, budget)
-        metrics = self.engine.obs.metrics
+        obs = self.engine.obs
+        metrics = obs.metrics
         if reason is not None:
             ticket.status = REJECTED
             ticket.reject_reason = reason
             owner.rejected += 1
+            obs.slo_record("reject", tenant_name)
             self._rejects_by_reason[reason] = self._rejects_by_reason.get(reason, 0) + 1
             self._tickets[ticket.ticket_id] = ticket
             if metrics is not None:
@@ -318,6 +320,7 @@ class WalkScheduler:
                 ).inc(1, tenant=tenant_name, outcome="rejected")
             return ticket
         owner.admitted += 1
+        obs.slo_record("admit", tenant_name)
         if metrics is not None:
             metrics.counter(
                 "repro_requests_total", "Submitted requests, by tenant and outcome."
@@ -414,6 +417,7 @@ class WalkScheduler:
             owner = self.tenants.get(name)
             if queue and owner.throttled:
                 owner.throttled_ticks += 1
+                self.engine.obs.slo_record("throttle", name)
         cohort = self._form_cohort()
         refill_calls = 0
         if cohort:
@@ -432,6 +436,7 @@ class WalkScheduler:
         self._note_shard_backoff(maintain)
         if self.engine.obs.metrics is not None:
             self._emit_tick_metrics()
+        self.engine.obs.slo_tick(self._ticks, net.rounds, self.queue_depth, net.ledger)
         return TickReport(
             tick=self._ticks,
             serviced=tuple(e.ticket.ticket_id for e in cohort),
@@ -921,9 +926,11 @@ class WalkScheduler:
             if ticket.ticket_id in done_now:
                 ticket.completed_round = now
                 ticket.latency_rounds = now - ticket.submitted_round
+                engine.obs.slo_record("complete", ticket.tenant, ticket.latency_rounds)
                 if ticket.deadline_round is not None and now > ticket.deadline_round:
                     ticket.deadline_missed = True
                     owner.deadline_misses += 1
+                    engine.obs.slo_record("deadline_miss", ticket.tenant)
                 if metrics is not None:
                     metrics.counter(
                         "repro_tickets_completed_total", "Tickets completed, by tenant."

@@ -86,10 +86,13 @@ def _run_naive_walk(
 
     positions = graph.walk(source, length, rng)
     with net.phase(NAIVE):
-        net.deliver_sequential(length)
+        net.deliver_sequential(length, path=positions if net.heatmap is not None else None)
     if report_to_source:
         with net.phase(REPORT):
-            net.deliver_sequential(length)
+            # The report retraces the trajectory back to the source.
+            net.deliver_sequential(
+                length, path=positions[::-1] if net.heatmap is not None else None
+            )
 
     return WalkResult(
         source=source,

@@ -184,7 +184,14 @@ def stitch_walk(
             if record is None:
                 raise WalkError("GET-MORE-WALKS produced no walks (engine bug)")
         with network.phase(STITCH_ROUTE):
-            network.deliver_sequential(tree.depth[record.destination])
+            network.deliver_sequential(
+                tree.depth[record.destination],
+                path=(
+                    list(reversed(tree.path_to_root(record.destination)))
+                    if network.heatmap is not None
+                    else None
+                ),
+            )
         segments.append(record)
         if record_paths:
             if record.path is None:
@@ -197,7 +204,9 @@ def stitch_walk(
     if remaining > 0 and not defer_tail:
         tail = network.graph.walk(current, remaining, rng)
         with network.phase(NAIVE_TAIL):
-            network.deliver_sequential(remaining)
+            network.deliver_sequential(
+                remaining, path=tail if network.heatmap is not None else None
+            )
         current = tail[-1]
         if record_paths:
             chunks.append(np.asarray(tail[1:], dtype=np.int64))
@@ -248,11 +257,20 @@ def _run_single_walk(
     if params.use_naive:
         positions_list = graph.walk(source, length, rng)
         with net.phase(NAIVE):
-            net.deliver_sequential(length)
+            net.deliver_sequential(
+                length, path=positions_list if net.heatmap is not None else None
+            )
         destination = positions_list[-1]
         if report_to_source:
             with net.phase(REPORT):
-                net.deliver_sequential(source_tree.depth[destination])
+                net.deliver_sequential(
+                    source_tree.depth[destination],
+                    path=(
+                        source_tree.path_to_root(destination)
+                        if net.heatmap is not None
+                        else None
+                    ),
+                )
         return WalkResult(
             source=source,
             length=length,
@@ -294,7 +312,14 @@ def _run_single_walk(
 
     if report_to_source:
         with net.phase(REPORT):
-            net.deliver_sequential(source_tree.depth[destination])
+            net.deliver_sequential(
+                source_tree.depth[destination],
+                path=(
+                    source_tree.path_to_root(destination)
+                    if net.heatmap is not None
+                    else None
+                ),
+            )
 
     return WalkResult(
         source=source,

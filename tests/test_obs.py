@@ -56,7 +56,7 @@ def observed_golden_run(name: str):
     return net, result, tracer, metrics
 
 
-def run_session(*, tracer=None, metrics=None):
+def run_session(*, tracer=None, metrics=None, heatmap=None, slo=None):
     """Multi-tenant serve through churn + a crash/recover episode.
 
     Mirrors ``examples/multi_tenant.py`` at test scale; returns
@@ -64,8 +64,10 @@ def run_session(*, tracer=None, metrics=None):
     """
     graph = random_regular_graph(N, 4, 7)
     engine = WalkEngine(graph, seed=7, record_paths=False, auto_maintain=False)
-    if tracer is not None or metrics is not None:
-        engine.attach_observability(tracer=tracer, metrics=metrics)
+    if any(sink is not None for sink in (tracer, metrics, heatmap, slo)):
+        engine.attach_observability(
+            tracer=tracer, metrics=metrics, heatmap=heatmap, slo=slo
+        )
     engine.prepare(length_hint=256)
     snap = engine.network.ledger.capture()
     registry = TenantRegistry()

@@ -1,0 +1,342 @@
+"""Streaming SLO monitor (PR 10): windowed digests, burn-rate rules.
+
+Everything here is clocked in simulated ticks/rounds, so the pinned
+properties are exact, not statistical:
+
+* **digest determinism** — the fixed-bucket :class:`LatencyDigest` and
+  :class:`SlidingWindow` aggregates replay bit-identically for equal
+  inputs (including a seeded random stream fed twice);
+* **burn-rate semantics** — ``burn = bad_fraction / objective``,
+  edge-triggered: one ``fire`` on crossing, one ``resolve`` on draining,
+  nothing in between, with the cold-start ``min_events`` guard;
+* **spec surface** — :meth:`SloSpec.parse` round-trips the CLI grammar
+  and every validation error is a crisp ``ValueError``;
+* **probe integration** — ``slo_record``/``slo_tick`` fan transitions
+  into the tracer instant stream and ``repro_slo_alerts_total``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.graphs import torus_graph
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    LatencyDigest,
+    MetricsRegistry,
+    Probe,
+    SlidingWindow,
+    SloMonitor,
+    SloSpec,
+    Tracer,
+    format_dashboard,
+)
+from repro.obs.slo import ALL_TENANTS
+
+
+# ----------------------------------------------------------------------
+# LatencyDigest: deterministic fixed-bucket percentiles
+# ----------------------------------------------------------------------
+class TestLatencyDigest:
+    def test_percentile_is_smallest_covering_edge(self):
+        digest = LatencyDigest()
+        for value in (1, 2, 3, 100, 5000):
+            digest.note(value)
+        # Ranks: ceil(q*5) over cumulative bucket counts.
+        assert digest.percentile(0.2) == 1
+        assert digest.percentile(0.5) == 4  # 3 lands in the (2, 4] bucket
+        assert digest.percentile(0.8) == 128
+        assert digest.percentile(1.0) == 8192
+
+    def test_overflow_bucket_reads_as_inf(self):
+        digest = LatencyDigest()
+        digest.note(10**9)
+        assert math.isinf(digest.percentile(0.5))
+
+    def test_count_above_is_exact_on_bucket_edges(self):
+        digest = LatencyDigest()
+        for value in (256, 512, 513, 1024, 2048):
+            digest.note(value)
+        # Threshold on an edge: counts every bucket strictly beyond it.
+        assert digest.count_above(512) == 3
+        assert digest.count_above(2048) == 0
+
+    def test_empty_digest_and_bad_quantile(self):
+        digest = LatencyDigest()
+        assert digest.percentile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            digest.percentile(0.0)
+
+    def test_absorb_requires_identical_edges(self):
+        digest = LatencyDigest()
+        other = LatencyDigest(buckets=(1, 2, 4))
+        with pytest.raises(ValueError):
+            digest.absorb(other)
+
+    def test_same_inputs_same_digest(self):
+        rng = np.random.default_rng(42)
+        values = rng.integers(1, 70_000, size=500)
+        a, b = LatencyDigest(), LatencyDigest()
+        for v in values:
+            a.note(int(v))
+            b.note(int(v))
+        assert a.counts == b.counts
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert a.percentile(q) == b.percentile(q)
+
+
+# ----------------------------------------------------------------------
+# SlidingWindow: tick frames, suffix aggregates
+# ----------------------------------------------------------------------
+class TestSlidingWindow:
+    def test_window_evicts_beyond_capacity(self):
+        win = SlidingWindow(3)
+        for tick in range(5):
+            win.note("complete", 100 * (tick + 1))
+            win.roll(tick)
+        totals = win.totals()
+        # Only ticks 2, 3, 4 survive.
+        assert totals.ticks == 3
+        assert totals.completed == 3
+        assert win.percentile(1.0) == 512  # max surviving latency 500 → edge 512
+
+    def test_suffix_aggregation(self):
+        win = SlidingWindow(8)
+        for tick in range(4):
+            win.note("admit")
+            if tick >= 2:
+                win.note("reject")
+            win.roll(tick)
+        assert win.totals().admitted == 4
+        assert win.totals(last=2).rejected == 2
+        assert win.totals(last=1).admitted == 1
+
+    def test_roll_without_events_closes_empty_frame(self):
+        win = SlidingWindow(4)
+        frame = win.roll(7)
+        assert frame.tick == 7
+        assert win.totals().completed == 0
+
+    def test_determinism_over_seeded_stream(self):
+        def feed(window: SlidingWindow, seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for tick in range(20):
+                for _ in range(int(rng.integers(1, 9))):
+                    window.note("complete", int(rng.integers(1, 5_000)))
+                window.roll(tick)
+
+        a, b = SlidingWindow(8), SlidingWindow(8)
+        feed(a, 1234)
+        feed(b, 1234)
+        for q in (0.5, 0.95):
+            assert a.percentile(q) == b.percentile(q)
+        assert a.totals().counts == b.totals().counts
+
+    def test_window_must_hold_a_tick(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+# ----------------------------------------------------------------------
+# SloSpec: declaration + CLI grammar
+# ----------------------------------------------------------------------
+class TestSloSpec:
+    def test_parse_round_trip(self):
+        spec = SloSpec.parse(
+            "name=lat-pro,metric=latency,target=2000,objective=0.05,"
+            "window=8,burn=2,tenant=pro,min_events=4"
+        )
+        assert spec == SloSpec(
+            name="lat-pro",
+            metric="latency",
+            latency_target=2000,
+            objective=0.05,
+            window=8,
+            burn_threshold=2.0,
+            tenant="pro",
+            min_events=4,
+        )
+
+    @pytest.mark.parametrize(
+        "text, needle",
+        [
+            ("metric=latency,target=10", "needs a name"),
+            ("name=x,metric=throughput", "unknown SLO metric"),
+            ("name=x,metric=reject,objective=0", "objective"),
+            ("name=x,metric=reject,window=0", "window"),
+            ("name=x,metric=reject,burn=0", "burn_threshold"),
+            ("name=x,metric=latency", "latency_target"),
+            ("name=x,bogus=1", "unknown SLO spec field"),
+            ("name=x,metric", "not key=value"),
+        ],
+    )
+    def test_validation_errors(self, text, needle):
+        with pytest.raises(ValueError, match=needle):
+            SloSpec.parse(text)
+
+    def test_duplicate_rule_names_rejected(self):
+        spec = SloSpec(name="dup", metric="reject")
+        with pytest.raises(ValueError, match="duplicate"):
+            SloMonitor(specs=[spec, spec])
+
+
+# ----------------------------------------------------------------------
+# Burn-rate evaluation: edge-triggered fire/resolve
+# ----------------------------------------------------------------------
+class TestBurnRate:
+    @staticmethod
+    def monitor(**overrides) -> SloMonitor:
+        fields = dict(
+            name="lat",
+            metric="latency",
+            latency_target=1000,
+            objective=0.25,
+            window=4,
+            burn_threshold=1.0,
+            tenant="pro",
+        )
+        fields.update(overrides)
+        return SloMonitor(specs=[SloSpec(**fields)])
+
+    def test_fire_then_resolve_once_each(self):
+        mon = self.monitor()
+        # Two bad ticks: every completion breaches the 1000-round target.
+        for tick in (0, 1):
+            mon.record("complete", "pro", 4000)
+            assert [a.kind for a in mon.close_tick(tick, round_now=100 * tick)] == (
+                ["fire"] if tick == 0 else []
+            )
+        assert mon.status("pro") == "firing"
+        assert mon.firing() == ["lat"]
+        # Good ticks push the bad window out; resolve exactly once.
+        transitions = []
+        for tick in (2, 3, 4, 5):
+            mon.record("complete", "pro", 10)
+            transitions.extend(mon.close_tick(tick, round_now=1_000 + tick))
+        assert [a.kind for a in transitions] == ["resolve"]
+        assert mon.status("pro") == "ok"
+        assert [a.kind for a in mon.alerts] == ["fire", "resolve"]
+        fire = mon.alerts[0]
+        assert fire.spec == "lat" and fire.tenant == "pro"
+        assert fire.burn == pytest.approx(1.0 / 0.25)
+
+    def test_min_events_cold_start_guard(self):
+        mon = self.monitor(min_events=5)
+        mon.record("complete", "pro", 4000)
+        assert mon.close_tick(0, round_now=10) == []
+        assert mon.status("pro") == "ok"
+
+    def test_tenantless_spec_watches_the_aggregate(self):
+        mon = self.monitor(tenant=None, objective=0.5)
+        mon.record("complete", "free", 4000)
+        mon.record("complete", "pro", 4000)
+        alerts = mon.close_tick(0, round_now=1)
+        assert [a.tenant for a in alerts] == [ALL_TENANTS]
+
+    def test_reject_metric_uses_admission_denominator(self):
+        mon = SloMonitor(
+            specs=[SloSpec(name="rej", metric="reject", objective=0.5, window=2)]
+        )
+        mon.record("admit", "pro")
+        mon.record("reject", "pro")
+        (alert,) = mon.close_tick(0, round_now=1)
+        assert alert.bad == 1 and alert.total == 2
+        assert alert.burn == pytest.approx(1.0)
+
+    def test_summary_schema(self):
+        mon = self.monitor()
+        mon.record("complete", "pro", 4000)
+        mon.close_tick(0, round_now=9, queue_depth=3)
+        summary = mon.summary()
+        assert summary["schema"] == "slo_monitor/v1"
+        assert summary["ticks"] == 1
+        assert summary["last_queue_depth"] == 3
+        assert summary["rules"]["lat"]["firing"] is True
+        assert summary["tenants"]["pro"]["status"] == "firing"
+        assert summary["alerts"][0]["kind"] == "fire"
+
+    def test_determinism_identical_summaries(self):
+        def drive(mon: SloMonitor, seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for tick in range(12):
+                for _ in range(int(rng.integers(0, 6))):
+                    mon.record("complete", "pro", int(rng.integers(1, 3_000)))
+                mon.close_tick(tick, round_now=50 * tick, queue_depth=tick % 3)
+
+        a, b = self.monitor(), self.monitor()
+        drive(a, 77)
+        drive(b, 77)
+        assert a.summary() == b.summary()
+
+
+# ----------------------------------------------------------------------
+# Probe integration + dashboard rendering
+# ----------------------------------------------------------------------
+class TestProbeAndDashboard:
+    def test_slo_tick_emits_instants_and_counter(self):
+        net = Network(torus_graph(4, 4), seed=0)
+        tracer, metrics = Tracer(), MetricsRegistry()
+        slo = SloMonitor(
+            specs=[SloSpec(name="lat", metric="latency", latency_target=100, objective=0.1)]
+        )
+        probe = Probe(tracer=tracer, metrics=metrics, slo=slo)
+        net.ledger.observer = probe
+        probe.attached(net.ledger)
+        probe.slo_record("complete", "pro", 5_000)
+        transitions = probe.slo_tick(1, net.rounds, queue_depth=2, ledger=net.ledger)
+        assert [a.kind for a in transitions] == ["fire"]
+        fire_events = [s for s in tracer.spans if s.name == "slo-fire"]
+        assert len(fire_events) == 1
+        assert fire_events[0].args["slo"] == "lat"
+        counter = metrics.get("repro_slo_alerts_total")
+        assert counter.value(kind="fire") == 1
+
+    def test_probe_without_slo_is_a_noop(self):
+        probe = Probe()
+        probe.slo_record("complete", "pro", 10)
+        assert probe.slo_tick(1, 0) == []
+
+    def test_dashboard_renders_rows_and_alerts(self):
+        mon = SloMonitor(
+            specs=[SloSpec(name="lat", metric="latency", latency_target=100,
+                           objective=0.1, tenant="pro")]
+        )
+        mon.record("complete", "pro", 5_000)
+        (alert,) = mon.close_tick(3, round_now=777, queue_depth=1)
+        rows = [
+            {
+                "tenant": "pro",
+                "p50": mon.percentile("pro", 0.5),
+                "p95": mon.percentile("pro", 0.95),
+                "attributed": 1234,
+                "quota_debt": 0,
+                "status": mon.status("pro"),
+                "burn": 10.0,
+            },
+            {"tenant": "free", "p50": 0, "p95": 0, "attributed": 0,
+             "quota_debt": 7, "status": "ok", "burn": 0.0},
+        ]
+        frame = format_dashboard(
+            tick=3, round_now=777, queue_depth=1, rows=rows,
+            alerts=[alert], color=False,
+        )
+        assert "tick    3" in frame
+        assert "FIRING" in frame and "ok" in frame
+        assert "⚠ fire lat [pro]" in frame
+        assert "8192" in frame  # the 5000-round completion's bucket edge
+        assert "\x1b[" not in frame  # color=False renders plain text
+        colored = format_dashboard(
+            tick=3, round_now=777, queue_depth=1, rows=rows, color=True
+        )
+        assert "\x1b[31m" in colored  # FIRING badge painted red
+
+
+# ----------------------------------------------------------------------
+# Default buckets sanity
+# ----------------------------------------------------------------------
+def test_default_buckets_are_powers_of_two():
+    assert DEFAULT_LATENCY_BUCKETS == tuple(2**i for i in range(17))

@@ -282,6 +282,59 @@ class TestBenchHarnessSmoke:
         assert section["overhead_disabled"] <= section["limits"]["disabled"] == 0.03
         assert section["overhead_traced"] <= section["limits"]["traced"] == 0.25
 
+    def test_congestion_heatmap_harness_live(self):
+        # Live tier-1 guard for the PR-10 congestion cartography: the quick
+        # config runs baseline/detached/heatmap and the bench itself asserts
+        # both passivity (identical simulated rounds) and the conservation
+        # identity (every ledger phase fully attributed, zero residual,
+        # per-edge maxima reproducing the ledger scalar).  Wall-clock ratios
+        # are asserted only on the committed section below.
+        section = bench_obs.bench_congestion_heatmap(**bench_obs.QUICK_OBS)
+        assert section["schema"] == "bench_congestion_heatmap/v1"
+        assert section["rounds"] > 0
+        assert section["messages"] > 0
+        assert section["located_messages"] == section["messages"]
+        assert section["residual_messages"] == 0
+        assert section["max_edge_congestion"] >= 1
+        assert json.loads(json.dumps(section)) == section
+
+    def test_committed_congestion_heatmap_section(self):
+        # The PR-10 acceptance bar: per-edge attribution costs <= 35%
+        # wall-clock on the committed full workload, an inert attach <= 3%,
+        # and the attribution is *exact* — zero residual messages.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("congestion_heatmap")
+        assert section is not None, "run benchmarks/bench_obs.py to regenerate"
+        assert section["schema"] == "bench_congestion_heatmap/v1"
+        assert section["residual_messages"] == 0
+        assert section["located_messages"] == section["messages"]
+        assert section["overhead_detached"] <= section["limits"]["detached"] == 0.03
+        assert section["overhead_heatmap"] <= section["limits"]["heatmap"] == 0.35
+
+    def test_slo_window_harness_live(self):
+        # Live tier-1 guard for the streaming SLO monitor: the quick config
+        # runs baseline/detached/slo and the bench asserts identical
+        # simulated rounds (the monitor only reads) plus a non-empty event
+        # stream folded through the sliding windows.
+        section = bench_obs.bench_slo_window(**bench_obs.QUICK_OBS)
+        assert section["schema"] == "bench_slo_window/v1"
+        assert section["rounds"] > 0
+        assert section["ticks_closed"] > 0
+        assert section["events"] > 0
+        assert json.loads(json.dumps(section)) == section
+
+    def test_committed_slo_window_section(self):
+        # Windowed digests + burn-rate rules stay <= 35% wall-clock on the
+        # committed full workload (<= 3% for the inert attach), with every
+        # scheduler tick rolled through the monitor.
+        results = json.loads(bench.RESULT_PATH.read_text())
+        section = results.get("slo_window")
+        assert section is not None, "run benchmarks/bench_obs.py to regenerate"
+        assert section["schema"] == "bench_slo_window/v1"
+        assert section["ticks_closed"] > 0 and section["events"] > 0
+        assert section["overhead_detached"] <= section["limits"]["detached"] == 0.03
+        assert section["overhead_slo"] <= section["limits"]["slo"] == 0.35
+
     def test_committed_engine_reuse_section(self):
         # bench_engine_reuse.py appends this section; the committed numbers
         # must show the session API actually amortizing: one Phase-1

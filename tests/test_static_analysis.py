@@ -459,6 +459,31 @@ class TestObsPassivityRule:
         report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/ok.py", obs_src)
         assert not report.findings
 
+    def test_true_positive_stage_edges_inside_obs(self, tmp_path):
+        src = (
+            "def hook(self, slots):\n"
+            "    self.stage_edges(slots)\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/heat.py", src)
+        assert len(report.findings) == 1
+        assert "stages heatmap attribution" in report.findings[0].message
+        # The charge path (outside obs/) is exactly who may stage.
+        report = self.run_at(
+            ObsPassivityRule(), tmp_path, "src/repro/congest/net2.py", src
+        )
+        assert not report.findings
+
+    def test_settle_charge_only_from_probe(self, tmp_path):
+        src = (
+            "def charged(self, phase, rounds, messages, congestion):\n"
+            "    self.heatmap.settle_charge(phase, rounds, messages, congestion)\n"
+        )
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/other.py", src)
+        assert len(report.findings) == 1
+        assert "outside the probe" in report.findings[0].message
+        report = self.run_at(ObsPassivityRule(), tmp_path, "src/repro/obs/probe.py", src)
+        assert not report.findings
+
     def test_outside_production_tree_is_ignored(self, tmp_path):
         report = run_rule(
             ObsPassivityRule(),
